@@ -1,0 +1,99 @@
+(* Shared data collection for the experiment tables: runs every method on
+   every benchmark circuit once per gate and caches the results, since
+   Tables I-IV all read the same OR runs. *)
+
+module Circuit = Step_aig.Circuit
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Pipeline = Step_core.Pipeline
+
+type config = {
+  per_po_budget : float;
+  scale : float;
+  quick : bool; (* restrict circuit list for smoke runs *)
+}
+
+(* 0.5 s per output keeps a full regeneration of all tables, the figure
+   and the ablations in the ten-minute range; pass --budget to push the
+   solved-percentages of Table IV toward saturation. *)
+let default_config = { per_po_budget = 0.5; scale = 1.0; quick = false }
+
+let all_methods =
+  [ Pipeline.Ljh; Pipeline.Mg; Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
+
+let qbf_methods = [ Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
+
+type key = { circuit : string; gate : Gate.t; method_ : Pipeline.method_ }
+
+let cache : (key, Pipeline.circuit_result) Hashtbl.t = Hashtbl.create 64
+
+type stats = { n_in : int; inm : int; n_out : int }
+
+let circuits_cache : (float * bool, Circuit.t list) Hashtbl.t =
+  Hashtbl.create 4
+
+let stats_cache : (string, stats) Hashtbl.t = Hashtbl.create 32
+
+let circuits config =
+  let key = (config.scale, config.quick) in
+  match Hashtbl.find_opt circuits_cache key with
+  | Some l -> l
+  | None ->
+      let l = Step_circuits.Suite.table1_suite ~scale:config.scale () in
+      let l =
+        if config.quick then
+          List.filteri (fun i _ -> i >= List.length l - 6) l (* smallest *)
+        else l
+      in
+      (* snapshot statistics before any solver pollutes the managers with
+         copy inputs *)
+      List.iter
+        (fun c ->
+          Hashtbl.replace stats_cache c.Circuit.name
+            {
+              n_in = Circuit.n_inputs c;
+              inm = Circuit.max_support c;
+              n_out = Circuit.n_outputs c;
+            })
+        l;
+      Hashtbl.replace circuits_cache key l;
+      l
+
+let stats_of name = Hashtbl.find stats_cache name
+
+let run config circuit gate method_ =
+  let key = { circuit = circuit.Circuit.name; gate; method_ } in
+  match Hashtbl.find_opt cache key with
+  | Some r -> r
+  | None ->
+      let r =
+        Pipeline.run ~per_po_budget:config.per_po_budget circuit gate method_
+      in
+      Hashtbl.replace cache key r;
+      r
+
+(* per-PO metric comparison between a QBF method and a baseline: counts
+   (better, equal, comparable) over POs decomposed by both *)
+let compare_metric (metric : Partition.t -> float) (challenger : Pipeline.circuit_result)
+    (baseline : Pipeline.circuit_result) =
+  let better = ref 0 and equal = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i cr ->
+      let br = baseline.Pipeline.per_po.(i) in
+      match (cr.Pipeline.partition, br.Pipeline.partition) with
+      | Some cp, Some bp ->
+          incr total;
+          let mc = metric cp and mb = metric bp in
+          if mc < mb -. 1e-9 then incr better
+          else if Float.abs (mc -. mb) <= 1e-9 then incr equal
+      | _, _ -> ())
+    challenger.Pipeline.per_po;
+  (!better, !equal, !total)
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+let metric_disjointness p = Partition.disjointness p
+
+let metric_balancedness p = Partition.balancedness p
+
+let metric_sum p = Partition.disjointness p +. Partition.balancedness p

@@ -1,0 +1,46 @@
+(* ASCII log-log scatter plots for Figure 1 (CPU time comparisons). *)
+
+let render ~title ~xlabel ~ylabel points =
+  let w = 48 and h = 20 in
+  let lo = 1e-4 and hi = 10_000.0 in
+  let clampf v = Float.max lo (Float.min hi v) in
+  let coord v extent =
+    let v = clampf v in
+    let r = log (v /. lo) /. log (hi /. lo) in
+    int_of_float (r *. float_of_int (extent - 1))
+  in
+  let grid = Array.make_matrix h w ' ' in
+  (* diagonal y = x *)
+  for i = 0 to min w h - 1 do
+    grid.(h - 1 - (i * h / w)).(i) <- '.'
+  done;
+  List.iter
+    (fun (x, y) ->
+      let cx = coord x w and cy = coord y h in
+      grid.(h - 1 - cy).(cx) <- '*')
+    points;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "  %s\n" title);
+  Array.iteri
+    (fun row line ->
+      let label =
+        if row = 0 then Printf.sprintf "%8.0e" hi
+        else if row = h - 1 then Printf.sprintf "%8.0e" lo
+        else String.make 8 ' '
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %s |%s|\n" label (String.init w (Array.get line))))
+    grid;
+  Buffer.add_string buf
+    (Printf.sprintf "  %8s  %-10.0e%*s%.0e\n" "" lo (w - 14) "" hi);
+  Buffer.add_string buf (Printf.sprintf "  x: %s (s)   y: %s (s)\n" xlabel ylabel);
+  Buffer.contents buf
+
+let csv ~xlabel ~ylabel points =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "circuit,%s,%s\n" xlabel ylabel);
+  List.iter
+    (fun (name, x, y) ->
+      Buffer.add_string buf (Printf.sprintf "%s,%.6f,%.6f\n" name x y))
+    points;
+  Buffer.contents buf

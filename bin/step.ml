@@ -1,0 +1,499 @@
+(* step — Satisfiability-based funcTion dEcomPosition (OCaml reimplementation).
+
+   Subcommands:
+     step stats      print circuit statistics (#In, #Out, #InM, #And)
+     step decompose  bi-decompose the primary outputs of a circuit
+     step generate   emit a generated benchmark circuit as BLIF
+     step suite      list the named benchmark suite
+*)
+
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+module Blif = Step_aig.Blif
+module Aag = Step_aig.Aag
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Problem = Step_core.Problem
+module Pipeline = Step_core.Pipeline
+module Extract = Step_core.Extract
+module Verify = Step_core.Verify
+module Suite = Step_circuits.Suite
+module Generators = Step_circuits.Generators
+
+open Cmdliner
+
+(* ---------- circuit loading ---------- *)
+
+let load_circuit path_or_name =
+  if Sys.file_exists path_or_name then begin
+    if Filename.check_suffix path_or_name ".aag" then
+      Aag.parse_file path_or_name
+    else if Filename.check_suffix path_or_name ".aig" then
+      Step_aig.Aig_bin.parse_file path_or_name
+    else Blif.parse_file path_or_name
+  end
+  else
+    match Suite.by_name path_or_name with
+    | c -> c
+    | exception Not_found ->
+        failwith
+          (Printf.sprintf
+             "%s: not a file and not a known benchmark name (try `step suite`)"
+             path_or_name)
+
+let circuit_arg =
+  let doc =
+    "Input circuit: a .blif or .aag file, or a named benchmark from the \
+     built-in suite (see $(b,step suite))."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let run path =
+    let c = load_circuit path in
+    print_endline (Circuit.stats c);
+    let sizes = Circuit.support_sizes c in
+    Array.iteri
+      (fun i s ->
+        Printf.printf "  %-16s support=%d cone=%d\n" (Circuit.output_name c i)
+          s
+          (Aig.cone_size c.Circuit.aig (Circuit.output c i)))
+      sizes;
+    `Ok ()
+  in
+  let doc = "Print circuit statistics." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ circuit_arg))
+
+(* ---------- decompose ---------- *)
+
+let gate_arg =
+  let doc = "Gate type: or, and, xor, or 'auto' to pick per output." in
+  Arg.(value & opt string "or" & info [ "gate"; "g" ] ~docv:"GATE" ~doc)
+
+let method_arg =
+  let doc = "Partitioning method: ljh, mg, qd, qb, qdb." in
+  Arg.(value & opt string "qd" & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
+
+let budget_arg =
+  let doc = "Per-output time budget in seconds." in
+  Arg.(value & opt float 10.0 & info [ "budget"; "b" ] ~docv:"SECONDS" ~doc)
+
+let po_arg =
+  let doc = "Decompose only the output with this index." in
+  Arg.(value & opt (some int) None & info [ "po" ] ~docv:"INDEX" ~doc)
+
+let extract_arg =
+  let doc = "Also derive fA/fB: 'quantify' or 'interpolate'." in
+  Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"ENGINE" ~doc)
+
+let verify_flag =
+  let doc = "SAT-verify every extracted decomposition." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+let recursive_flag =
+  let doc =
+    "Recursively bi-decompose each output into a gate tree and print its \
+     statistics."
+  in
+  Arg.(value & flag & info [ "recursive"; "r" ] ~doc)
+
+let print_po_result (r : Pipeline.po_result) =
+  let status =
+    match r.Pipeline.partition with
+    | None -> if r.Pipeline.timed_out then "timeout" else "not-decomposable"
+    | Some _ when r.Pipeline.proven_optimal -> "optimal"
+    | Some _ -> "decomposed"
+  in
+  Printf.printf "%-16s n=%-3d %-16s %6.3fs" r.Pipeline.po_name
+    r.Pipeline.support_size status r.Pipeline.cpu;
+  match r.Pipeline.partition with
+  | None -> print_newline ()
+  | Some part ->
+      Printf.printf "  |XA|=%d |XB|=%d |XC|=%d eD=%.3f eB=%.3f\n"
+        (List.length part.Partition.xa)
+        (List.length part.Partition.xb)
+        (List.length part.Partition.xc)
+        (Partition.disjointness part)
+        (Partition.balancedness part)
+
+let decompose_cmd =
+  let run path gate method_ budget po extract verify_ recursive =
+    match
+      let method_ = Pipeline.method_of_string method_ in
+      let c = load_circuit path in
+      if recursive then begin
+        let module R = Step_core.Recursive in
+        let config =
+          { R.default_config with R.method_; per_step_budget = budget }
+        in
+        for i = 0 to Circuit.n_outputs c - 1 do
+          let p = Problem.of_output c i in
+          if Problem.n_vars p >= 2 then begin
+            let tree = R.decompose ~config p in
+            let s = R.stats_of c.Circuit.aig tree in
+            Printf.printf
+              "%-16s n=%-3d gates=%-3d leaves=%-3d depth=%-2d \
+               max-leaf-support=%d\n"
+              (Circuit.output_name c i) (Problem.n_vars p) s.R.gates
+              s.R.leaves s.R.depth s.R.max_leaf_support
+          end
+        done;
+        raise Exit
+      end;
+      if String.lowercase_ascii gate = "auto" then begin
+        (* per-output gate selection *)
+        for i = 0 to Circuit.n_outputs c - 1 do
+          let g, r =
+            Pipeline.decompose_output_auto ~per_po_budget:budget c i method_
+          in
+          (match g with
+          | Some g -> Printf.printf "[%s] " (Gate.to_string g)
+          | None -> Printf.printf "[-]   ");
+          print_po_result r
+        done;
+        raise Exit
+      end;
+      let gate = Gate.of_string gate in
+      let engine =
+        Option.map
+          (fun e ->
+            match String.lowercase_ascii e with
+            | "quantify" | "q" -> Extract.Quantify
+            | "interpolate" | "interp" | "i" -> Extract.Interpolate
+            | other -> failwith (Printf.sprintf "unknown engine %S" other))
+          extract
+      in
+      let handle_po (r : Pipeline.po_result) =
+        print_po_result r;
+        match (r.Pipeline.partition, engine) with
+        | Some part, Some engine ->
+            let p =
+              Problem.of_edge c.Circuit.aig
+                (Circuit.find_output c r.Pipeline.po_name)
+            in
+            let e = Extract.run ~engine p gate part in
+            Printf.printf "  fA cone=%d fB cone=%d"
+              (Aig.cone_size c.Circuit.aig e.Extract.fa)
+              (Aig.cone_size c.Circuit.aig e.Extract.fb);
+            if verify_ then
+              Printf.printf " verified=%b"
+                (Verify.decomposition p gate part ~fa:e.Extract.fa
+                   ~fb:e.Extract.fb);
+            print_newline ()
+        | _, _ -> ()
+      in
+      (match po with
+      | Some i ->
+          handle_po (Pipeline.decompose_output ~per_po_budget:budget c i gate method_)
+      | None ->
+          let r = Pipeline.run ~per_po_budget:budget c gate method_ in
+          Array.iter handle_po r.Pipeline.per_po;
+          Printf.printf "== %s %s %s: #Dec=%d/%d CPU=%.2fs\n"
+            r.Pipeline.circuit_name
+            (Pipeline.method_name r.Pipeline.method_used)
+            (Gate.to_string r.Pipeline.gate_used)
+            r.Pipeline.n_decomposed
+            (Array.length r.Pipeline.per_po)
+            r.Pipeline.total_cpu);
+      ()
+    with
+    | () | exception Exit -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Bi-decompose the primary outputs of a circuit." in
+  Cmd.v
+    (Cmd.info "decompose" ~doc)
+    Term.(
+      ret
+        (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg $ po_arg
+       $ extract_arg $ verify_flag $ recursive_flag))
+
+(* ---------- report / compare / convert ---------- *)
+
+let report_cmd =
+  let format_arg =
+    let doc = "Output format: text, csv, markdown." in
+    Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
+  in
+  let run path gate method_ budget format =
+    match
+      let gate = Gate.of_string gate in
+      let method_ = Pipeline.method_of_string method_ in
+      let c = load_circuit path in
+      let r = Pipeline.run ~per_po_budget:budget c gate method_ in
+      let text =
+        match String.lowercase_ascii format with
+        | "text" -> Step_core.Report.to_text r
+        | "csv" -> Step_core.Report.to_csv r
+        | "markdown" | "md" -> Step_core.Report.to_markdown r
+        | other -> failwith (Printf.sprintf "unknown format %S" other)
+      in
+      print_string text
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Decompose a circuit and render a structured report." in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
+         $ format_arg))
+
+let compare_cmd =
+  let baseline_arg =
+    let doc = "Baseline method." in
+    Arg.(value & opt string "mg" & info [ "baseline" ] ~docv:"METHOD" ~doc)
+  in
+  let metric_arg =
+    let doc = "Metric: disjointness, balancedness, cost." in
+    Arg.(value & opt string "disjointness" & info [ "metric" ] ~docv:"M" ~doc)
+  in
+  let run path gate method_ budget baseline metric =
+    match
+      let gate = Gate.of_string gate in
+      let c = load_circuit path in
+      let challenger =
+        Pipeline.run ~per_po_budget:budget c gate
+          (Pipeline.method_of_string method_)
+      in
+      let baseline =
+        Pipeline.run ~per_po_budget:budget c gate
+          (Pipeline.method_of_string baseline)
+      in
+      let metric =
+        match String.lowercase_ascii metric with
+        | "disjointness" | "ed" -> Partition.disjointness
+        | "balancedness" | "eb" -> Partition.balancedness
+        | "cost" | "sum" -> fun p -> Partition.cost p
+        | other -> failwith (Printf.sprintf "unknown metric %S" other)
+      in
+      print_string (Step_core.Report.compare_table ~baseline ~challenger ~metric)
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Compare two partitioning methods on a circuit, per output." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
+         $ baseline_arg $ metric_arg))
+
+let convert_cmd =
+  let out_arg =
+    let doc = "Output file; the extension (.blif or .aag) picks the format." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let run path out =
+    match
+      let c = load_circuit path in
+      if Filename.check_suffix out ".aag" then Aag.write_file out c
+      else if Filename.check_suffix out ".aig" then
+        Step_aig.Aig_bin.write_file out c
+      else if Filename.check_suffix out ".blif" then Blif.write_file out c
+      else failwith "output must end in .blif, .aag or .aig"
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Convert circuits between BLIF and ASCII AIGER." in
+  Cmd.v (Cmd.info "convert" ~doc) Term.(ret (const run $ circuit_arg $ out_arg))
+
+(* ---------- generate ---------- *)
+
+let generate_cmd =
+  let kind_arg =
+    let doc = "Generator: adder, multiplier, comparator, parity, mux, decoder, alu, random, planted." in
+    Arg.(value & opt string "adder" & info [ "kind"; "k" ] ~docv:"KIND" ~doc)
+  in
+  let size_arg =
+    let doc = "Size parameter." in
+    Arg.(value & opt int 4 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed for randomized generators." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let out_arg =
+    let doc = "Output BLIF file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run kind n seed out =
+    match
+      let c =
+        match String.lowercase_ascii kind with
+        | "adder" -> Generators.ripple_adder n
+        | "multiplier" | "mul" -> Generators.multiplier n
+        | "comparator" | "cmp" -> Generators.comparator n
+        | "parity" -> Generators.parity n
+        | "mux" -> Generators.mux_tree n
+        | "decoder" -> Generators.decoder n
+        | "alu" -> Generators.alu n
+        | "random" ->
+            Generators.random_dag ~seed ~n_inputs:n ~n_gates:(4 * n)
+              ~n_outputs:(max 1 (n / 2))
+        | "planted" ->
+            (Generators.planted_cone ~seed ~na:(n / 3) ~nb:(n / 3)
+               ~nc:(n - (2 * (n / 3)))
+               Gate.Or_gate)
+              .Generators.circuit
+        | other -> failwith (Printf.sprintf "unknown generator %S" other)
+      in
+      let text = Blif.to_string c in
+      if out = "-" then print_string text
+      else begin
+        let oc = open_out out in
+        output_string oc text;
+        close_out oc
+      end
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Generate a benchmark circuit and write it as BLIF." in
+  Cmd.v
+    (Cmd.info "generate" ~doc)
+    Term.(ret (const run $ kind_arg $ size_arg $ seed_arg $ out_arg))
+
+(* ---------- sat / qbf ---------- *)
+
+let sat_cmd =
+  let file_arg =
+    let doc = "DIMACS CNF file." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let drat_flag =
+    let doc = "On UNSAT, emit a DRAT certificate and self-check it." in
+    Arg.(value & flag & info [ "drat" ] ~doc)
+  in
+  let run file drat =
+    let cnf = Step_sat.Dimacs.parse_file file in
+    let solver = Step_sat.Solver.create ~proof:drat () in
+    ignore (Step_sat.Dimacs.load_into solver cnf);
+    if Step_sat.Solver.solve solver then begin
+      print_endline "s SATISFIABLE";
+      let values =
+        List.init (Step_sat.Solver.n_vars solver) (fun v ->
+            let l = Step_sat.Lit.pos v in
+            Step_sat.Lit.to_string
+              (if Step_sat.Solver.model_value solver l then l
+               else Step_sat.Lit.negate l))
+      in
+      Printf.printf "v %s 0\n" (String.concat " " values)
+    end
+    else begin
+      print_endline "s UNSATISFIABLE";
+      if drat then begin
+        let trace = Step_sat.Drat.export solver in
+        let ok =
+          Step_sat.Drat.check ~cnf:cnf.Step_sat.Dimacs.clauses ~trace
+        in
+        Printf.printf "c DRAT certificate: %d clauses, self-check %s\n"
+          (List.length trace)
+          (if ok then "PASSED" else "FAILED");
+        print_string (Step_sat.Drat.export_string solver)
+      end
+    end;
+    `Ok ()
+  in
+  let doc = "Solve a DIMACS CNF file with the built-in CDCL solver." in
+  Cmd.v (Cmd.info "sat" ~doc) Term.(ret (const run $ file_arg $ drat_flag))
+
+let qbf_cmd =
+  let file_arg =
+    let doc = "QDIMACS file (at most two quantifier levels)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match
+      let q = Step_qbf.Qdimacs.parse_file file in
+      match Step_qbf.Qdimacs.solve q with
+      | Step_qbf.Qdimacs.True -> print_endline "s cnf 1 (TRUE)"
+      | Step_qbf.Qdimacs.False -> print_endline "s cnf 0 (FALSE)"
+      | Step_qbf.Qdimacs.Unknown -> print_endline "s cnf -1 (UNKNOWN)"
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc = "Decide a 2QBF QDIMACS formula with the CEGAR engine." in
+  Cmd.v (Cmd.info "qbf" ~doc) Term.(ret (const run $ file_arg))
+
+let export_qbf_cmd =
+  let po_arg =
+    let doc = "Primary-output index to export." in
+    Arg.(value & opt int 0 & info [ "po" ] ~docv:"INDEX" ~doc)
+  in
+  let k_arg =
+    let doc = "Target bound k (default: loosest, n-2)." in
+    Arg.(value & opt (some int) None & info [ "bound"; "k" ] ~docv:"K" ~doc)
+  in
+  let target_arg =
+    let doc = "Target: disjointness, balancedness, combined." in
+    Arg.(value & opt string "disjointness" & info [ "target" ] ~docv:"T" ~doc)
+  in
+  let out_arg =
+    let doc = "Output QDIMACS file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run path po k target out =
+    match
+      let c = load_circuit path in
+      let p = Problem.of_edge c.Circuit.aig (Circuit.output c po) in
+      let target =
+        match String.lowercase_ascii target with
+        | "disjointness" | "qd" -> Step_core.Qbf_model.Disjointness
+        | "balancedness" | "qb" -> Step_core.Qbf_model.Balancedness
+        | "combined" | "qdb" -> Step_core.Qbf_model.Combined
+        | other -> failwith (Printf.sprintf "unknown target %S" other)
+      in
+      let text = Step_core.Qbf_export.or_model ?k ~target p in
+      if out = "-" then print_string text
+      else begin
+        let oc = open_out out in
+        output_string oc text;
+        close_out oc
+      end
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+  in
+  let doc =
+    "Export the paper's negated QBF model (9) for one output as QDIMACS."
+  in
+  Cmd.v (Cmd.info "export-qbf" ~doc)
+    Term.(
+      ret (const run $ circuit_arg $ po_arg $ k_arg $ target_arg $ out_arg))
+
+(* ---------- suite ---------- *)
+
+let suite_cmd =
+  let run () =
+    List.iter
+      (fun (name, s) ->
+        Printf.printf "%-12s paper: #In=%-5d #InM=%-4d #Out=%d\n" name
+          s.Suite.p_in s.Suite.p_inm s.Suite.p_out)
+      Suite.paper_table1;
+    `Ok ()
+  in
+  let doc = "List the named benchmark suite (Table I circuits)." in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(ret (const run $ const ()))
+
+let main_cmd =
+  let doc = "QBF-based Boolean function bi-decomposition (STEP)" in
+  let info = Cmd.info "step" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      stats_cmd;
+      decompose_cmd;
+      report_cmd;
+      compare_cmd;
+      convert_cmd;
+      generate_cmd;
+      suite_cmd;
+      sat_cmd;
+      qbf_cmd;
+      export_qbf_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

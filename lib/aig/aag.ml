@@ -1,0 +1,175 @@
+let words s =
+  String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let parse_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | [] -> failwith "Aag: empty file"
+  | header :: rest -> begin
+      match words header with
+      | [ "aag"; m; i; l; o; a ] ->
+          let m = int_of_string m
+          and ni = int_of_string i
+          and nl = int_of_string l
+          and no = int_of_string o
+          and na = int_of_string a in
+          let rest = Array.of_list rest in
+          if Array.length rest < ni + nl + no + na then
+            failwith "Aag: truncated file";
+          let aig = Aig.create () in
+          (* aiger lit -> aig edge mapping by variable *)
+          let map = Array.make (m + 1) (-1) in
+          map.(0) <- Aig.f;
+          let edge_of lit =
+            let v = lit / 2 in
+            if v > m then failwith "Aag: literal out of range";
+            if map.(v) < 0 then failwith "Aag: forward reference";
+            if lit land 1 = 1 then Aig.not_ map.(v) else map.(v)
+          in
+          let line k = rest.(k) in
+          (* inputs *)
+          for k = 0 to ni - 1 do
+            let lit = int_of_string (line k) in
+            if lit land 1 = 1 || lit = 0 then failwith "Aag: bad input literal";
+            map.(lit / 2) <- Aig.fresh_input aig
+          done;
+          (* latch outputs become fresh inputs; remember next-state lits *)
+          let latch_next = Array.make nl 0 in
+          for k = 0 to nl - 1 do
+            match words (line (ni + k)) with
+            | q :: d :: _ ->
+                let q = int_of_string q and d = int_of_string d in
+                if q land 1 = 1 || q = 0 then failwith "Aag: bad latch literal";
+                map.(q / 2) <- Aig.fresh_input aig;
+                latch_next.(k) <- d
+            | _ -> failwith "Aag: malformed latch line"
+          done;
+          let out_lits =
+            Array.init no (fun k -> int_of_string (line (ni + nl + k)))
+          in
+          (* and gates: the format guarantees lhs > rhs, so a single
+             in-order pass resolves all references *)
+          for k = 0 to na - 1 do
+            match words (line (ni + nl + no + k)) with
+            | [ lhs; r0; r1 ] ->
+                let lhs = int_of_string lhs in
+                if lhs land 1 = 1 then failwith "Aag: complemented AND lhs";
+                let g = Aig.and_ aig (edge_of (int_of_string r0))
+                    (edge_of (int_of_string r1)) in
+                map.(lhs / 2) <- g
+            | _ -> failwith "Aag: malformed and line"
+          done;
+          (* symbol table *)
+          let sym_in = Hashtbl.create 16 and sym_out = Hashtbl.create 16 in
+          for k = ni + nl + no + na to Array.length rest - 1 do
+            let s = line k in
+            if String.length s >= 2 then begin
+              match s.[0] with
+              | 'i' | 'l' | 'o' -> begin
+                  match String.index_opt s ' ' with
+                  | Some sp ->
+                      let idx = int_of_string (String.sub s 1 (sp - 1)) in
+                      let name =
+                        String.sub s (sp + 1) (String.length s - sp - 1)
+                      in
+                      if s.[0] = 'o' then Hashtbl.replace sym_out idx name
+                      else if s.[0] = 'i' then Hashtbl.replace sym_in idx name
+                      else Hashtbl.replace sym_in (ni + idx) name
+                  | None -> ()
+                end
+              | 'c' -> ()
+              | _ -> ()
+            end
+          done;
+          Hashtbl.iter (fun idx name -> Aig.set_input_name aig idx name) sym_in;
+          let name_out k =
+            match Hashtbl.find_opt sym_out k with
+            | Some n -> n
+            | None -> "o" ^ string_of_int k
+          in
+          let outputs =
+            List.init no (fun k -> (name_out k, edge_of out_lits.(k)))
+            @ List.init nl (fun k ->
+                  (Printf.sprintf "l%d$in" k, edge_of latch_next.(k)))
+          in
+          Circuit.make ~name:"aag" aig outputs
+      | _ -> failwith "Aag: bad header"
+    end
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let to_string (c : Circuit.t) =
+  let aig = c.Circuit.aig in
+  (* renumber: inputs get aiger vars 1..I, then AND nodes of the output
+     cones in topological (node id) order *)
+  let es = Array.to_list (Array.map snd c.Circuit.outputs) in
+  let ni = Aig.n_inputs aig in
+  let var_of = Hashtbl.create 64 in
+  Hashtbl.replace var_of 0 0;
+  for i = 0 to ni - 1 do
+    Hashtbl.replace var_of (Aig.node_of (Aig.input aig i)) (i + 1)
+  done;
+  (* collect AND nodes in the cones, ascending ids *)
+  let seen = Hashtbl.create 64 in
+  let ands = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      if not (Aig.is_input_edge aig (2 * id)) && id <> 0 then begin
+        let f0, f1 = Aig.fanins aig id in
+        visit (Aig.node_of f0);
+        visit (Aig.node_of f1);
+        ands := id :: !ands
+      end
+    end
+  in
+  List.iter (fun e -> visit (Aig.node_of e)) es;
+  let ands = List.rev !ands in
+  let next = ref (ni + 1) in
+  List.iter
+    (fun id ->
+      Hashtbl.replace var_of id !next;
+      incr next)
+    ands;
+  let lit_of e =
+    let v = Hashtbl.find var_of (Aig.node_of e) in
+    (2 * v) + if Aig.is_complement e then 1 else 0
+  in
+  let na = List.length ands in
+  let m = ni + na in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aag %d %d 0 %d %d\n" m ni (List.length es) na);
+  for i = 1 to ni do
+    Buffer.add_string buf (Printf.sprintf "%d\n" (2 * i))
+  done;
+  List.iter (fun e -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_of e))) es;
+  List.iter
+    (fun id ->
+      let f0, f1 = Aig.fanins aig id in
+      let l0 = lit_of f0 and l1 = lit_of f1 in
+      let hi = max l0 l1 and lo = min l0 l1 in
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d\n" (2 * Hashtbl.find var_of id) hi lo))
+    ands;
+  for i = 0 to ni - 1 do
+    Buffer.add_string buf (Printf.sprintf "i%d %s\n" i (Aig.input_name aig i))
+  done;
+  Array.iteri
+    (fun k (name, _) -> Buffer.add_string buf (Printf.sprintf "o%d %s\n" k name))
+    c.Circuit.outputs;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,15 @@
+(** ASCII AIGER (.aag) reading and writing.
+
+    Combinational subset: latches are converted on load the same way as in
+    {!Blif} (latch outputs become inputs, latch next-state functions become
+    extra outputs). Symbol-table entries for inputs and outputs are honored
+    and emitted. *)
+
+val parse_string : string -> Circuit.t
+(** @raise Failure on malformed input. *)
+
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+
+val write_file : string -> Circuit.t -> unit

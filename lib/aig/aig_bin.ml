@@ -1,0 +1,186 @@
+(* Binary AIGER. Header "aig M I L O A"; outputs as ASCII literal lines;
+   then A gates, each two LEB128 deltas: for the i-th AND with implicit
+   lhs = 2*(I + L + i + 1), delta0 = lhs - rhs0 and delta1 = rhs0 - rhs1
+   with lhs > rhs0 >= rhs1. *)
+
+let parse_bytes data =
+  let pos = ref 0 in
+  let len = Bytes.length data in
+  let read_line () =
+    let start = !pos in
+    while !pos < len && Bytes.get data !pos <> '\n' do
+      incr pos
+    done;
+    let line = Bytes.sub_string data start (!pos - start) in
+    if !pos < len then incr pos;
+    line
+  in
+  let read_delta () =
+    let rec go shift acc =
+      if !pos >= len then failwith "Aig_bin: truncated delta";
+      let b = Char.code (Bytes.get data !pos) in
+      incr pos;
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+  in
+  let header = read_line () in
+  match
+    String.split_on_char ' ' header |> List.filter (fun s -> s <> "")
+  with
+  | [ "aig"; m; i; l; o; a ] ->
+      let _m = int_of_string m
+      and ni = int_of_string i
+      and nl = int_of_string l
+      and no = int_of_string o
+      and na = int_of_string a in
+      let aig = Aig.create () in
+      let map = Array.make (_m + 1) (-1) in
+      map.(0) <- Aig.f;
+      for k = 1 to ni do
+        map.(k) <- Aig.fresh_input ~name:(Printf.sprintf "i%d" (k - 1)) aig
+      done;
+      (* latch current-state become inputs; next-state literals follow *)
+      let latch_next = Array.make nl 0 in
+      for k = 0 to nl - 1 do
+        map.(ni + k + 1) <- Aig.fresh_input ~name:(Printf.sprintf "l%d" k) aig;
+        latch_next.(k) <- int_of_string (String.trim (read_line ()))
+      done;
+      let out_lits = Array.init no (fun _ -> int_of_string (String.trim (read_line ()))) in
+      let edge_of lit =
+        let v = lit / 2 in
+        if v > _m || map.(v) < 0 then failwith "Aig_bin: bad literal";
+        if lit land 1 = 1 then Aig.not_ map.(v) else map.(v)
+      in
+      for k = 0 to na - 1 do
+        let lhs = 2 * (ni + nl + k + 1) in
+        let d0 = read_delta () in
+        let d1 = read_delta () in
+        let rhs0 = lhs - d0 in
+        let rhs1 = rhs0 - d1 in
+        if rhs0 < 0 || rhs1 < 0 then failwith "Aig_bin: bad deltas";
+        map.(lhs / 2) <- Aig.and_ aig (edge_of rhs0) (edge_of rhs1)
+      done;
+      (* optional symbol table *)
+      let out_names = Hashtbl.create 8 in
+      let rec symbols () =
+        if !pos < len then begin
+          let line = read_line () in
+          if line = "c" then ()
+          else begin
+            (match String.index_opt line ' ' with
+            | Some sp when String.length line > 1 -> begin
+                let tag = line.[0] in
+                let idx = int_of_string (String.sub line 1 (sp - 1)) in
+                let name = String.sub line (sp + 1) (String.length line - sp - 1) in
+                match tag with
+                | 'i' -> Aig.set_input_name aig idx name
+                | 'l' -> Aig.set_input_name aig (ni + idx) name
+                | 'o' -> Hashtbl.replace out_names idx name
+                | _ -> ()
+              end
+            | Some _ | None -> ());
+            symbols ()
+          end
+        end
+      in
+      symbols ();
+      let out_name k =
+        match Hashtbl.find_opt out_names k with
+        | Some n -> n
+        | None -> Printf.sprintf "o%d" k
+      in
+      let outputs =
+        List.init no (fun k -> (out_name k, edge_of out_lits.(k)))
+        @ List.init nl (fun k ->
+              (Printf.sprintf "l%d$in" k, edge_of latch_next.(k)))
+      in
+      Circuit.make ~name:"aig" aig outputs
+  | _ -> failwith "Aig_bin: bad header"
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let data = Bytes.create n in
+  really_input ic data 0 n;
+  close_in ic;
+  parse_bytes data
+
+let to_bytes (c : Circuit.t) =
+  let aig = c.Circuit.aig in
+  let es = Array.to_list (Array.map snd c.Circuit.outputs) in
+  let ni = Aig.n_inputs aig in
+  (* renumber as in Aag.to_string: inputs 1..I, then cone ANDs in
+     topological order *)
+  let var_of = Hashtbl.create 64 in
+  Hashtbl.replace var_of 0 0;
+  for i = 0 to ni - 1 do
+    Hashtbl.replace var_of (Aig.node_of (Aig.input aig i)) (i + 1)
+  done;
+  let seen = Hashtbl.create 64 in
+  let ands = ref [] in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      if (not (Aig.is_input_edge aig (2 * id))) && id <> 0 then begin
+        let f0, f1 = Aig.fanins aig id in
+        visit (Aig.node_of f0);
+        visit (Aig.node_of f1);
+        ands := id :: !ands
+      end
+    end
+  in
+  List.iter (fun e -> visit (Aig.node_of e)) es;
+  let ands = List.rev !ands in
+  let next = ref (ni + 1) in
+  List.iter
+    (fun id ->
+      Hashtbl.replace var_of id !next;
+      incr next)
+    ands;
+  let lit_of e =
+    (2 * Hashtbl.find var_of (Aig.node_of e))
+    + if Aig.is_complement e then 1 else 0
+  in
+  let na = List.length ands in
+  let m = ni + na in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "aig %d %d 0 %d %d\n" m ni (List.length es) na);
+  List.iter
+    (fun e -> Buffer.add_string buf (Printf.sprintf "%d\n" (lit_of e)))
+    es;
+  let add_delta d =
+    let rec go d =
+      if d < 0x80 then Buffer.add_char buf (Char.chr d)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (d land 0x7f)));
+        go (d lsr 7)
+      end
+    in
+    go d
+  in
+  List.iteri
+    (fun k id ->
+      let f0, f1 = Aig.fanins aig id in
+      let l0 = lit_of f0 and l1 = lit_of f1 in
+      let rhs0 = max l0 l1 and rhs1 = min l0 l1 in
+      let lhs = 2 * (ni + k + 1) in
+      assert (lhs > rhs0);
+      add_delta (lhs - rhs0);
+      add_delta (rhs0 - rhs1))
+    ands;
+  for i = 0 to ni - 1 do
+    Buffer.add_string buf (Printf.sprintf "i%d %s\n" i (Aig.input_name aig i))
+  done;
+  Array.iteri
+    (fun k (name, _) ->
+      Buffer.add_string buf (Printf.sprintf "o%d %s\n" k name))
+    c.Circuit.outputs;
+  Bytes.of_string (Buffer.contents buf)
+
+let write_file path c =
+  let oc = open_out_bin path in
+  output_bytes oc (to_bytes c);
+  close_out oc

@@ -1,0 +1,14 @@
+(** Binary AIGER (.aig) reading and writing.
+
+    The compact format used by hardware model-checking benchmark suites:
+    implicit input numbering and LEB128-style delta-encoded AND gates.
+    Latches are converted on load exactly as in {!Blif} / {!Aag}. *)
+
+val parse_file : string -> Circuit.t
+(** @raise Failure on malformed input. *)
+
+val parse_bytes : bytes -> Circuit.t
+
+val write_file : string -> Circuit.t -> unit
+
+val to_bytes : Circuit.t -> bytes

@@ -1,0 +1,243 @@
+(* Parsing goes in two passes: first collect .names tables and latches,
+   then elaborate signals into AIG edges on demand (memoized, with an
+   in-progress mark to catch combinational cycles). *)
+
+type gate = { gate_inputs : string list; cover : (string * char) list }
+
+type statements = {
+  mutable model : string;
+  mutable pis : string list; (* reversed *)
+  mutable pos_ : string list; (* reversed *)
+  mutable gates : (string, gate) Hashtbl.t;
+  mutable latches : (string * string) list; (* (data input, output) *)
+}
+
+let tokenize_lines text =
+  (* splits into logical lines, handling continuations and comments *)
+  let raw = String.split_on_char '\n' text in
+  let rec glue acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        if String.length line > 0 && line.[String.length line - 1] = '\\' then
+          glue acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+        else begin
+          let full = pending ^ line in
+          if String.trim full = "" then glue acc "" rest
+          else glue (String.trim full :: acc) "" rest
+        end
+  in
+  glue [] "" raw
+
+let words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let collect lines =
+  let st =
+    {
+      model = "blif";
+      pis = [];
+      pos_ = [];
+      gates = Hashtbl.create 64;
+      latches = [];
+    }
+  in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some (out, gate_inputs, cover) ->
+        Hashtbl.replace st.gates out { gate_inputs; cover = List.rev cover };
+        current := None
+  in
+  let handle line =
+    match words line with
+    | [] -> ()
+    | w :: args when String.length w > 0 && w.[0] = '.' -> begin
+        flush ();
+        match (w, args) with
+        | ".model", name :: _ -> st.model <- name
+        | ".model", [] -> ()
+        | ".inputs", names -> st.pis <- List.rev_append names st.pis
+        | ".outputs", names -> st.pos_ <- List.rev_append names st.pos_
+        | ".names", [] -> failwith "Blif: .names without signals"
+        | ".names", signals -> begin
+            match List.rev signals with
+            | out :: rins -> current := Some (out, List.rev rins, [])
+            | [] -> assert false
+          end
+        | ".latch", input :: output :: _ ->
+            st.latches <- (input, output) :: st.latches
+        | ".latch", _ -> failwith "Blif: malformed .latch"
+        | ".end", _ -> ()
+        | (".exdc" | ".wire_load_slope" | ".gate" | ".mlatch"), _ ->
+            failwith (Printf.sprintf "Blif: unsupported construct %s" w)
+        | _, _ -> () (* ignore unknown dot-directives *)
+      end
+    | [ pattern; value ] when !current <> None -> begin
+        match !current with
+        | Some (out, ins, cover) ->
+            if value <> "1" && value <> "0" then
+              failwith "Blif: cover output must be 0 or 1";
+            current := Some (out, ins, (pattern, value.[0]) :: cover)
+        | None -> assert false
+      end
+    | [ value ] when !current <> None -> begin
+        (* constant gate: cover line with no input pattern *)
+        match !current with
+        | Some (out, ins, cover) ->
+            if ins <> [] then
+              failwith "Blif: pattern missing for non-constant cover";
+            if value <> "1" && value <> "0" then
+              failwith "Blif: cover output must be 0 or 1";
+            current := Some (out, ins, ("", value.[0]) :: cover)
+        | None -> assert false
+      end
+    | w :: _ -> failwith (Printf.sprintf "Blif: unexpected token %S" w)
+  in
+  List.iter handle lines;
+  flush ();
+  st
+
+let elaborate st =
+  let aig = Aig.create () in
+  let env : (string, Aig.lit option) Hashtbl.t = Hashtbl.create 64 in
+  (* primary inputs, then latch outputs as pseudo-inputs *)
+  let add_pi name =
+    if not (Hashtbl.mem env name) then
+      Hashtbl.replace env name (Some (Aig.fresh_input ~name aig))
+  in
+  List.iter add_pi (List.rev st.pis);
+  List.iter (fun (_, out) -> add_pi out) (List.rev st.latches);
+  let rec signal name =
+    match Hashtbl.find_opt env name with
+    | Some (Some e) -> e
+    | Some None -> failwith (Printf.sprintf "Blif: combinational loop at %s" name)
+    | None -> begin
+        match Hashtbl.find_opt st.gates name with
+        | None -> failwith (Printf.sprintf "Blif: undefined signal %s" name)
+        | Some g ->
+            Hashtbl.replace env name None;
+            let ins = List.map signal g.gate_inputs in
+            let cube pattern =
+              if String.length pattern <> List.length ins then
+                failwith
+                  (Printf.sprintf "Blif: cover arity mismatch for %s" name);
+              let lits =
+                List.mapi
+                  (fun i e ->
+                    match pattern.[i] with
+                    | '1' -> e
+                    | '0' -> Aig.not_ e
+                    | '-' -> Aig.t_
+                    | c ->
+                        failwith
+                          (Printf.sprintf "Blif: bad cover char %c" c))
+                  ins
+              in
+              Aig.and_list aig lits
+            in
+            let ones = List.filter (fun (_, v) -> v = '1') g.cover in
+            let zeros = List.filter (fun (_, v) -> v = '0') g.cover in
+            let e =
+              match (ones, zeros) with
+              | [], [] -> Aig.f
+              | _, [] -> Aig.or_list aig (List.map (fun (p, _) -> cube p) ones)
+              | [], _ ->
+                  Aig.not_
+                    (Aig.or_list aig (List.map (fun (p, _) -> cube p) zeros))
+              | _, _ -> failwith "Blif: mixed on-set/off-set cover"
+            in
+            Hashtbl.replace env name (Some e);
+            e
+      end
+  in
+  let outputs =
+    List.map (fun name -> (name, signal name)) (List.rev st.pos_)
+    @ List.map
+        (fun (input, out) -> (out ^ "$in", signal input))
+        (List.rev st.latches)
+  in
+  Circuit.make ~name:st.model aig outputs
+
+let parse_string text = elaborate (collect (tokenize_lines text))
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+(* ---------- writing ---------- *)
+
+let to_string (c : Circuit.t) =
+  let aig = c.Circuit.aig in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" c.Circuit.name);
+  let input_names =
+    List.init (Aig.n_inputs aig) (fun i -> Aig.input_name aig i)
+  in
+  Buffer.add_string buf ".inputs";
+  List.iter (fun n -> Buffer.add_string buf (" " ^ n)) input_names;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf ".outputs";
+  Array.iter
+    (fun (n, _) -> Buffer.add_string buf (" " ^ n))
+    c.Circuit.outputs;
+  Buffer.add_char buf '\n';
+  (* name of the signal for an uncomplemented node *)
+  let node_name id =
+    if Aig.is_input_edge aig (2 * id) then
+      Aig.input_name aig (Aig.input_index aig (2 * id))
+    else "n" ^ string_of_int id
+  in
+  let emitted = Hashtbl.create 64 in
+  let rec emit id =
+    if (not (Hashtbl.mem emitted id)) && not (Aig.is_input_edge aig (2 * id))
+    then begin
+      Hashtbl.replace emitted id ();
+      if id <> 0 then begin
+        let f0, f1 = Aig.fanins aig id in
+        emit (Aig.node_of f0);
+        emit (Aig.node_of f1);
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s %s\n%c%c 1\n"
+             (node_name (Aig.node_of f0))
+             (node_name (Aig.node_of f1))
+             (node_name id)
+             (if Aig.is_complement f0 then '0' else '1')
+             (if Aig.is_complement f1 then '0' else '1'))
+      end
+    end
+  in
+  Array.iter
+    (fun (po_name, e) ->
+      let id = Aig.node_of e in
+      if id = 0 then
+        (* constant output *)
+        Buffer.add_string buf
+          (if Aig.is_complement e then
+             Printf.sprintf ".names %s\n1\n" po_name
+           else Printf.sprintf ".names %s\n" po_name)
+      else begin
+        emit id;
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n%c 1\n" (node_name id) po_name
+             (if Aig.is_complement e then '0' else '1'))
+      end)
+    c.Circuit.outputs;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

@@ -1,0 +1,82 @@
+type cut = int list
+
+let union_bounded k a b =
+  (* merge two sorted lists; None if the union exceeds k *)
+  let rec go a b acc n =
+    if n > k then None
+    else
+      match (a, b) with
+      | [], rest | rest, [] ->
+          if n + List.length rest > k then None
+          else Some (List.rev_append acc rest)
+      | x :: a', y :: b' ->
+          if x = y then go a' b' (x :: acc) (n + 1)
+          else if x < y then go a' b (x :: acc) (n + 1)
+          else go a b' (y :: acc) (n + 1)
+  in
+  go a b [] 0
+
+let subset a b = List.for_all (fun x -> List.mem x b) a
+
+(* remove dominated cuts (supersets of another cut) and cap the list *)
+let prune limit cuts =
+  let cuts = List.sort_uniq compare cuts in
+  let minimal =
+    List.filter
+      (fun c -> not (List.exists (fun c' -> c' <> c && subset c' c) cuts))
+      cuts
+  in
+  (* prefer smaller cuts when capping *)
+  let by_size = List.sort (fun a b -> compare (List.length a) (List.length b)) minimal in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take limit by_size
+
+let enumerate ?(per_node_limit = 64) m ~k e =
+  if k < 1 then invalid_arg "Cuts.enumerate";
+  let memo : (int, cut list) Hashtbl.t = Hashtbl.create 64 in
+  let rec cuts_of id =
+    match Hashtbl.find_opt memo id with
+    | Some cs -> cs
+    | None ->
+        let cs =
+          if id = 0 || Aig.is_input_edge m (2 * id) then [ [ id ] ]
+          else begin
+            let f0, f1 = Aig.fanins m id in
+            let c0 = cuts_of (Aig.node_of f0) in
+            let c1 = cuts_of (Aig.node_of f1) in
+            let merged =
+              List.concat_map
+                (fun a ->
+                  List.filter_map (fun b -> union_bounded k a b) c1)
+                c0
+            in
+            prune per_node_limit ([ id ] :: merged)
+          end
+        in
+        Hashtbl.replace memo id cs;
+        cs
+  in
+  cuts_of (Aig.node_of e)
+
+let is_cut m e cut =
+  let target = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace target id ()) cut;
+  let seen = Hashtbl.create 64 in
+  let ok = ref true in
+  let rec go id =
+    if (not (Hashtbl.mem seen id)) && not (Hashtbl.mem target id) then begin
+      Hashtbl.replace seen id ();
+      if id = 0 || Aig.is_input_edge m (2 * id) then ok := false
+      else begin
+        let f0, f1 = Aig.fanins m id in
+        go (Aig.node_of f0);
+        go (Aig.node_of f1)
+      end
+    end
+  in
+  go (Aig.node_of e);
+  !ok

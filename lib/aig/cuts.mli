@@ -1,0 +1,22 @@
+(** K-feasible cut enumeration.
+
+    A {e cut} of a node is a set of nodes (leaves) such that every path
+    from the inputs to the node passes through the set; k-feasible cuts
+    (at most [k] leaves) are the basic objects of FPGA technology mapping,
+    one of the applications motivating the paper's introduction. Standard
+    bottom-up enumeration with superset (dominance) pruning and a per-node
+    cap to keep the sets manageable. *)
+
+type cut = int list
+(** Sorted node ids. *)
+
+val enumerate :
+  ?per_node_limit:int -> Aig.t -> k:int -> Aig.lit -> cut list
+(** All (pruned) k-feasible cuts of the edge's node, including the trivial
+    cut [{node}]. Cuts are maximal-coverage first only up to the pruning
+    heuristics; the per-node cap (default 64) bounds work on wide cones.
+    @raise Invalid_argument if [k < 1]. *)
+
+val is_cut : Aig.t -> Aig.lit -> cut -> bool
+(** Checks the separation property: a DFS from the node that stops at cut
+    members reaches no other leaf (input or constant). Test oracle. *)

@@ -1,0 +1,172 @@
+(* One-level rule table for [smart_and]. For operands that are themselves
+   AND nodes we look one level down; every rule is a classic two-input
+   Boolean identity, so correctness is local. *)
+
+let fanins_opt m e =
+  if (not (Aig.is_complement e)) && not (Aig.is_const e) then
+    let id = Aig.node_of e in
+    if Aig.is_input_edge m (2 * id) then None
+    else Some (Aig.fanins m id)
+  else None
+
+(* fanins of the node under a complemented edge *)
+let nfanins_opt m e =
+  if Aig.is_complement e && not (Aig.is_const e) then
+    let id = Aig.node_of e in
+    if Aig.is_input_edge m (2 * id) then None
+    else Some (Aig.fanins m id)
+  else None
+
+let rec smart_and m a b =
+  if a = b then a
+  else if a = Aig.not_ b then Aig.f
+  else if a = Aig.f || b = Aig.f then Aig.f
+  else if a = Aig.t_ then b
+  else if b = Aig.t_ then a
+  else begin
+    let contradiction_or_absorb x y =
+      (* x is a positive AND with fanins (c, d) *)
+      match fanins_opt m x with
+      | Some (c, d) ->
+          if y = c || y = d then Some x (* (c∧d)∧c = c∧d *)
+          else if y = Aig.not_ c || y = Aig.not_ d then Some Aig.f
+          else None
+      | None -> None
+    in
+    let substitution x y =
+      (* x = ¬(c∧d); y∧¬(y∧d) = y∧¬d etc. *)
+      match nfanins_opt m x with
+      | Some (c, d) ->
+          if y = c then Some (smart_and m y (Aig.not_ d))
+          else if y = d then Some (smart_and m y (Aig.not_ c))
+          else if y = Aig.not_ c || y = Aig.not_ d then
+            Some y (* ¬(c∧d) ∧ ¬c = ¬c *)
+          else None
+      | None -> None
+    in
+    let rules =
+      [
+        (fun () -> contradiction_or_absorb a b);
+        (fun () -> contradiction_or_absorb b a);
+        (fun () -> substitution a b);
+        (fun () -> substitution b a);
+      ]
+    in
+    let rec apply = function
+      | [] -> Aig.and_ m a b
+      | r :: rest -> ( match r () with Some e -> e | None -> apply rest)
+    in
+    apply rules
+  end
+
+let rebuild_with node_and m e =
+  (* same traversal as Aig.compose but with a custom AND constructor *)
+  let rec go memo e =
+    let id = Aig.node_of e in
+    let base =
+      match Hashtbl.find_opt memo id with
+      | Some b -> b
+      | None ->
+          let b =
+            if id = 0 then Aig.f
+            else if Aig.is_input_edge m (2 * id) then 2 * id
+            else begin
+              let f0, f1 = Aig.fanins m id in
+              node_and (go memo f0) (go memo f1)
+            end
+          in
+          Hashtbl.replace memo id b;
+          b
+    in
+    if Aig.is_complement e then Aig.not_ base else base
+  in
+  go (Hashtbl.create 64) e
+
+let simplify m e = rebuild_with (smart_and m) m e
+
+let simplify_fixpoint ?(max_rounds = 4) m e =
+  let rec go rounds e size =
+    if rounds >= max_rounds then e
+    else begin
+      let e' = simplify m e in
+      let size' = Aig.cone_size m e' in
+      if size' < size then go (rounds + 1) e' size' else e'
+    end
+  in
+  go 0 e (Aig.cone_size m e)
+
+(* ---------- balancing ---------- *)
+
+let rec balanced_tree m = function
+  | [] -> Aig.t_
+  | [ e ] -> e
+  | leaves ->
+      let n = List.length leaves in
+      let rec split i acc = function
+        | rest when i = 0 -> (List.rev acc, rest)
+        | x :: rest -> split (i - 1) (x :: acc) rest
+        | [] -> (List.rev acc, [])
+      in
+      let l, r = split (n / 2) [] leaves in
+      Aig.and_ m (balanced_tree m l) (balanced_tree m r)
+
+(* Fanout counts of AND nodes within the cone of [root]. Chains are only
+   flattened through nodes referenced once, so balancing never duplicates
+   shared logic. *)
+let cone_refs m root =
+  let refs = Hashtbl.create 64 in
+  let bump id = Hashtbl.replace refs id (1 + Option.value ~default:0 (Hashtbl.find_opt refs id)) in
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if (not (Hashtbl.mem seen id)) && id <> 0
+       && not (Aig.is_input_edge m (2 * id))
+    then begin
+      Hashtbl.replace seen id ();
+      let f0, f1 = Aig.fanins m id in
+      bump (Aig.node_of f0);
+      bump (Aig.node_of f1);
+      go (Aig.node_of f0);
+      go (Aig.node_of f1)
+    end
+  in
+  go (Aig.node_of root);
+  refs
+
+let balance m root =
+  let refs = cone_refs m root in
+  let memo = Hashtbl.create 64 in
+  (* rebuilt edge for an original edge *)
+  let rec build e =
+    let id = Aig.node_of e in
+    let base =
+      match Hashtbl.find_opt memo id with
+      | Some b -> b
+      | None ->
+          let b =
+            if id = 0 then Aig.f
+            else if Aig.is_input_edge m (2 * id) then 2 * id
+            else begin
+              let f0, f1 = Aig.fanins m id in
+              balanced_tree m
+                (List.sort_uniq compare (collect f0 (collect f1 [])))
+            end
+          in
+          Hashtbl.replace memo id b;
+          b
+    in
+    if Aig.is_complement e then Aig.not_ base else base
+  (* leaves of the maximal single-fanout AND chain under an edge *)
+  and collect e acc =
+    let id = Aig.node_of e in
+    if
+      (not (Aig.is_complement e))
+      && id <> 0
+      && (not (Aig.is_input_edge m (2 * id)))
+      && Option.value ~default:1 (Hashtbl.find_opt refs id) <= 1
+    then begin
+      let f0, f1 = Aig.fanins m id in
+      collect f0 (collect f1 acc)
+    end
+    else build e :: acc
+  in
+  build root

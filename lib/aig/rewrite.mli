@@ -1,0 +1,25 @@
+(** Local AIG optimization passes.
+
+    The light-weight subset of ABC-style rewriting that this pipeline
+    benefits from: one-level Boolean simplification rules applied during a
+    rebuild ({!simplify}) and associative tree re-balancing for depth
+    ({!balance}). Both return an edge of the same manager with identical
+    Boolean semantics (property-tested); sizes never increase for
+    [simplify], depth never increases for [balance]. Used to clean up the
+    [fA]/[fB] cones produced by interpolation, which are correct but
+    redundant. *)
+
+val simplify : Aig.t -> Aig.lit -> Aig.lit
+(** Rebuilds the cone applying one-level rules on top of structural
+    hashing: containment/absorption [(a∧b)∧a = a∧b], contradiction
+    [(a∧b)∧¬a = 0], and substitution [a∧¬(a∧b) = a∧¬b], each in both
+    operand orders. Idempotent up to strashing. *)
+
+val balance : Aig.t -> Aig.lit -> Aig.lit
+(** Collects maximal same-operation chains (AND trees, and OR trees via
+    De Morgan) and rebuilds them as balanced binary trees, reducing logic
+    depth at equal node count. *)
+
+val simplify_fixpoint : ?max_rounds:int -> Aig.t -> Aig.lit -> Aig.lit
+(** Alternates {!simplify} until the cone size stops shrinking (at most
+    [max_rounds] rounds, default 4). *)

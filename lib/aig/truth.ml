@@ -1,0 +1,99 @@
+type t = { vars : int list; n : int; words : int64 array }
+
+let n_vars t = t.n
+
+let vars t = t.vars
+
+(* Word/bit addressing: assignment index j lives in word j/64, bit j mod 64.
+   For simulation, variable at bit position i < 6 has the constant pattern
+   with bit b set iff bit i of b is 1; position i >= 6 is constant within a
+   word and follows bit (i - 6) of the word index. *)
+let low_patterns =
+  [|
+    0xAAAAAAAAAAAAAAAAL;
+    0xCCCCCCCCCCCCCCCCL;
+    0xF0F0F0F0F0F0F0F0L;
+    0xFF00FF00FF00FF00L;
+    0xFFFF0000FFFF0000L;
+    0xFFFFFFFF00000000L;
+  |]
+
+let of_edge_on m ~vars e =
+  let n = List.length vars in
+  if n > 16 then invalid_arg "Truth.of_edge_on: more than 16 variables";
+  let support = Aig.support m e in
+  if not (List.for_all (fun v -> List.mem v vars) support) then
+    invalid_arg "Truth.of_edge_on: variable list does not cover the support";
+  let pos = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace pos v i) vars;
+  let n_words = if n <= 6 then 1 else 1 lsl (n - 6) in
+  let words = Array.make n_words 0L in
+  for w = 0 to n_words - 1 do
+    let env i =
+      match Hashtbl.find_opt pos i with
+      | None -> 0L
+      | Some p ->
+          if p < 6 then low_patterns.(p)
+          else if (w lsr (p - 6)) land 1 = 1 then -1L
+          else 0L
+    in
+    words.(w) <- Aig.sim64 m env e
+  done;
+  (* mask off padding bits when the table is shorter than a word *)
+  if 1 lsl n < 64 then begin
+    let mask = Int64.sub (Int64.shift_left 1L (1 lsl n)) 1L in
+    words.(0) <- Int64.logand words.(0) mask
+  end;
+  { vars; n; words }
+
+let of_edge m e = of_edge_on m ~vars:(Aig.support m e) e
+
+let get t j =
+  if j < 0 || j >= 1 lsl t.n then invalid_arg "Truth.get";
+  Int64.logand (Int64.shift_right_logical t.words.(j / 64) (j mod 64)) 1L = 1L
+
+let equal a b =
+  if a.vars <> b.vars then invalid_arg "Truth.equal: different variables";
+  a.words = b.words
+
+let count_ones t =
+  Array.fold_left
+    (fun acc w ->
+      let rec pop w acc =
+        if w = 0L then acc
+        else pop (Int64.shift_right_logical w 1)
+            (acc + Int64.to_int (Int64.logand w 1L))
+      in
+      pop w acc)
+    0 t.words
+
+let is_constant t =
+  let total = 1 lsl t.n in
+  let ones = count_ones t in
+  if ones = 0 then Some false else if ones = total then Some true else None
+
+let cofactor t p b =
+  let words = Array.make (Array.length t.words) 0L in
+  let size = 1 lsl t.n in
+  for j = 0 to size - 1 do
+    let src = if b then j lor (1 lsl p) else j land lnot (1 lsl p) in
+    if get t src then
+      words.(j / 64) <-
+        Int64.logor words.(j / 64) (Int64.shift_left 1L (j mod 64))
+  done;
+  { t with words }
+
+let depends_on t p = not (equal (cofactor t p false) (cofactor t p true))
+
+let to_hex t =
+  let buf = Buffer.create 32 in
+  let size = max 1 ((1 lsl t.n) / 4) in
+  for digit = size - 1 downto 0 do
+    let v = ref 0 in
+    for bit = 3 downto 0 do
+      let j = (4 * digit) + bit in
+      if j < 1 lsl t.n && get t j then v := !v lor (1 lsl bit)
+    done;
+    Buffer.add_char buf "0123456789abcdef".[!v]
+  done;
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** Explicit truth tables for small cones.
+
+    The workhorse representation for functions of up to 16 variables
+    (65536 bits, stored as int64 words). Position [j] of the table is the
+    function value under the assignment encoded by the bits of [j], where
+    bit [i] of [j] gives the value of the [i]-th variable of the table's
+    variable list. Built from AIG cones via 64-way parallel simulation. *)
+
+type t
+
+val n_vars : t -> int
+
+val vars : t -> int list
+(** The AIG input indices the table ranges over, in bit order. *)
+
+val of_edge : Aig.t -> Aig.lit -> t
+(** Table over the edge's structural support (ascending input order).
+    @raise Invalid_argument if the support exceeds 16 variables. *)
+
+val of_edge_on : Aig.t -> vars:int list -> Aig.lit -> t
+(** Table over an explicit variable list (which must cover the support). *)
+
+val get : t -> int -> bool
+(** Value at an assignment index. *)
+
+val equal : t -> t -> bool
+(** Tables must range over the same variable list.
+    @raise Invalid_argument otherwise. *)
+
+val count_ones : t -> int
+
+val is_constant : t -> bool option
+(** [Some b] if the function is constantly [b]. *)
+
+val cofactor : t -> int -> bool -> t
+(** [cofactor t pos b] restricts the variable at bit position [pos];
+    the result keeps the same variable list (the position becomes
+    vacuous). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function semantically depends on the variable at the
+    given bit position. *)
+
+val to_hex : t -> string
+(** Hex string, most significant assignment first (common logic-synthesis
+    notation). *)

@@ -1,0 +1,199 @@
+module Veci = Step_util.Veci
+module Aig = Step_aig.Aig
+
+type node = int
+
+exception Blowup
+
+(* Node 0 / 1 are the terminals. Internal node i (i >= 2) has a variable
+   and two children; children of a node always have strictly larger
+   variable indices (or are terminals), and lo <> hi — the standard ROBDD
+   reduction invariants maintained by [mk]. *)
+type t = {
+  nvars : int;
+  max_nodes : int;
+  nvar : Veci.t; (* node -> variable *)
+  nlo : Veci.t;
+  nhi : Veci.t;
+  unique : (int * int * int, int) Hashtbl.t; (* (var, lo, hi) -> node *)
+  ite_cache : (int * int * int, int) Hashtbl.t;
+}
+
+let zero = 0
+
+let one = 1
+
+let create ?(max_nodes = 1_000_000) nvars =
+  let t =
+    {
+      nvars;
+      max_nodes;
+      nvar = Veci.create ();
+      nlo = Veci.create ();
+      nhi = Veci.create ();
+      unique = Hashtbl.create 4096;
+      ite_cache = Hashtbl.create 4096;
+    }
+  in
+  (* terminals carry a pseudo-variable beyond every real one *)
+  Veci.push t.nvar nvars;
+  Veci.push t.nlo 0;
+  Veci.push t.nhi 0;
+  Veci.push t.nvar nvars;
+  Veci.push t.nlo 1;
+  Veci.push t.nhi 1;
+  t
+
+let n_vars t = t.nvars
+
+let size t = Veci.length t.nvar
+
+let var_of t n = Veci.get t.nvar n
+
+let lo t n = Veci.get t.nlo n
+
+let hi t n = Veci.get t.nhi n
+
+let is_terminal n = n < 2
+
+let mk t v l h =
+  if l = h then l
+  else begin
+    match Hashtbl.find_opt t.unique (v, l, h) with
+    | Some n -> n
+    | None ->
+        if size t >= t.max_nodes then raise Blowup;
+        let n = size t in
+        Veci.push t.nvar v;
+        Veci.push t.nlo l;
+        Veci.push t.nhi h;
+        Hashtbl.replace t.unique (v, l, h) n;
+        n
+  end
+
+let var t v =
+  if v < 0 || v >= t.nvars then invalid_arg "Bdd.var";
+  mk t v zero one
+
+(* ITE with standard terminal cases and memoization *)
+let rec ite t f g h =
+  if f = one then g
+  else if f = zero then h
+  else if g = h then g
+  else if g = one && h = zero then f
+  else begin
+    match Hashtbl.find_opt t.ite_cache (f, g, h) with
+    | Some r -> r
+    | None ->
+        let v =
+          min (var_of t f) (min (var_of t g) (var_of t h))
+        in
+        let cof n b =
+          if is_terminal n || var_of t n <> v then n
+          else if b then hi t n
+          else lo t n
+        in
+        let r_lo = ite t (cof f false) (cof g false) (cof h false) in
+        let r_hi = ite t (cof f true) (cof g true) (cof h true) in
+        let r = mk t v r_lo r_hi in
+        Hashtbl.replace t.ite_cache (f, g, h) r;
+        r
+  end
+
+let not_ t f = ite t f zero one
+
+let and_ t f g = ite t f g zero
+
+let or_ t f g = ite t f one g
+
+let xor_ t f g = ite t f (not_ t g) g
+
+let iff_ t f g = ite t f g (not_ t g)
+
+let rec cofactor t v b f =
+  if is_terminal f || var_of t f > v then f
+  else if var_of t f = v then if b then hi t f else lo t f
+  else begin
+    (* var_of f < v: rebuild both branches *)
+    let key = (f, v + t.max_nodes, if b then 1 else 0) in
+    match Hashtbl.find_opt t.ite_cache key with
+    | Some r -> r
+    | None ->
+        let r =
+          mk t (var_of t f) (cofactor t v b (lo t f)) (cofactor t v b (hi t f))
+        in
+        Hashtbl.replace t.ite_cache key r;
+        r
+  end
+
+let quantify combine t vars f =
+  List.fold_left
+    (fun f v -> combine t (cofactor t v false f) (cofactor t v true f))
+    f vars
+
+let exists t vars f = quantify or_ t vars f
+
+let forall t vars f = quantify and_ t vars f
+
+let support t f =
+  let seen = Hashtbl.create 16 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      Hashtbl.replace vars (var_of t n) ();
+      go (lo t n);
+      go (hi t n)
+    end
+  in
+  go f;
+  Hashtbl.fold (fun v () acc -> v :: acc) vars [] |> List.sort compare
+
+let eval t env f =
+  let rec go n =
+    if n = zero then false
+    else if n = one then true
+    else if env (var_of t n) then go (hi t n)
+    else go (lo t n)
+  in
+  go f
+
+let node_count t f =
+  let seen = Hashtbl.create 16 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      go (lo t n);
+      go (hi t n)
+    end
+  in
+  go f;
+  Hashtbl.length seen
+
+let of_aig t aig edge =
+  List.iter
+    (fun i -> if i >= t.nvars then invalid_arg "Bdd.of_aig: input range")
+    (Aig.support aig edge);
+  let memo = Hashtbl.create 256 in
+  (* iterative over ascending node ids of the cone *)
+  let rec build e =
+    let id = Aig.node_of e in
+    let base =
+      match Hashtbl.find_opt memo id with
+      | Some b -> b
+      | None ->
+          let b =
+            if id = 0 then zero
+            else if Aig.is_input_edge aig (2 * id) then
+              var t (Aig.input_index aig (2 * id))
+            else begin
+              let f0, f1 = Aig.fanins aig id in
+              and_ t (build f0) (build f1)
+            end
+          in
+          Hashtbl.replace memo id b;
+          b
+    in
+    if Aig.is_complement e then not_ t base else base
+  in
+  build edge

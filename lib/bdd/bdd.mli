@@ -1,0 +1,67 @@
+(** Reduced ordered binary decision diagrams.
+
+    The classic representation the pre-SAT bi-decomposition literature is
+    built on (Section III-A of the paper). This implementation exists as a
+    baseline: canonical ROBDDs with a hash-consed unique table, an
+    ITE-based operation core with memoization, cofactors and bounded
+    quantification. Variables are identified by their order index (the
+    manager uses the creation order as the — fixed — variable order, which
+    is exactly the weakness the paper's SAT/QBF methods avoid). *)
+
+type t
+(** A manager. *)
+
+type node = int
+(** A BDD handle within its manager. Handles are canonical: two
+    semantically equal functions have equal handles. *)
+
+exception Blowup
+
+val create : ?max_nodes:int -> int -> t
+(** [create n] makes a manager over variables [0 .. n-1]. Operations
+    raise {!Blowup} when the node table exceeds [max_nodes]
+    (default 1_000_000). *)
+
+val zero : node
+
+val one : node
+
+val var : t -> int -> node
+(** @raise Invalid_argument for an out-of-range variable. *)
+
+val n_vars : t -> int
+
+val size : t -> int
+(** Live nodes in the manager (a measure of memory pressure). *)
+
+val not_ : t -> node -> node
+
+val and_ : t -> node -> node -> node
+
+val or_ : t -> node -> node -> node
+
+val xor_ : t -> node -> node -> node
+
+val iff_ : t -> node -> node -> node
+
+val ite : t -> node -> node -> node -> node
+
+val cofactor : t -> int -> bool -> node -> node
+
+val exists : t -> int list -> node -> node
+
+val forall : t -> int list -> node -> node
+
+val support : t -> node -> int list
+(** Variables the function depends on, ascending. *)
+
+val eval : t -> (int -> bool) -> node -> bool
+
+val node_count : t -> node -> int
+(** Nodes in the DAG rooted at the handle (the usual BDD size metric). *)
+
+val of_aig : t -> Step_aig.Aig.t -> Step_aig.Aig.lit -> node
+(** Builds the BDD of an AIG cone; AIG input index [i] maps to BDD
+    variable [i]. @raise Blowup when the manager's node cap is hit and
+    [Invalid_argument] if the cone mentions inputs outside the manager's
+    range. *)

@@ -1,0 +1,76 @@
+(** Parametric combinational circuit generators.
+
+    Structured arithmetic/control blocks (adders, multipliers,
+    comparators, parity, mux trees, decoders, a small ALU), seeded random
+    DAGs, and {e planted} bi-decomposable cones with known ground-truth
+    partitions. These are the building blocks of the synthetic benchmark
+    suite that stands in for ISCAS/ITC/LGSYNTH (see DESIGN.md §2). *)
+
+val ripple_adder : int -> Step_aig.Circuit.t
+(** [ripple_adder n]: [2n + 1] inputs ([a], [b], [cin]), [n + 1] outputs
+    (sum bits and carry-out). *)
+
+val multiplier : int -> Step_aig.Circuit.t
+(** [n × n] array multiplier; [2n] inputs, [2n] outputs. *)
+
+val comparator : int -> Step_aig.Circuit.t
+(** [n]-bit unsigned comparator; outputs [eq], [lt], [gt]. *)
+
+val parity : int -> Step_aig.Circuit.t
+
+val mux_tree : int -> Step_aig.Circuit.t
+(** [mux_tree k]: [2^k] data inputs, [k] select inputs, one output. *)
+
+val decoder : int -> Step_aig.Circuit.t
+(** [decoder k]: [k] inputs, [2^k] one-hot outputs. *)
+
+val alu : int -> Step_aig.Circuit.t
+(** Small [n]-bit ALU: two operands plus 2 op-select bits; ops are AND,
+    OR, XOR, ADD. [n] outputs. *)
+
+val barrel_shifter : int -> Step_aig.Circuit.t
+(** [barrel_shifter k]: rotates [2^k] data bits left by a [k]-bit amount;
+    [2^k + k] inputs, [2^k] outputs. *)
+
+val priority_encoder : int -> Step_aig.Circuit.t
+(** [priority_encoder n]: index of the highest set request bit
+    ([ceil log2 n] outputs plus a [valid] flag). *)
+
+val popcount : int -> Step_aig.Circuit.t
+(** Population count of [n] inputs as a binary number. *)
+
+val gray_encoder : int -> Step_aig.Circuit.t
+(** Binary-to-Gray converter ([n] inputs, [n] outputs): every output but
+    the MSB is a 2-input XOR — fully bi-decomposable cones. *)
+
+val c17 : unit -> Step_aig.Circuit.t
+(** The classic ISCAS'85 c17 netlist (5 inputs, 2 outputs, 6 NAND
+    gates) — small enough to ship verbatim. *)
+
+val random_dag :
+  seed:int -> n_inputs:int -> n_gates:int -> n_outputs:int -> Step_aig.Circuit.t
+(** Seeded random AIG: gates draw fanins uniformly from earlier nodes,
+    with random complementation; outputs are the last [n_outputs] gates. *)
+
+type planted = {
+  circuit : Step_aig.Circuit.t;
+  truth : Step_core.Partition.t; (** The partition used to build the PO. *)
+  gate : Step_core.Gate.t;
+}
+
+val planted_cone :
+  seed:int ->
+  na:int ->
+  nb:int ->
+  nc:int ->
+  Step_core.Gate.t ->
+  planted
+(** Single-output circuit [f = g(XA, XC) <OP> h(XB, XC)] with
+    [|XA| = na, |XB| = nb, |XC| = nc]; [g]/[h] are random trees using each
+    of their variables exactly once, so the ground-truth partition is
+    valid by construction (the optimum can still be better). *)
+
+val random_tree_on :
+  Random.State.t -> Step_aig.Aig.t -> Step_aig.Aig.lit list -> Step_aig.Aig.lit
+(** Random-shaped AND/OR/XOR tree using every given edge exactly once
+    (structural support = the given edges). Exposed for suite building. *)

@@ -1,0 +1,186 @@
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+
+type paper_stats = { p_in : int; p_inm : int; p_out : int }
+
+let paper_table1 =
+  [
+    ("C7552", { p_in = 207; p_inm = 194; p_out = 108 });
+    ("s15850.1", { p_in = 611; p_inm = 183; p_out = 684 });
+    ("s38584.1", { p_in = 1464; p_inm = 147; p_out = 1730 });
+    ("C2670", { p_in = 233; p_inm = 119; p_out = 140 });
+    ("i10", { p_in = 257; p_inm = 108; p_out = 224 });
+    ("s38417", { p_in = 1664; p_inm = 99; p_out = 1742 });
+    ("s9234.1", { p_in = 247; p_inm = 83; p_out = 250 });
+    ("rot", { p_in = 135; p_inm = 63; p_out = 107 });
+    ("s5378", { p_in = 199; p_inm = 60; p_out = 213 });
+    ("s1423", { p_in = 91; p_inm = 59; p_out = 79 });
+    ("pair", { p_in = 173; p_inm = 53; p_out = 137 });
+    ("C880", { p_in = 60; p_inm = 45; p_out = 26 });
+    ("clma", { p_in = 415; p_inm = 42; p_out = 115 });
+    ("ITC b07", { p_in = 49; p_inm = 42; p_out = 57 });
+    ("ITC b12", { p_in = 125; p_inm = 37; p_out = 127 });
+    ("sbc", { p_in = 68; p_inm = 35; p_out = 84 });
+    ("mm9a", { p_in = 39; p_inm = 31; p_out = 36 });
+    ("mm9b", { p_in = 38; p_inm = 31; p_out = 35 });
+  ]
+
+let paper_stats_of name =
+  match List.assoc_opt name paper_table1 with
+  | Some s -> s
+  | None -> raise Not_found
+
+let clamp lo hi v = max lo (min hi v)
+
+(* deterministic seed from a circuit name *)
+let seed_of_name name =
+  let h = ref 5381 in
+  String.iter (fun c -> h := (!h * 33) + Char.code c) name;
+  !h land 0x3fffffff
+
+(* One synthetic primary output over a random subset of the input pool.
+   Kinds are weighted to mix decomposable cones of all three gate types,
+   structured arithmetic, and dense random cones. *)
+let build_po st m pool target_support po_idx =
+  let n_pool = Array.length pool in
+  let s = clamp 4 n_pool target_support in
+  (* choose s distinct inputs *)
+  let chosen = Array.make n_pool false in
+  let picked = ref [] in
+  let count = ref 0 in
+  while !count < s do
+    let k = Random.State.int st n_pool in
+    if not chosen.(k) then begin
+      chosen.(k) <- true;
+      picked := pool.(k) :: !picked;
+      incr count
+    end
+  done;
+  let vars = Array.of_list !picked in
+  let n = Array.length vars in
+  let slice lo len = Array.to_list (Array.sub vars lo len) in
+  let tree edges = Generators.random_tree_on st m edges in
+  let kind = Random.State.int st 100 in
+  let planted gate_op n_blocks =
+    (* n_blocks private blocks plus a small shared tail *)
+    let nc = Random.State.int st (min 3 (n - n_blocks)) in
+    let private_n = n - nc in
+    let shared = slice private_n nc in
+    let block b =
+      let base = b * private_n / n_blocks in
+      let next = (b + 1) * private_n / n_blocks in
+      tree (slice base (next - base) @ shared)
+    in
+    let blocks = List.init n_blocks block in
+    match blocks with
+    | [] -> Aig.f
+    | first :: rest -> List.fold_left (gate_op m) first rest
+  in
+  let cone =
+    if kind < 32 then planted Aig.or_ (2 + Random.State.int st 2)
+    else if kind < 47 then planted Aig.and_ (2 + Random.State.int st 2)
+    else if kind < 59 then planted Aig.xor_ 2
+    else if kind < 70 then begin
+      (* carry chain over the chosen vars (majority cascades) *)
+      let rec carry acc = function
+        | a :: b :: rest ->
+            let c =
+              Aig.or_ m (Aig.and_ m a b) (Aig.and_ m acc (Aig.xor_ m a b))
+            in
+            carry c rest
+        | [ a ] -> Aig.xor_ m acc a
+        | [] -> acc
+      in
+      carry Aig.f (Array.to_list vars)
+    end
+    else if kind < 80 then begin
+      (* comparator-style cone over two halves *)
+      let half = n / 2 in
+      let a = Array.sub vars 0 half and b = Array.sub vars half half in
+      let eq = ref Aig.t_ and lt = ref Aig.f in
+      for i = half - 1 downto 0 do
+        lt := Aig.or_ m !lt (Aig.and_ m !eq (Aig.and_ m (Aig.not_ a.(i)) b.(i)));
+        eq := Aig.and_ m !eq (Aig.iff_ m a.(i) b.(i))
+      done;
+      if n land 1 = 1 then Aig.xor_ m !lt vars.(n - 1) else !lt
+    end
+    else begin
+      (* dense random cone: rarely bi-decomposable *)
+      let nodes = ref (Array.to_list vars) in
+      let pick () =
+        let l = !nodes in
+        let e = List.nth l (Random.State.int st (List.length l)) in
+        if Random.State.bool st then e else Aig.not_ e
+      in
+      let last = ref Aig.f in
+      for _ = 1 to 3 * n do
+        last := Aig.and_ m (pick ()) (pick ());
+        nodes := !last :: !nodes
+      done;
+      (* force full support back in *)
+      Array.fold_left
+        (fun acc v -> Aig.xor_ m acc (Aig.and_ m v !last))
+        !last vars
+    end
+  in
+  (Printf.sprintf "po%d" po_idx, cone)
+
+let build_circuit ~name ~n_in ~inm ~n_out =
+  let st = Random.State.make [| seed_of_name name |] in
+  let m = Aig.create () in
+  let pool =
+    Array.init n_in (fun i -> Aig.fresh_input ~name:(Printf.sprintf "x%d" i) m)
+  in
+  let outputs =
+    List.init n_out (fun k ->
+        (* one output pinned at the maximum support, the rest spread *)
+        let target =
+          if k = 0 then inm else 4 + Random.State.int st (max 1 (inm - 3))
+        in
+        build_po st m pool target k)
+  in
+  Circuit.make ~name m outputs
+
+let scaled_params ?(scale = 1.0) stats =
+  let inm =
+    clamp 10 34 (int_of_float (scale *. float_of_int (8 + (stats.p_inm / 8))))
+  in
+  let n_out =
+    clamp 8 30 (int_of_float (scale *. float_of_int (6 + (stats.p_out / 60))))
+  in
+  let n_in = clamp 16 64 (2 * inm) in
+  (n_in, inm, n_out)
+
+let by_name ?scale name =
+  let stats = paper_stats_of name in
+  let n_in, inm, n_out = scaled_params ?scale stats in
+  build_circuit ~name ~n_in ~inm ~n_out
+
+let table1_suite ?scale () =
+  List.map (fun (name, _) -> by_name ?scale name) paper_table1
+
+let full_suite ?(scale = 1.0) () =
+  let named = table1_suite ~scale () in
+  let generated =
+    List.init 127 (fun k ->
+        match k mod 10 with
+        | 0 -> Generators.ripple_adder (4 + (k mod 5))
+        | 1 -> Generators.alu (3 + (k mod 4))
+        | 2 -> Generators.mux_tree (2 + (k mod 3))
+        | 3 -> Generators.comparator (4 + (k mod 5))
+        | 4 ->
+            Generators.random_dag ~seed:(1000 + k)
+              ~n_inputs:(12 + (k mod 8))
+              ~n_gates:(50 + (3 * (k mod 12)))
+              ~n_outputs:(4 + (k mod 5))
+        | 5 -> Generators.barrel_shifter (2 + (k mod 2))
+        | 6 -> Generators.priority_encoder (6 + (k mod 6))
+        | 7 -> Generators.popcount (8 + (k mod 8))
+        | 8 -> Generators.multiplier (3 + (k mod 2))
+        | _ ->
+            let inm = 10 + (k mod 9) in
+            build_circuit
+              ~name:(Printf.sprintf "gen%d" k)
+              ~n_in:(2 * inm) ~inm ~n_out:(5 + (k mod 6)))
+  in
+  named @ generated

@@ -1,0 +1,35 @@
+(** The named benchmark suite standing in for the paper's circuits.
+
+    Table I of the paper lists 18 circuits from ISCAS'85, ISCAS'89,
+    ITC'99 and LGSYNTH with their [#In]/[#InM]/[#Out] statistics; the
+    original netlists are not redistributable, so {!by_name} builds a
+    deterministic synthetic circuit per name whose output-cone profile is
+    a scaled-down image of the original (same name, proportionally scaled
+    input/output counts and maximum support), mixing planted decomposable
+    cones (OR/AND/XOR, including multi-block cones with several valid
+    partitions), structured arithmetic cones and dense random cones. See
+    DESIGN.md §2 for why this preserves the experiments' comparative
+    shape. *)
+
+type paper_stats = { p_in : int; p_inm : int; p_out : int }
+(** The [#In], [#InM], [#Out] columns of Table I. *)
+
+val paper_table1 : (string * paper_stats) list
+(** The 18 Table I circuits with the paper's reported statistics, in the
+    paper's (descending [#InM]) order. *)
+
+val paper_stats_of : string -> paper_stats
+(** @raise Not_found for names outside Table I. *)
+
+val by_name : ?scale:float -> string -> Step_aig.Circuit.t
+(** Deterministic synthetic circuit for a Table I name. [scale] (default
+    1.0) multiplies the scaled-down output count and maximum support
+    (values are clamped to tractable ranges).
+    @raise Not_found for unknown names. *)
+
+val table1_suite : ?scale:float -> unit -> Step_aig.Circuit.t list
+
+val full_suite : ?scale:float -> unit -> Step_aig.Circuit.t list
+(** The 145-circuit population used for Figure 1: the 18 named circuits
+    plus 127 generated ones (planted mixes, adders, ALUs, multiplexers,
+    comparators, random DAGs) with varied sizes. *)

@@ -1,0 +1,116 @@
+module Aig = Step_aig.Aig
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+
+type t = {
+  solver : Solver.t;
+  aig : Aig.t;
+  node_var : (int, int) Hashtbl.t; (* AIG node id -> SAT var *)
+  mutable true_var : int; (* SAT var constrained to true, or -1 *)
+  mutable sink : (int -> unit) option;
+}
+
+let create ?solver aig =
+  let solver = match solver with Some s -> s | None -> Solver.create () in
+  { solver; aig; node_var = Hashtbl.create 256; true_var = -1; sink = None }
+
+let solver enc = enc.solver
+
+let aig enc = enc.aig
+
+let set_sink enc sink = enc.sink <- sink
+
+let report enc id =
+  match enc.sink with
+  | Some f -> if id >= 0 then f id
+  | None -> ()
+
+let add_clause enc lits = report enc (Solver.add_clause enc.solver lits)
+
+let fresh enc = Lit.pos (Solver.new_var enc.solver)
+
+let true_lit enc =
+  if enc.true_var < 0 then begin
+    let v = Solver.new_var enc.solver in
+    enc.true_var <- v;
+    add_clause enc [ Lit.pos v ]
+  end;
+  Lit.pos enc.true_var
+
+let var_of_node enc id =
+  match Hashtbl.find_opt enc.node_var id with
+  | Some v -> v
+  | None ->
+      let v = Solver.new_var enc.solver in
+      Hashtbl.replace enc.node_var id v;
+      v
+
+let lit_of_input enc i =
+  let id = Aig.node_of (Aig.input enc.aig i) in
+  Lit.pos (var_of_node enc id)
+
+let bind_input enc i lit =
+  let id = Aig.node_of (Aig.input enc.aig i) in
+  if Hashtbl.mem enc.node_var id then
+    invalid_arg "Tseitin.bind_input: input already encoded";
+  if not (Lit.is_pos lit) then
+    invalid_arg "Tseitin.bind_input: literal must be positive";
+  Hashtbl.replace enc.node_var id (Lit.var lit)
+
+(* Encodes every AND node in the cone of node [top] that has no SAT
+   variable yet. Invariant: AND nodes receive their variable only here,
+   together with their three gate clauses, so membership in [node_var]
+   means "fully encoded" for AND nodes. Inputs may have been pre-bound by
+   [bind_input] and need no clauses. Iterative post-order: a node is
+   popped once both fanins are done. *)
+let encode_cone enc top =
+  let aig = enc.aig in
+  let is_done id =
+    id = 0
+    || Aig.is_input_edge aig (2 * id)
+    || Hashtbl.mem enc.node_var id
+  in
+  let sat_edge e =
+    let n = Aig.node_of e in
+    let base =
+      if n = 0 then Lit.negate (true_lit enc)
+      else Lit.pos (var_of_node enc n)
+    in
+    if Aig.is_complement e then Lit.negate base else base
+  in
+  let stack = Step_util.Veci.create () in
+  Step_util.Veci.push stack top;
+  while Step_util.Veci.length stack > 0 do
+    let id = Step_util.Veci.last stack in
+    if is_done id then ignore (Step_util.Veci.pop stack)
+    else begin
+      let f0, f1 = Aig.fanins aig id in
+      let n0 = Aig.node_of f0 and n1 = Aig.node_of f1 in
+      if is_done n0 && is_done n1 then begin
+        ignore (Step_util.Veci.pop stack);
+        let a = sat_edge f0 and b = sat_edge f1 in
+        let v = Solver.new_var enc.solver in
+        Hashtbl.replace enc.node_var id v;
+        let n = Lit.pos v in
+        add_clause enc [ Lit.negate n; a ];
+        add_clause enc [ Lit.negate n; b ];
+        add_clause enc [ n; Lit.negate a; Lit.negate b ]
+      end
+      else begin
+        if not (is_done n0) then Step_util.Veci.push stack n0;
+        if not (is_done n1) then Step_util.Veci.push stack n1
+      end
+    end
+  done
+
+let lit_of enc e =
+  let id = Aig.node_of e in
+  let base =
+    if id = 0 then Lit.negate (true_lit enc) (* node 0 is the false constant *)
+    else if Aig.is_input_edge enc.aig (2 * id) then Lit.pos (var_of_node enc id)
+    else begin
+      encode_cone enc id;
+      Lit.pos (Hashtbl.find enc.node_var id)
+    end
+  in
+  if Aig.is_complement e then Lit.negate base else base

@@ -1,0 +1,90 @@
+module Aig = Step_aig.Aig
+module Solver = Step_sat.Solver
+module Tseitin = Step_cnf.Tseitin
+
+let check_cover (p : Problem.t) (part : Partition.t) =
+  let covered =
+    List.sort_uniq compare
+      (part.Partition.xa @ part.Partition.xb @ part.Partition.xc)
+  in
+  if covered <> p.Problem.support then
+    invalid_arg "Ashenhurst: partition does not cover the support"
+
+let decomposable ?time_budget (p : Problem.t) (part : Partition.t) =
+  check_cover p part;
+  let aig = p.Problem.aig in
+  (* fresh copies of the XA block (3) and the XB block (3); XC shared *)
+  let copy vars =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace tbl i (Aig.fresh_input aig)) vars;
+    tbl
+  in
+  let a = Array.init 3 (fun _ -> copy part.Partition.xa) in
+  let b = Array.init 3 (fun _ -> copy part.Partition.xb) in
+  let instance ai bi =
+    let subst v =
+      match Hashtbl.find_opt a.(ai) v with
+      | Some e -> Some e
+      | None -> Hashtbl.find_opt b.(bi) v
+    in
+    Aig.compose aig subst p.Problem.f
+  in
+  (* three pairwise-distinguishable columns b1, b2, b3 *)
+  let matrix =
+    Aig.and_list aig
+      [
+        Aig.xor_ aig (instance 0 0) (instance 0 1);
+        Aig.xor_ aig (instance 1 0) (instance 1 2);
+        Aig.xor_ aig (instance 2 1) (instance 2 2);
+      ]
+  in
+  let enc = Tseitin.create aig in
+  let solver = Tseitin.solver enc in
+  ignore (Solver.add_clause solver [ Tseitin.lit_of enc matrix ]);
+  (match time_budget with
+  | Some bgt -> Solver.set_time_budget solver bgt
+  | None -> ());
+  match Solver.solve_limited solver with
+  | Solver.Unsat -> Some true
+  | Solver.Sat -> Some false
+  | Solver.Unknown -> None
+
+let decomposable_semantic (p : Problem.t) (part : Partition.t) =
+  check_cover p part;
+  let support = Array.of_list p.Problem.support in
+  let n = Array.length support in
+  assert (n <= 16);
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun j v -> Hashtbl.replace pos v j) support;
+  let bits vars = List.map (fun v -> Hashtbl.find pos v) vars in
+  let a_bits = bits part.Partition.xa in
+  let b_bits = bits part.Partition.xb in
+  let c_bits = bits part.Partition.xc in
+  let value mask = Aig.eval p.Problem.aig (fun v ->
+      match Hashtbl.find_opt pos v with
+      | Some j -> (mask lsr j) land 1 = 1
+      | None -> false) p.Problem.f
+  in
+  let assignments bits =
+    List.init (1 lsl List.length bits) (fun sel ->
+        List.fold_left
+          (fun (m, i) j ->
+            ((if (sel lsr i) land 1 = 1 then m lor (1 lsl j) else m), i + 1))
+          (0, 0) bits
+        |> fst)
+  in
+  let ok = ref true in
+  List.iter
+    (fun cm ->
+      (* distinct columns over XB for this XC assignment *)
+      let columns = Hashtbl.create 8 in
+      List.iter
+        (fun bm ->
+          let column =
+            List.map (fun am -> value (am lor bm lor cm)) (assignments a_bits)
+          in
+          Hashtbl.replace columns column ())
+        (assignments b_bits);
+      if Hashtbl.length columns > 2 then ok := false)
+    (assignments c_bits);
+  !ok

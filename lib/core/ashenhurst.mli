@@ -1,0 +1,30 @@
+(** Ashenhurst decomposition decision — the companion problem of the
+    paper's reference [17] (Lin, Jiang & Lee, "To SAT or not to SAT:
+    Ashenhurst decomposition in a large scale").
+
+    An Ashenhurst (simple disjoint) decomposition under
+    [X = {XA | XB | XC}] writes [f(X) = h(g(XB, XC), XA, XC)] with a
+    single-output [g]. It exists iff for every assignment of [XC] the
+    decomposition chart has {e column multiplicity} at most 2: the
+    functions [xb ↦ f(·, xb, xc)] take at most two distinct values as
+    column vectors over [XA].
+
+    The SAT formulation mirrors [17]: the multiplicity exceeds 2 iff three
+    pairwise-distinguishable columns exist, i.e. the 6-copy formula
+
+    [f(a1,b1,c) ≠ f(a1,b2,c) ∧ f(a2,b1,c) ≠ f(a2,b3,c) ∧
+     f(a3,b2,c) ≠ f(a3,b3,c)]
+
+    is satisfiable. Deciding is therefore one SAT call; this module
+    implements the decision and a truth-table reference, leaving function
+    extraction (which [17] does via interpolation) as future work. *)
+
+val decomposable :
+  ?time_budget:float -> Problem.t -> Partition.t -> bool option
+(** [Some] answer for the given partition ([xb] is the bound set fed to
+    [g], [xa] the free set, [xc] shared); [None] on budget expiry.
+    @raise Invalid_argument if the partition does not cover the support. *)
+
+val decomposable_semantic : Problem.t -> Partition.t -> bool
+(** Truth-table reference (column-multiplicity count); exponential, for
+    tests and small supports only. *)

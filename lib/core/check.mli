@@ -1,0 +1,22 @@
+(** Decomposability decisions (the paper's Proposition 1 and its duals).
+
+    {!decomposable} is the SAT-based production path (through {!Copies});
+    {!decomposable_semantic} recomputes the answer from truth tables and
+    exists to cross-validate the SAT path in tests — it is exponential in
+    the support size. *)
+
+val decomposable :
+  ?copies:Copies.t ->
+  ?time_budget:float ->
+  Problem.t ->
+  Gate.t ->
+  Partition.t ->
+  bool option
+(** [Some true] / [Some false] decomposability; [None] when the budget
+    expired. Pass [copies] to reuse an existing scaffold (it must match
+    the problem and gate). *)
+
+val decomposable_semantic : Problem.t -> Gate.t -> Partition.t -> bool
+(** Truth-table reference: checks [f = fA <OP> fB] pointwise using the
+    closed-form decomposition functions ([fA = ∀XB.f] for OR, [∃XB.f] for
+    AND, cofactors for XOR). Only use with small supports. *)

@@ -1,0 +1,66 @@
+(** The multi-copy satisfiability scaffold behind all decomposition checks.
+
+    For OR bi-decomposition the paper's Proposition 1 asks whether
+
+    [f(X) ∧ ¬f(X') ∧ ¬f(X'')]
+
+    is unsatisfiable, where copy [X'] may differ from [X] only on [XA] and
+    copy [X''] only on [XB]. This module encodes the copies {e once}, with
+    two {e selector} literals per variable: assuming [sᵢ] states "[i] is
+    not in [XA]", assuming [tᵢ] states "[i] is not in [XB]" (assuming both
+    puts [i] in [XC]). A partition is then just an assumption set, so
+    checking another partition, extracting MUSes over the selectors, or
+    validating QBF candidates all reuse the same learned clauses.
+
+    Per gate, the asserted matrix and the equalities carried by the
+    selectors are:
+
+    - OR: [f ∧ ¬f' ∧ ¬f'']; [sᵢ ⇒ (xᵢ ≡ x'ᵢ)], [tᵢ ⇒ (xᵢ ≡ x''ᵢ)].
+    - AND: dual on [¬f]: [¬f ∧ f' ∧ f'']; same selector equalities.
+    - XOR: four copies and the four-point condition
+      [f(X) ⊕ f(X') ⊕ f(X'') ⊕ f(X''')] asserted (satisfiable = not
+      decomposable), where the fourth point must combine the primed values:
+      [x'''ᵢ = x'ᵢ] on [XA], [x''ᵢ] on [XB], [xᵢ] on [XC]. This is captured
+      monotonically by letting each selector carry {e two} equalities:
+      [sᵢ ⇒ (xᵢ ≡ x'ᵢ) ∧ (x'''ᵢ ≡ x''ᵢ)] and
+      [tᵢ ⇒ (xᵢ ≡ x''ᵢ) ∧ (x'''ᵢ ≡ x'ᵢ)].
+
+    [Unsat] under a partition's assumptions means the function is
+    bi-decomposable with that gate and partition. *)
+
+type t
+
+val create : Problem.t -> Gate.t -> t
+
+val problem : t -> Problem.t
+
+val gate : t -> Gate.t
+
+val solver : t -> Step_sat.Solver.t
+(** The underlying solver (e.g. to set budgets). *)
+
+val alpha_selector : t -> int -> Step_sat.Lit.t
+(** [alpha_selector c i]: assuming it keeps [i] out of [XA].
+    @raise Not_found if [i] is not in the support. *)
+
+val beta_selector : t -> int -> Step_sat.Lit.t
+(** Assuming it keeps [i] out of [XB]. *)
+
+val assumptions : t -> Partition.t -> Step_sat.Lit.t list
+(** Selector assumptions encoding the partition: [sᵢ] for [i ∉ XA] and
+    [tᵢ] for [i ∉ XB].
+    @raise Invalid_argument if the partition does not cover the support. *)
+
+val check : t -> Partition.t -> Step_sat.Solver.result
+(** [Unsat] = decomposable; [Sat] = not decomposable (a counterexample is
+    then available via {!diff_sets}); [Unknown] = budget exhausted. *)
+
+val solve_assuming : t -> Step_sat.Lit.t list -> Step_sat.Solver.result
+(** Raw access for MUS/LJH-style manipulation of selector sets. *)
+
+val diff_sets : t -> int list * int list
+(** After a [Sat] answer: [(d1, d2)] where [d1] collects the inputs whose
+    [sᵢ]-equalities are violated by the model and [d2] those whose
+    [tᵢ]-equalities are violated. The CEGAR refinement clause is
+    [∨_{i ∈ d1} ¬αᵢ ∨ ∨_{i ∈ d2} ¬βᵢ]; the two sets never overlap for a
+    counterexample obtained under a partition's assumptions. *)

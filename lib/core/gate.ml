@@ -1,0 +1,23 @@
+type t = Or_gate | And_gate | Xor_gate
+
+let all = [ Or_gate; And_gate; Xor_gate ]
+
+let to_string = function
+  | Or_gate -> "OR"
+  | And_gate -> "AND"
+  | Xor_gate -> "XOR"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "or" -> Or_gate
+  | "and" -> And_gate
+  | "xor" -> Xor_gate
+  | other -> failwith (Printf.sprintf "Gate.of_string: %S" other)
+
+let pp fmt g = Format.pp_print_string fmt (to_string g)
+
+let apply g a b =
+  match g with
+  | Or_gate -> a || b
+  | And_gate -> a && b
+  | Xor_gate -> a <> b

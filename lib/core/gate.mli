@@ -1,0 +1,15 @@
+(** The two-input gate of a bi-decomposition [f = fA <OP> fB]. *)
+
+type t = Or_gate | And_gate | Xor_gate
+
+val all : t list
+
+val to_string : t -> string
+
+val of_string : string -> t
+(** Accepts ["or"], ["and"], ["xor"] (any case). @raise Failure otherwise. *)
+
+val pp : Format.formatter -> t -> unit
+
+val apply : t -> bool -> bool -> bool
+(** Boolean semantics of the gate. *)

@@ -1,0 +1,22 @@
+(** LJH: SAT-based bi-decomposition with heuristic partition enumeration
+    (Lee, Jiang & Hung, DAC'08 — the paper's [Bi-dec] baseline).
+
+    The reimplementation follows the published algorithm's structure:
+    enumerate candidate variable pairs in lexicographic order over
+    formula (2)'s control variables, and once a decomposable seed
+    partition is found, grow [XA] (preferentially) and [XB] one variable
+    at a time with one SAT check per move. No MUS minimization and no
+    optimality guarantee — matching the tool's role in the paper's
+    comparison: approximate partitions, often unbalanced, with noticeably
+    more SAT calls than STEP-MG. *)
+
+type result = {
+  partition : Partition.t option;
+  sat_calls : int;
+  cpu : float;
+}
+
+val find :
+  ?seed_limit:int -> ?time_budget:float -> Problem.t -> Gate.t -> result
+(** Always builds a private scaffold (the original tool re-encodes
+    formula (2) per output), which is part of its measured cost. *)

@@ -1,0 +1,71 @@
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+
+type po_entry = {
+  po_name : string;
+  tree : Recursive.tree option;
+  gates : int;
+  leaves : int;
+  tree_depth : int;
+}
+
+type result = {
+  circuit : Circuit.t;
+  entries : po_entry array;
+  total_gates : int;
+  decomposed_outputs : int;
+  cpu : float;
+}
+
+let synthesize ?(config = Recursive.default_config) circuit =
+  let t0 = Unix.gettimeofday () in
+  let aig = circuit.Circuit.aig in
+  let entries =
+    Array.map
+      (fun (name, edge) ->
+        let p = Problem.of_edge aig edge in
+        if Problem.n_vars p < 2 then
+          { po_name = name; tree = None; gates = 0; leaves = 1; tree_depth = 0 }
+        else begin
+          let tree = Recursive.decompose ~config p in
+          let s = Recursive.stats_of aig tree in
+          {
+            po_name = name;
+            tree = Some tree;
+            gates = s.Recursive.gates;
+            leaves = s.Recursive.leaves;
+            tree_depth = s.Recursive.depth;
+          }
+        end)
+      circuit.Circuit.outputs
+  in
+  let rebuilt =
+    Array.to_list circuit.Circuit.outputs
+    |> List.mapi (fun i (name, edge) ->
+           match entries.(i).tree with
+           | None -> (name, edge)
+           | Some tree -> (name, Recursive.rebuild aig tree))
+  in
+  let circuit' =
+    Circuit.compact (Circuit.make ~name:circuit.Circuit.name aig rebuilt)
+  in
+  {
+    circuit = circuit';
+    entries;
+    total_gates = Array.fold_left (fun acc e -> acc + e.gates) 0 entries;
+    decomposed_outputs =
+      Array.fold_left (fun acc e -> if e.gates > 0 then acc + 1 else acc) 0
+        entries;
+    cpu = Unix.gettimeofday () -. t0;
+  }
+
+let pp_summary fmt r =
+  Format.fprintf fmt
+    "%s: %d/%d outputs decomposed, %d tree gates, %.2fs@\n"
+    r.circuit.Circuit.name r.decomposed_outputs
+    (Array.length r.entries) r.total_gates r.cpu;
+  Array.iter
+    (fun e ->
+      Format.fprintf fmt "  %-16s gates=%-3d leaves=%-3d depth=%d@\n"
+        e.po_name e.gates e.leaves e.tree_depth)
+    r.entries

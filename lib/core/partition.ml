@@ -1,0 +1,63 @@
+type t = { xa : int list; xb : int list; xc : int list }
+
+let make ~xa ~xb ~xc =
+  let xa = List.sort_uniq compare xa
+  and xb = List.sort_uniq compare xb
+  and xc = List.sort_uniq compare xc in
+  let disjoint l1 l2 = List.for_all (fun x -> not (List.mem x l2)) l1 in
+  if not (disjoint xa xb && disjoint xa xc && disjoint xb xc) then
+    invalid_arg "Partition.make: overlapping sets";
+  { xa; xb; xc }
+
+let size p = List.length p.xa + List.length p.xb + List.length p.xc
+
+let is_trivial p = p.xa = [] || p.xb = []
+
+let disjointness p =
+  float_of_int (List.length p.xc) /. float_of_int (size p)
+
+let balancedness p =
+  float_of_int (abs (List.length p.xa - List.length p.xb))
+  /. float_of_int (size p)
+
+let cost ?(weight_d = 1.0) ?(weight_b = 1.0) p =
+  (weight_d *. disjointness p) +. (weight_b *. balancedness p)
+
+let disjointness_k p = List.length p.xc
+
+let balancedness_k p = abs (List.length p.xa - List.length p.xb)
+
+let combined_k p = disjointness_k p + balancedness_k p
+
+let canonical p =
+  if List.length p.xa >= List.length p.xb then p
+  else { xa = p.xb; xb = p.xa; xc = p.xc }
+
+let of_alpha_beta ~support ~alpha ~beta =
+  let xa = ref [] and xb = ref [] and xc = ref [] in
+  let frees = ref [] in
+  List.iter
+    (fun i ->
+      match (alpha i, beta i) with
+      | true, false -> xa := i :: !xa
+      | false, true -> xb := i :: !xb
+      | false, false -> xc := i :: !xc
+      | true, true -> frees := i :: !frees)
+    support;
+  (* free variables go to the smaller side *)
+  List.iter
+    (fun i ->
+      if List.length !xa <= List.length !xb then xa := i :: !xa
+      else xb := i :: !xb)
+    !frees;
+  make ~xa:!xa ~xb:!xb ~xc:!xc
+
+let equal p q = p.xa = q.xa && p.xb = q.xb && p.xc = q.xc
+
+let pp fmt p =
+  let pl fmt l =
+    Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int l))
+  in
+  Format.fprintf fmt "XA=%a XB=%a XC=%a" pl p.xa pl p.xb pl p.xc
+
+let to_string p = Format.asprintf "%a" pp p

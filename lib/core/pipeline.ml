@@ -1,0 +1,160 @@
+module Circuit = Step_aig.Circuit
+
+type method_ = Ljh | Mg | Qd | Qb | Qdb
+
+let method_name = function
+  | Ljh -> "LJH"
+  | Mg -> "STEP-MG"
+  | Qd -> "STEP-QD"
+  | Qb -> "STEP-QB"
+  | Qdb -> "STEP-QDB"
+
+let method_of_string s =
+  match String.lowercase_ascii s with
+  | "ljh" | "bi-dec" | "bidec" -> Ljh
+  | "mg" | "step-mg" -> Mg
+  | "qd" | "step-qd" -> Qd
+  | "qb" | "step-qb" -> Qb
+  | "qdb" | "step-qdb" -> Qdb
+  | other -> failwith (Printf.sprintf "Pipeline.method_of_string: %S" other)
+
+type po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Partition.t option;
+  proven_optimal : bool;
+  timed_out : bool;
+  cpu : float;
+}
+
+type circuit_result = {
+  circuit_name : string;
+  method_used : method_;
+  gate_used : Gate.t;
+  per_po : po_result array;
+  n_decomposed : int;
+  total_cpu : float;
+}
+
+let qbf_target = function
+  | Qd -> Qbf_model.Disjointness
+  | Qb -> Qbf_model.Balancedness
+  | Qdb -> Qbf_model.Combined
+  | Ljh | Mg -> invalid_arg "qbf_target"
+
+let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
+    gate method_ =
+  let t0 = Unix.gettimeofday () in
+  let name = Circuit.output_name circuit i in
+  let p = Problem.of_output circuit i in
+  let n = Problem.n_vars p in
+  let finish partition proven_optimal timed_out =
+    {
+      po_name = name;
+      support_size = n;
+      partition = Option.map Partition.canonical partition;
+      proven_optimal;
+      timed_out;
+      cpu = Unix.gettimeofday () -. t0;
+    }
+  in
+  if n < max 2 min_support then finish None true false
+  else begin
+    match method_ with
+    | Ljh ->
+        let r = Ljh.find ~time_budget:per_po_budget p gate in
+        finish r.Ljh.partition false
+          (r.Ljh.partition = None && r.Ljh.cpu >= per_po_budget)
+    | Mg ->
+        let r = Mg.find ~time_budget:per_po_budget p gate in
+        finish r.Mg.partition false
+          (r.Mg.partition = None && r.Mg.cpu >= per_po_budget)
+    | Qd | Qb | Qdb ->
+        (* bootstrap with STEP-MG on a shared scaffold, as the paper does *)
+        let copies = Copies.create p gate in
+        let mg_budget = per_po_budget /. 4.0 in
+        let mg = Mg.find ~copies ~time_budget:mg_budget p gate in
+        let remaining = per_po_budget -. (Unix.gettimeofday () -. t0) in
+        if remaining <= 0.0 then
+          finish mg.Mg.partition false (mg.Mg.partition = None)
+        else begin
+          match mg.Mg.partition with
+          | None ->
+              (* MG found nothing: let the QBF model decide feasibility *)
+              let o =
+                Qbf_model.optimize ~copies ~time_budget:remaining p gate
+                  (qbf_target method_)
+              in
+              finish o.Qbf_model.partition o.Qbf_model.optimal
+                ((not o.Qbf_model.optimal) && o.Qbf_model.partition = None)
+          | Some bootstrap ->
+              let o =
+                Qbf_model.optimize ~copies ~bootstrap ~time_budget:remaining p
+                  gate (qbf_target method_)
+              in
+              finish o.Qbf_model.partition o.Qbf_model.optimal false
+        end
+  end
+
+let decompose_output_auto ?(per_po_budget = 10.0) ?min_support circuit i
+    method_ =
+  let budget = per_po_budget /. 3.0 in
+  let candidates =
+    List.map
+      (fun gate ->
+        (gate, decompose_output ~per_po_budget:budget ?min_support circuit i
+                 gate method_))
+      Gate.all
+  in
+  let score (r : po_result) =
+    match r.partition with
+    | None -> (infinity, infinity)
+    | Some p -> (Partition.disjointness p, Partition.balancedness p)
+  in
+  let best =
+    List.fold_left
+      (fun acc (gate, r) ->
+        match acc with
+        | None -> Some (gate, r)
+        | Some (_, br) -> if score r < score br then Some (gate, r) else acc)
+      None candidates
+  in
+  match best with
+  | Some (gate, r) when r.partition <> None -> (Some gate, r)
+  | Some (_, r) -> (None, r)
+  | None -> assert false
+
+let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
+    gate method_ =
+  let t0 = Unix.gettimeofday () in
+  let n_out = Circuit.n_outputs circuit in
+  let per_po =
+    Array.init n_out (fun i ->
+        let elapsed = Unix.gettimeofday () -. t0 in
+        if elapsed > total_budget then
+          {
+            po_name = Circuit.output_name circuit i;
+            support_size = 0;
+            partition = None;
+            proven_optimal = false;
+            timed_out = true;
+            cpu = 0.0;
+          }
+        else
+          let budget = Float.min per_po_budget (total_budget -. elapsed) in
+          decompose_output ~per_po_budget:budget ?min_support circuit i gate
+            method_)
+  in
+  let n_decomposed =
+    Array.fold_left
+      (fun acc r -> if r.partition <> None then acc + 1 else acc)
+      0 per_po
+  in
+  {
+    circuit_name = circuit.Circuit.name;
+    method_used = method_;
+    gate_used = gate;
+    per_po;
+    n_decomposed;
+    total_cpu = Unix.gettimeofday () -. t0;
+  }

@@ -1,0 +1,73 @@
+(** Whole-circuit bi-decomposition runs — the experimental harness core.
+
+    Mirrors the paper's experimental protocol: every primary-output
+    function of a circuit is decomposed independently with the selected
+    method, under a per-output time budget and a circuit-wide timeout, and
+    per-output metrics/timings are collected. The QBF methods are
+    bootstrapped with the STEP-MG partition, so (as in the paper) they can
+    never report a worse partition than STEP-MG. *)
+
+type method_ =
+  | Ljh (** SAT-based enumeration baseline (the Bi-dec tool). *)
+  | Mg (** Group-oriented MUS (STEP-MG). *)
+  | Qd (** QBF, optimum disjointness (STEP-QD). *)
+  | Qb (** QBF, optimum balancedness (STEP-QB). *)
+  | Qdb (** QBF, optimum combined cost (STEP-QDB). *)
+
+val method_name : method_ -> string
+
+val method_of_string : string -> method_
+(** Accepts ["ljh"], ["mg"], ["qd"], ["qb"], ["qdb"]. @raise Failure. *)
+
+type po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Partition.t option; (** [None]: not decomposable / timeout. *)
+  proven_optimal : bool; (** Only ever [true] for QBF methods. *)
+  timed_out : bool;
+  cpu : float;
+}
+
+type circuit_result = {
+  circuit_name : string;
+  method_used : method_;
+  gate_used : Gate.t;
+  per_po : po_result array;
+  n_decomposed : int; (** The paper's "#Dec". *)
+  total_cpu : float; (** The paper's "CPU(s)". *)
+}
+
+val decompose_output :
+  ?per_po_budget:float ->
+  ?min_support:int ->
+  Step_aig.Circuit.t ->
+  int ->
+  Gate.t ->
+  method_ ->
+  po_result
+(** Decomposes a single primary output. Outputs whose support is below
+    [min_support] (default 2) are reported as not decomposable. *)
+
+val run :
+  ?per_po_budget:float ->
+  ?total_budget:float ->
+  ?min_support:int ->
+  Step_aig.Circuit.t ->
+  Gate.t ->
+  method_ ->
+  circuit_result
+(** Decomposes every primary output. [per_po_budget] (default 10 s)
+    bounds each output; [total_budget] (default 6000 s, the paper's
+    circuit timeout) bounds the whole run — outputs not reached are
+    reported as timed out. *)
+
+val decompose_output_auto :
+  ?per_po_budget:float ->
+  ?min_support:int ->
+  Step_aig.Circuit.t ->
+  int ->
+  method_ ->
+  Gate.t option * po_result
+(** Tries all three gates on one output (splitting the budget) and keeps
+    the decomposition with the lowest disjointness, breaking ties by
+    balancedness; the returned gate is [None] when nothing decomposed. *)

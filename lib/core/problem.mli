@@ -1,0 +1,35 @@
+(** A bi-decomposition problem: one completely specified function.
+
+    Wraps an AIG edge together with its structural support. All the
+    algorithms of this library take a [Problem.t]; {!of_output} builds one
+    per primary output, which is how the paper processes circuits. *)
+
+type t = {
+  aig : Step_aig.Aig.t;
+  f : Step_aig.Aig.lit;
+  support : int list; (** Input indices the function depends on, sorted. *)
+}
+
+val of_edge : Step_aig.Aig.t -> Step_aig.Aig.lit -> t
+
+val of_output : Step_aig.Circuit.t -> int -> t
+(** Problem for the [i]-th primary output of a circuit. *)
+
+val n_vars : t -> int
+(** Support size — the [||X||] of the paper. *)
+
+val negate : t -> t
+(** Same support, complemented function (used for AND decomposition via
+    the OR dual). *)
+
+val semantic_support : ?time_budget:float -> t -> int list
+(** Inputs the function {e semantically} depends on: the structural
+    support minus variables [x] with [f|x=0 ≡ f|x=1] (each checked by one
+    SAT call). Functionally vacuous variables are common after circuit
+    transformations, and every spurious variable degrades the partition
+    metrics' denominator, so reducing first gives strictly better
+    disjointness/balancedness ratios. On budget expiry the variable is
+    conservatively kept. *)
+
+val reduce : ?time_budget:float -> t -> t
+(** The same function viewed over its semantic support. *)

@@ -1,0 +1,365 @@
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Cardinality = Step_cnf.Cardinality
+
+type target =
+  | Disjointness
+  | Balancedness
+  | Combined
+  | Weighted of { wd : int; wb : int }
+
+type strategy = Mi | Md | Bin | Composite
+
+type outcome = {
+  partition : Partition.t option;
+  optimal : bool;
+  best_k : int option;
+  refinements : int;
+  qbf_queries : int;
+  cpu : float;
+}
+
+let target_k target p =
+  let p = Partition.canonical p in
+  match target with
+  | Disjointness -> Partition.disjointness_k p
+  | Balancedness -> Partition.balancedness_k p
+  | Combined -> Partition.combined_k p
+  | Weighted { wd; wb } ->
+      (wd * Partition.disjointness_k p) + (wb * Partition.balancedness_k p)
+
+let default_strategy = function
+  | Disjointness | Combined | Weighted _ -> Composite
+  | Balancedness -> Mi
+
+(* ---------- the abstraction over the control variables ---------- *)
+
+type abstraction = {
+  solver : Solver.t;
+  support : int array;
+  alpha : Lit.t array; (* per support position *)
+  beta : Lit.t array;
+  shared : Lit.t array; (* c_i <-> ~alpha_i /\ ~beta_i *)
+  pos_of : (int, int) Hashtbl.t; (* input idx -> support position *)
+  mutable cnt_shared : Cardinality.counter option;
+  mutable cnt_a : Cardinality.counter option;
+  mutable cnt_b : Cardinality.counter option;
+  mutable cnt_wleft : Cardinality.counter option; (* wd·XC + wb·XA *)
+  mutable cnt_wright : Cardinality.counter option; (* wb·XB *)
+  mutable bound_acts : (int, Lit.t) Hashtbl.t; (* k -> activation literal *)
+}
+
+let make_abstraction (p : Problem.t) ~symmetry_breaking target =
+  let solver = Solver.create () in
+  let support = Array.of_list p.Problem.support in
+  let n = Array.length support in
+  let fresh () = Lit.pos (Solver.new_var solver) in
+  let alpha = Array.init n (fun _ -> fresh ()) in
+  let beta = Array.init n (fun _ -> fresh ()) in
+  let shared = Array.init n (fun _ -> fresh ()) in
+  let pos_of = Hashtbl.create 16 in
+  Array.iteri (fun j i -> Hashtbl.replace pos_of i j) support;
+  for j = 0 to n - 1 do
+    (* exclude (1,1): each variable sits in exactly one of XA/XB/XC *)
+    ignore
+      (Solver.add_clause solver [ Lit.negate alpha.(j); Lit.negate beta.(j) ]);
+    (* c_j <-> ~alpha_j /\ ~beta_j *)
+    ignore
+      (Solver.add_clause solver [ shared.(j); alpha.(j); beta.(j) ]);
+    ignore
+      (Solver.add_clause solver [ Lit.negate shared.(j); Lit.negate alpha.(j) ]);
+    ignore
+      (Solver.add_clause solver [ Lit.negate shared.(j); Lit.negate beta.(j) ])
+  done;
+  (* fN: non-trivial partitions *)
+  Cardinality.add_at_least_one solver (Array.to_list alpha);
+  Cardinality.add_at_least_one solver (Array.to_list beta);
+  let abs =
+    {
+      solver;
+      support;
+      alpha;
+      beta;
+      shared;
+      pos_of;
+      cnt_shared = None;
+      cnt_a = None;
+      cnt_b = None;
+      cnt_wleft = None;
+      cnt_wright = None;
+      bound_acts = Hashtbl.create 8;
+    }
+  in
+  let counter_a () =
+    match abs.cnt_a with
+    | Some c -> c
+    | None ->
+        let c = Cardinality.totalizer solver (Array.to_list alpha) in
+        abs.cnt_a <- Some c;
+        c
+  in
+  let counter_b () =
+    match abs.cnt_b with
+    | Some c -> c
+    | None ->
+        let c = Cardinality.totalizer solver (Array.to_list beta) in
+        abs.cnt_b <- Some c;
+        c
+  in
+  (* |XA| >= |XB| is required by the balancedness-style targets (their
+     constraint (6)/(8) derivations assume it) and is an optional
+     symmetry-breaking optimization for pure disjointness *)
+  let needs_counters =
+    match target with
+    | Balancedness | Combined | Weighted _ -> true
+    | Disjointness -> symmetry_breaking
+  in
+  if needs_counters then begin
+    let ca = counter_a () and cb = counter_b () in
+    for j = 1 to n do
+      match (Cardinality.at_least cb j, Cardinality.at_least ca j) with
+      | Some ob, Some oa ->
+          ignore (Solver.add_clause solver [ Lit.negate ob; oa ])
+      | _, _ -> ()
+    done
+  end;
+  (match target with
+  | Disjointness ->
+      abs.cnt_shared <-
+        Some (Cardinality.totalizer solver (Array.to_list shared))
+  | Weighted { wd; wb } ->
+      let weighted side =
+        Cardinality.totalizer_weighted solver side
+      in
+      let left =
+        List.map (fun c -> (c, wd)) (Array.to_list shared)
+        @ List.map (fun a -> (a, wb)) (Array.to_list alpha)
+      in
+      let right = List.map (fun b -> (b, wb)) (Array.to_list beta) in
+      abs.cnt_wleft <- Some (weighted left);
+      abs.cnt_wright <- Some (weighted right)
+  | Balancedness | Combined -> ());
+  abs
+
+(* assumption literals encoding fT for a given bound k *)
+let bound_assumptions abs target k =
+  let n = Array.length abs.support in
+  match target with
+  | Disjointness -> begin
+      match abs.cnt_shared with
+      | None -> assert false
+      | Some c -> begin
+          match Cardinality.at_most c k with
+          | Some l -> [ l ]
+          | None -> []
+        end
+    end
+  | Balancedness -> begin
+      (* |XA| - |XB| <= k, given |XA| >= |XB| *)
+      match Hashtbl.find_opt abs.bound_acts k with
+      | Some act -> [ act ]
+      | None ->
+          let act = Lit.pos (Solver.new_var abs.solver) in
+          Cardinality.add_bound_difference abs.solver
+            ~left:(Option.get abs.cnt_a) ~right:(Option.get abs.cnt_b) ~k
+            ~activator:act;
+          Hashtbl.replace abs.bound_acts k act;
+          [ act ]
+    end
+  | Weighted _ -> begin
+      (* wd·|XC| + wb·|XA| − wb·|XB| <= k over the weighted counters *)
+      match Hashtbl.find_opt abs.bound_acts k with
+      | Some act -> [ act ]
+      | None ->
+          let act = Lit.pos (Solver.new_var abs.solver) in
+          Cardinality.add_bound_difference abs.solver
+            ~left:(Option.get abs.cnt_wleft) ~right:(Option.get abs.cnt_wright)
+            ~k ~activator:act;
+          Hashtbl.replace abs.bound_acts k act;
+          [ act ]
+    end
+  | Combined -> begin
+      (* |XC| + |XA| - |XB| = n - 2|XB| <= k  <=>  |XB| >= ceil((n-k)/2) *)
+      let lb = (n - k + 1) / 2 in
+      let cb = Option.get abs.cnt_b in
+      if lb <= 0 then []
+      else
+        match Cardinality.at_least cb lb with
+        | Some l -> [ l ]
+        | None ->
+            (* lb > n: unsatisfiable bound; encode with a fresh false lit *)
+            let l = Lit.pos (Solver.new_var abs.solver) in
+            ignore (Solver.add_clause abs.solver [ Lit.negate l ]);
+            [ l ]
+    end
+
+(* ---------- CEGAR query for a fixed bound ---------- *)
+
+type query_answer =
+  | Q_valid of Partition.t
+  | Q_invalid
+  | Q_unknown
+
+let query abs copies target k ~deadline ~refinement_cap ~refinements
+    ~qbf_queries =
+  incr qbf_queries;
+  let assumptions = bound_assumptions abs target k in
+  let rec loop () =
+    if Unix.gettimeofday () > deadline || !refinements >= refinement_cap then
+      Q_unknown
+    else
+      match Solver.solve_limited ~assumptions abs.solver with
+      | Solver.Unknown -> Q_unknown
+      | Solver.Unsat -> Q_invalid
+      | Solver.Sat ->
+          let alpha_val j = Solver.model_value abs.solver abs.alpha.(j) in
+          let beta_val j = Solver.model_value abs.solver abs.beta.(j) in
+          let partition =
+            Partition.of_alpha_beta
+              ~support:(Array.to_list abs.support)
+              ~alpha:(fun i -> alpha_val (Hashtbl.find abs.pos_of i))
+              ~beta:(fun i -> beta_val (Hashtbl.find abs.pos_of i))
+          in
+          (match Copies.check copies partition with
+          | Solver.Unsat -> Q_valid partition
+          | Solver.Unknown -> Q_unknown
+          | Solver.Sat ->
+              (* refinement clause over the differing inputs: every input
+                 whose s-equalities broke must be in XA, every input whose
+                 t-equalities broke must be in XB — exclude all candidates
+                 compatible with this counterexample *)
+              let d1, d2 = Copies.diff_sets copies in
+              let lit_a i = Lit.negate abs.alpha.(Hashtbl.find abs.pos_of i) in
+              let lit_b i = Lit.negate abs.beta.(Hashtbl.find abs.pos_of i) in
+              let clause = List.map lit_a d1 @ List.map lit_b d2 in
+              assert (clause <> []);
+              ignore (Solver.add_clause abs.solver clause);
+              incr refinements;
+              loop ())
+  in
+  loop ()
+
+(* ---------- optimum search strategies ---------- *)
+
+let optimize ?copies ?(symmetry_breaking = true) ?strategy ?bootstrap
+    ?(max_refinements = 100_000) ?time_budget (p : Problem.t) g target =
+  let t0 = Unix.gettimeofday () in
+  let n = Problem.n_vars p in
+  let refinements = ref 0 and qbf_queries = ref 0 in
+  let finish partition optimal =
+    {
+      partition;
+      optimal;
+      best_k = Option.map (target_k target) partition;
+      refinements = !refinements;
+      qbf_queries = !qbf_queries;
+      cpu = Unix.gettimeofday () -. t0;
+    }
+  in
+  if n < 2 then finish None true
+  else begin
+    let copies =
+      match copies with
+      | Some c ->
+          assert (Copies.problem c == p && Copies.gate c = g);
+          c
+      | None -> Copies.create p g
+    in
+    let strategy =
+      match strategy with Some s -> s | None -> default_strategy target
+    in
+    let deadline =
+      match time_budget with Some b -> t0 +. b | None -> infinity
+    in
+    let abs = make_abstraction p ~symmetry_breaking target in
+    let k_max =
+      match target with
+      | Weighted { wd; wb } -> (wd + wb) * (n - 2)
+      | Disjointness | Balancedness | Combined -> n - 2
+    in
+    let ask k =
+      query abs copies target k ~deadline ~refinement_cap:max_refinements
+        ~refinements ~qbf_queries
+    in
+    (* best-so-far; queries with k < best are the only ones issued *)
+    let best = ref bootstrap in
+    let best_k () =
+      match !best with Some p -> target_k target p | None -> k_max + 1
+    in
+    (* establish an upper bound when no bootstrap is available *)
+    let feasible =
+      match !best with
+      | Some _ -> `Yes
+      | None -> begin
+          match ask k_max with
+          | Q_valid part ->
+              best := Some part;
+              `Yes
+          | Q_invalid -> `No (* proven not bi-decomposable *)
+          | Q_unknown -> `Budget
+        end
+    in
+    match feasible with
+    | `No -> finish None true
+    | `Budget -> finish None false
+    | `Yes -> begin
+      (* invariant: everything strictly below [floor] is known Invalid *)
+      let floor = ref 0 in
+      let unknown = ref false in
+      let md_steps budget =
+        (* monotonically decreasing: probe best-1 repeatedly *)
+        let steps = ref 0 in
+        let continue_ = ref true in
+        while !continue_ && !steps < budget && best_k () > !floor do
+          incr steps;
+          match ask (best_k () - 1) with
+          | Q_valid part -> best := Some part
+          | Q_invalid ->
+              floor := best_k ();
+              continue_ := false
+          | Q_unknown ->
+              unknown := true;
+              continue_ := false
+        done
+      in
+      let mi_steps () =
+        (* monotonically increasing from the known floor *)
+        let continue_ = ref true in
+        while !continue_ && !floor < best_k () do
+          match ask !floor with
+          | Q_valid part ->
+              best := Some part;
+              continue_ := false
+          | Q_invalid -> incr floor
+          | Q_unknown ->
+              unknown := true;
+              continue_ := false
+        done
+      in
+      let bin_steps ~stop_width =
+        let continue_ = ref true in
+        while !continue_ && best_k () - !floor > stop_width do
+          let mid = (!floor + best_k () - 1) / 2 in
+          match ask mid with
+          | Q_valid part -> best := Some part
+          | Q_invalid -> floor := mid + 1
+          | Q_unknown ->
+              unknown := true;
+              continue_ := false
+        done
+      in
+      (match strategy with
+      | Mi -> mi_steps ()
+      | Md -> md_steps max_int
+      | Bin -> bin_steps ~stop_width:0
+      | Composite ->
+          (* the paper's MD -> Bin -> MI with heuristic iteration counts *)
+          md_steps 2;
+          if (not !unknown) && best_k () > !floor then begin
+            bin_steps ~stop_width:4;
+            if (not !unknown) && best_k () > !floor then mi_steps ()
+          end);
+        let optimal = (not !unknown) && best_k () <= !floor in
+        finish !best optimal
+      end
+  end

@@ -1,0 +1,81 @@
+(** The paper's contribution: QBF models for optimum bi-decomposition
+    (STEP-QD, STEP-QB, STEP-QDB).
+
+    The 2QBF formulation (model (4)) existentially quantifies the control
+    variables [αᵢ, βᵢ] — which spell out the partition:
+    [(1,0) → XA, (0,1) → XB, (0,0) → XC] — and universally quantifies the
+    function copies. Following Section IV-A.5, we solve the negated model
+    (9) with a CEGAR loop in the style of AReQS:
+
+    - the {e abstraction} is a SAT solver over [α, β] carrying the
+      non-triviality constraints [fN] (AtLeast1(α) ∧ AtLeast1(β)), the
+      symmetry-breaking constraint [|XA| ≥ |XB|], and the target
+      constraints [fT] — totalizer counters whose bound [k] is selected
+      per query by assumption literals, so the optimum search re-solves
+      the same CNF;
+    - {e verification} of a candidate [(α,β)] is one incremental SAT call
+      on the shared {!Copies} scaffold;
+    - a counterexample yields the single refinement clause
+      [∨_{i ∈ D1} ¬αᵢ ∨ ∨_{i ∈ D2} ¬βᵢ ∨ ∨_{i ∈ D3} cᵢ] where [D1/D2/D3]
+      are the inputs on which the counterexample's copies differ and
+      [cᵢ ⇔ ¬αᵢ ∧ ¬βᵢ] is the shared-variable indicator. Refinements are
+      valid for every bound [k], so they accumulate across the whole
+      optimum search.
+
+    The target integer [k] instantiates the paper's constraints:
+    (5) [|XC| ≤ k] for disjointness, (6) [0 ≤ |XA| − |XB| ≤ k] for
+    balancedness, (8) [|XC| + |XA| − |XB| ≤ k] for the combined cost —
+    the latter implemented through the identity
+    [|XC| + |XA| − |XB| = n − 2·|XB|]. *)
+
+type target =
+  | Disjointness
+  | Balancedness
+  | Combined
+  | Weighted of { wd : int; wb : int }
+      (** Definition 4 with arbitrary non-negative integer weights:
+          minimizes [wd·|XC| + wb·(|XA| − |XB|)] under [|XA| ≥ |XB|].
+          [Combined] is the normalized special case [wd = wb = 1]. *)
+
+type strategy =
+  | Mi  (** Monotonically increasing [k]. *)
+  | Md  (** Monotonically decreasing [k]. *)
+  | Bin  (** Dichotomic (binary) search. *)
+  | Composite
+      (** The paper's tuned sequence MD → Bin → MI for disjointness. *)
+
+type outcome = {
+  partition : Partition.t option;
+      (** Best partition found ([None] = not decomposable, or nothing
+          found within budget). *)
+  optimal : bool;
+      (** The partition provably attains the optimum [k] for the target. *)
+  best_k : int option; (** Target value of the best partition. *)
+  refinements : int; (** CEGAR counterexamples processed. *)
+  qbf_queries : int; (** Bounded queries (abstraction solve batches). *)
+  cpu : float;
+}
+
+val target_k : target -> Partition.t -> int
+(** The integer the target bounds, for a canonicalized partition. *)
+
+val default_strategy : target -> strategy
+(** What the paper found best: Composite for disjointness and the
+    combined cost, MI for balancedness. *)
+
+val optimize :
+  ?copies:Copies.t ->
+  ?symmetry_breaking:bool ->
+  ?strategy:strategy ->
+  ?bootstrap:Partition.t ->
+  ?max_refinements:int ->
+  ?time_budget:float ->
+  Problem.t ->
+  Gate.t ->
+  target ->
+  outcome
+(** Runs the optimum search. [bootstrap] (typically the STEP-MG partition)
+    provides the initial upper bound; without it the search first decides
+    plain decomposability at the loosest bound. [symmetry_breaking]
+    defaults to [true]. With a [bootstrap], the result is never worse than
+    it (mirroring the paper's setup). *)

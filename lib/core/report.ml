@@ -1,0 +1,157 @@
+type aggregate = {
+  n_outputs : int;
+  n_decomposed : int;
+  n_optimal : int;
+  n_timed_out : int;
+  mean_disjointness : float;
+  mean_balancedness : float;
+  total_cpu : float;
+}
+
+let aggregate_of (r : Pipeline.circuit_result) =
+  let n_outputs = Array.length r.Pipeline.per_po in
+  let decomposed =
+    Array.to_list r.Pipeline.per_po
+    |> List.filter_map (fun po -> po.Pipeline.partition)
+  in
+  let n_decomposed = List.length decomposed in
+  let mean f =
+    if decomposed = [] then nan
+    else
+      List.fold_left (fun acc p -> acc +. f p) 0.0 decomposed
+      /. float_of_int n_decomposed
+  in
+  {
+    n_outputs;
+    n_decomposed;
+    n_optimal =
+      Array.fold_left
+        (fun acc po -> if po.Pipeline.proven_optimal then acc + 1 else acc)
+        0 r.Pipeline.per_po;
+    n_timed_out =
+      Array.fold_left
+        (fun acc po -> if po.Pipeline.timed_out then acc + 1 else acc)
+        0 r.Pipeline.per_po;
+    mean_disjointness = mean Partition.disjointness;
+    mean_balancedness = mean Partition.balancedness;
+    total_cpu = r.Pipeline.total_cpu;
+  }
+
+let po_fields (po : Pipeline.po_result) =
+  match po.Pipeline.partition with
+  | None -> (0, 0, 0, nan, nan)
+  | Some p ->
+      ( List.length p.Partition.xa,
+        List.length p.Partition.xb,
+        List.length p.Partition.xc,
+        Partition.disjointness p,
+        Partition.balancedness p )
+
+let summary_line (r : Pipeline.circuit_result) =
+  let a = aggregate_of r in
+  Printf.sprintf
+    "%s %s %s: #Dec=%d/%d optimal=%d timeouts=%d mean(eD)=%.3f mean(eB)=%.3f \
+     CPU=%.2fs"
+    r.Pipeline.circuit_name
+    (Pipeline.method_name r.Pipeline.method_used)
+    (Gate.to_string r.Pipeline.gate_used)
+    a.n_decomposed a.n_outputs a.n_optimal a.n_timed_out a.mean_disjointness
+    a.mean_balancedness a.total_cpu
+
+let to_text r =
+  let buf = Buffer.create 1024 in
+  Array.iter
+    (fun (po : Pipeline.po_result) ->
+      let xa, xb, xc, ed, eb = po_fields po in
+      let status =
+        match po.Pipeline.partition with
+        | None -> if po.Pipeline.timed_out then "timeout" else "indecomposable"
+        | Some _ when po.Pipeline.proven_optimal -> "optimal"
+        | Some _ -> "decomposed"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%-16s n=%-3d %-14s |XA|=%-2d |XB|=%-2d |XC|=%-2d eD=%-5.3f \
+            eB=%-5.3f %6.3fs\n"
+           po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
+           po.Pipeline.cpu))
+    r.Pipeline.per_po;
+  Buffer.add_string buf (summary_line r);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_csv r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu\n";
+  Array.iter
+    (fun (po : Pipeline.po_result) ->
+      let xa, xb, xc, ed, eb = po_fields po in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f\n"
+           po.Pipeline.po_name po.Pipeline.support_size
+           (po.Pipeline.partition <> None)
+           po.Pipeline.proven_optimal po.Pipeline.timed_out xa xb xc ed eb
+           po.Pipeline.cpu))
+    r.Pipeline.per_po;
+  Buffer.contents buf
+
+let to_markdown r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "### %s — %s, %s\n\n" r.Pipeline.circuit_name
+       (Pipeline.method_name r.Pipeline.method_used)
+       (Gate.to_string r.Pipeline.gate_used));
+  Buffer.add_string buf
+    "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|\n";
+  Array.iter
+    (fun (po : Pipeline.po_result) ->
+      let xa, xb, xc, ed, eb = po_fields po in
+      let status =
+        match po.Pipeline.partition with
+        | None -> if po.Pipeline.timed_out then "timeout" else "—"
+        | Some _ when po.Pipeline.proven_optimal -> "optimal"
+        | Some _ -> "decomposed"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f |\n"
+           po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
+           po.Pipeline.cpu))
+    r.Pipeline.per_po;
+  Buffer.add_string buf (Printf.sprintf "\n%s\n" (summary_line r));
+  Buffer.contents buf
+
+let compare_table ~baseline ~challenger ~metric =
+  let buf = Buffer.create 512 in
+  let better = ref 0 and equal = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i (c : Pipeline.po_result) ->
+      let b = baseline.Pipeline.per_po.(i) in
+      match (c.Pipeline.partition, b.Pipeline.partition) with
+      | Some cp, Some bp ->
+          incr total;
+          let mc = metric cp and mb = metric bp in
+          let tag =
+            if mc < mb -. 1e-9 then begin
+              incr better;
+              "better"
+            end
+            else if Float.abs (mc -. mb) <= 1e-9 then begin
+              incr equal;
+              "equal"
+            end
+            else "worse"
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%-16s %-24s %.3f vs %.3f (%s)\n" c.Pipeline.po_name
+               (Pipeline.method_name challenger.Pipeline.method_used
+               ^ " vs "
+               ^ Pipeline.method_name baseline.Pipeline.method_used)
+               mc mb tag)
+      | _, _ -> ())
+    challenger.Pipeline.per_po;
+  let pct a = if !total = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int !total in
+  Buffer.add_string buf
+    (Printf.sprintf "better %.1f%%  equal %.1f%%  (over %d POs)\n"
+       (pct !better) (pct !equal) !total);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** Structured reporting of pipeline results.
+
+    Renders {!Pipeline.circuit_result} values as aligned text, markdown or
+    CSV, and computes the aggregate rows the paper's tables are built
+    from. Used by the [step] CLI and the benchmark harness. *)
+
+type aggregate = {
+  n_outputs : int;
+  n_decomposed : int;
+  n_optimal : int;
+  n_timed_out : int;
+  mean_disjointness : float; (** Over decomposed POs; [nan] if none. *)
+  mean_balancedness : float;
+  total_cpu : float;
+}
+
+val aggregate_of : Pipeline.circuit_result -> aggregate
+
+val to_text : Pipeline.circuit_result -> string
+(** Aligned per-PO table plus a summary line. *)
+
+val to_csv : Pipeline.circuit_result -> string
+(** One row per PO:
+    [po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu]. *)
+
+val to_markdown : Pipeline.circuit_result -> string
+
+val compare_table :
+  baseline:Pipeline.circuit_result ->
+  challenger:Pipeline.circuit_result ->
+  metric:(Partition.t -> float) ->
+  string
+(** Per-PO metric comparison of two runs over the same circuit (the
+    Table I cell computation), rendered as text. *)

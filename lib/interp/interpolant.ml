@@ -1,0 +1,65 @@
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Aig = Step_aig.Aig
+
+type part = A | B
+
+let compute solver ~a_clauses ~b_clauses ~var_edge ~aig =
+  let steps, empty = Solver.proof_of_unsat solver in
+  let part_of = Hashtbl.create 64 in
+  List.iter (fun id -> Hashtbl.replace part_of id A) a_clauses;
+  List.iter (fun id -> Hashtbl.replace part_of id B) b_clauses;
+  (* global variables: those occurring in the B part *)
+  let global = Hashtbl.create 64 in
+  List.iter
+    (fun id ->
+      Array.iter
+        (fun l -> Hashtbl.replace global (Lit.var l) ())
+        (Solver.clause_lits solver id))
+    b_clauses;
+  let is_global v = Hashtbl.mem global v in
+  let edge_of_lit l =
+    match var_edge (Lit.var l) with
+    | Some e -> if Lit.is_pos l then e else Aig.not_ e
+    | None ->
+        failwith
+          (Printf.sprintf "Interpolant: no edge for global variable %d"
+             (Lit.var l))
+  in
+  (* partial interpolant of an input clause *)
+  let input_itp id =
+    match Hashtbl.find_opt part_of id with
+    | Some A ->
+        let lits = Solver.clause_lits solver id in
+        Array.fold_left
+          (fun acc l ->
+            if is_global (Lit.var l) then Aig.or_ aig acc (edge_of_lit l)
+            else acc)
+          Aig.f lits
+    | Some B -> Aig.t_
+    | None ->
+        failwith
+          (Printf.sprintf "Interpolant: clause %d belongs to neither part" id)
+  in
+  (* interpolants of derived clauses, filled in derivation order *)
+  let derived : (int, Aig.lit) Hashtbl.t = Hashtbl.create 64 in
+  let itp_of id =
+    match Hashtbl.find_opt derived id with
+    | Some i -> i
+    | None -> input_itp id
+  in
+  let eval_chain (step : Solver.Proof.step) =
+    let itp = ref (itp_of step.Solver.Proof.premises.(0)) in
+    Array.iteri
+      (fun i pivot ->
+        let other = itp_of step.Solver.Proof.premises.(i + 1) in
+        itp :=
+          if is_global pivot then Aig.and_ aig !itp other
+          else Aig.or_ aig !itp other)
+      step.Solver.Proof.pivots;
+    !itp
+  in
+  Array.iter
+    (fun (id, step) -> Hashtbl.replace derived id (eval_chain step))
+    steps;
+  eval_chain empty

@@ -1,0 +1,35 @@
+(** Craig interpolation from resolution refutations (McMillan's system).
+
+    Given an unsatisfiable CNF split into parts [A] and [B] and the
+    resolution proof recorded by a proof-logging {!Step_sat.Solver}, this
+    module builds an interpolant [I] as an AIG:
+
+    - [A ⊨ I],
+    - [I ∧ B] is unsatisfiable,
+    - [I] only mentions variables common to [A] and [B].
+
+    Labelling rules (McMillan, CAV'03): an input clause from [A]
+    contributes the disjunction of its {e global} literals (variables
+    occurring in [B]); an input clause from [B] contributes [true];
+    resolution on an [A]-local pivot joins partial interpolants with [∨],
+    on a global pivot with [∧].
+
+    This is how the original LJH tool derives the decomposition function
+    [fA] from the refutation of formula (1); {!Step_core} exposes it as the
+    [`Interpolation] extraction engine. *)
+
+val compute :
+  Step_sat.Solver.t ->
+  a_clauses:int list ->
+  b_clauses:int list ->
+  var_edge:(int -> Step_aig.Aig.lit option) ->
+  aig:Step_aig.Aig.t ->
+  Step_aig.Aig.lit
+(** [compute solver ~a_clauses ~b_clauses ~var_edge ~aig] builds the
+    interpolant of the last refutation as an edge of [aig]. [a_clauses] and
+    [b_clauses] are the clause ids returned by [add_clause] for the two
+    parts (they must cover every problem clause used by the proof).
+    [var_edge] maps the SAT variables shared between the parts to AIG
+    edges; it must be defined on every global variable.
+    @raise Failure if the solver recorded no refutation, a proof premise
+    belongs to neither part, or a global variable has no edge. *)

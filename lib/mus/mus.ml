@@ -1,0 +1,36 @@
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+
+let minimize ?(hard = []) solver ~selectors =
+  let solve sels = Solver.solve ~assumptions:(hard @ sels) solver in
+  if solve selectors then
+    invalid_arg "Mus.minimize: initial selector set is satisfiable";
+  (* start from the first core *)
+  let core = Solver.unsat_core solver in
+  let in_selectors l = List.mem l selectors in
+  let candidates = ref (List.filter in_selectors core) in
+  let needed = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match !candidates with
+    | [] -> continue_ := false
+    | c :: rest ->
+        if solve (!needed @ rest) then begin
+          (* satisfiable without [c]: the group is necessary *)
+          needed := c :: !needed;
+          candidates := rest
+        end
+        else begin
+          (* still unsatisfiable: drop [c]; shrink to the new core *)
+          let core = Solver.unsat_core solver in
+          candidates := List.filter (fun l -> List.mem l core) rest
+        end
+  done;
+  List.rev !needed
+
+let is_minimal ?(hard = []) solver set =
+  let solve sels = Solver.solve ~assumptions:(hard @ sels) solver in
+  (not (solve set))
+  && List.for_all
+       (fun c -> solve (List.filter (fun l -> l <> c) set))
+       set

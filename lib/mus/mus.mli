@@ -1,0 +1,33 @@
+(** Minimal unsatisfiable subset (MUS) extraction, selector-based.
+
+    This is the MUSer substitute used for the STEP-MG baseline and for
+    seeding the QBF optimum search. Clause groups are represented by
+    {e selector} literals: to make group [G] deletable, every clause [c ∈ G]
+    is added to the solver as [c ∨ ¬s_G]; asserting the assumption [s_G]
+    activates the group. A group MUS is then a minimal set of selectors
+    whose activation (together with always-on [hard] assumptions) is
+    unsatisfiable.
+
+    The extractor is deletion-based with unsat-core refinement: each UNSAT
+    answer shrinks the candidate set to the returned core, which in
+    practice removes many groups per solver call (the "clause-set
+    refinement" of MUSer). *)
+
+val minimize :
+  ?hard:Step_sat.Lit.t list ->
+  Step_sat.Solver.t ->
+  selectors:Step_sat.Lit.t list ->
+  Step_sat.Lit.t list
+(** [minimize ~hard solver ~selectors] returns a minimal [S ⊆ selectors]
+    such that the assumptions [hard @ S] are unsatisfiable. Minimality is
+    irredundancy: removing any single element of [S] makes the solver
+    satisfiable under the remaining assumptions.
+    @raise Invalid_argument if [hard @ selectors] is satisfiable. *)
+
+val is_minimal :
+  ?hard:Step_sat.Lit.t list ->
+  Step_sat.Solver.t ->
+  Step_sat.Lit.t list ->
+  bool
+(** Checks the MUS property of a selector set: unsatisfiable as a whole,
+    and satisfiable whenever one element is dropped. Test helper. *)

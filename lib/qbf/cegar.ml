@@ -1,0 +1,78 @@
+module Aig = Step_aig.Aig
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Tseitin = Step_cnf.Tseitin
+
+type outcome = Valid of (int -> bool) | Invalid | Unknown
+
+type stats = { iterations : int; abstraction_nodes : int }
+
+let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
+    ~forall_vars =
+  let support = Aig.support aig matrix in
+  let in_blocks v = List.mem v exists_vars || List.mem v forall_vars in
+  if not (List.for_all in_blocks support) then
+    invalid_arg "Cegar.solve: matrix support outside quantifier blocks";
+  let deadline =
+    match time_budget with
+    | Some b -> Unix.gettimeofday () +. b
+    | None -> infinity
+  in
+  (* Abstraction: SAT solver over the existential inputs. Instantiations
+     φ(X, y°) are built in the same AIG manager (strashing shares their
+     structure) and Tseitin-encoded with the X inputs bound to fixed SAT
+     variables. *)
+  let abs = Tseitin.create aig in
+  let abs_solver = Tseitin.solver abs in
+  let x_lit = Hashtbl.create 16 in
+  List.iter
+    (fun v -> Hashtbl.replace x_lit v (Tseitin.lit_of_input abs v))
+    exists_vars;
+  (* Verification: ¬φ with X inputs assumable. *)
+  let ver = Tseitin.create aig in
+  let ver_solver = Tseitin.solver ver in
+  ignore (Solver.add_clause ver_solver [ Tseitin.lit_of ver (Aig.not_ matrix) ]);
+  let nodes0 = Aig.n_nodes aig in
+  let rec loop iter =
+    if iter >= max_iterations || Unix.gettimeofday () > deadline then
+      (Unknown, { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 })
+    else if not (Solver.solve abs_solver) then
+      (Invalid, { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 })
+    else begin
+      (* candidate x° *)
+      let xval v = Solver.model_value abs_solver (Hashtbl.find x_lit v) in
+      let candidate = List.map (fun v -> (v, xval v)) exists_vars in
+      let assumptions =
+        List.map
+          (fun (v, b) ->
+            let l = Tseitin.lit_of_input ver v in
+            if b then l else Lit.negate l)
+          candidate
+      in
+      if not (Solver.solve ~assumptions ver_solver) then begin
+        (* no universal assignment falsifies φ(x°, Y): witness found *)
+        let tbl = Hashtbl.create 16 in
+        List.iter (fun (v, b) -> Hashtbl.replace tbl v b) candidate;
+        let witness v =
+          match Hashtbl.find_opt tbl v with Some b -> b | None -> false
+        in
+        ( Valid witness,
+          { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 } )
+      end
+      else begin
+        (* counterexample y°: add φ(X, y°) to the abstraction *)
+        let yval v =
+          Solver.model_value ver_solver (Tseitin.lit_of_input ver v)
+        in
+        let subst v =
+          if List.mem v forall_vars then
+            Some (if yval v then Aig.t_ else Aig.f)
+          else None
+        in
+        let inst = Aig.compose aig subst matrix in
+        ignore (Solver.add_clause abs_solver [ Tseitin.lit_of abs inst ]);
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0

@@ -1,0 +1,28 @@
+module Aig = Step_aig.Aig
+
+let assignments vars =
+  let vars = Array.of_list vars in
+  let n = Array.length vars in
+  List.init (1 lsl n) (fun mask i ->
+      let rec idx j = if j >= n then None else if vars.(j) = i then Some j else idx (j + 1) in
+      match idx 0 with
+      | Some j -> (mask lsr j) land 1 = 1
+      | None -> false)
+
+let exists_forall aig ~matrix ~exists_vars ~forall_vars =
+  let combine ex fa i = if List.mem i forall_vars then fa i else ex i in
+  List.exists
+    (fun ex ->
+      List.for_all
+        (fun fa -> Aig.eval aig (combine ex fa) matrix)
+        (assignments forall_vars))
+    (assignments exists_vars)
+
+let forall_exists aig ~matrix ~forall_vars ~exists_vars =
+  let combine fa ex i = if List.mem i exists_vars then ex i else fa i in
+  List.for_all
+    (fun fa ->
+      List.exists
+        (fun ex -> Aig.eval aig (combine fa ex) matrix)
+        (assignments exists_vars))
+    (assignments forall_vars)

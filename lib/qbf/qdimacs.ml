@@ -1,0 +1,177 @@
+module Aig = Step_aig.Aig
+module Solver = Step_sat.Solver
+module SLit = Step_sat.Lit
+
+type quantifier = Exists | Forall
+
+type t = {
+  num_vars : int;
+  prefix : (quantifier * int list) list;
+  clauses : int list list;
+}
+
+let parse_string text =
+  let prefix = ref [] in
+  let clauses = ref [] in
+  let cur = ref [] in
+  let max_var = ref 0 in
+  let header_vars = ref 0 in
+  let note v = max_var := max !max_var (abs v) in
+  let handle_clause_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Qdimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !cur :: !clauses;
+        cur := []
+    | Some v ->
+        note v;
+        cur := v :: !cur
+  in
+  let handle_prefix q toks =
+    let vars =
+      List.filter_map
+        (fun tok ->
+          match int_of_string_opt tok with
+          | Some 0 -> None
+          | Some v when v > 0 ->
+              note v;
+              Some (v - 1)
+          | Some _ | None -> failwith "Qdimacs: bad quantifier line")
+        toks
+    in
+    prefix := (q, vars) :: !prefix
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" || line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      with
+      | [ "p"; "cnf"; nv; _ ] ->
+          header_vars := (try int_of_string nv with Failure _ -> 0)
+      | _ -> failwith "Qdimacs: malformed p line"
+    end
+    else begin
+      let toks =
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      in
+      match toks with
+      | "e" :: rest -> handle_prefix Exists rest
+      | "a" :: rest -> handle_prefix Forall rest
+      | _ -> List.iter handle_clause_token toks
+    end
+  in
+  List.iter handle_line (String.split_on_char '\n' text);
+  if !cur <> [] then clauses := List.rev !cur :: !clauses;
+  {
+    num_vars = max !header_vars !max_var;
+    prefix = List.rev !prefix;
+    clauses = List.rev !clauses;
+  }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let to_string q =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" q.num_vars (List.length q.clauses));
+  List.iter
+    (fun (quant, vars) ->
+      Buffer.add_string buf (match quant with Exists -> "e" | Forall -> "a");
+      List.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" (v + 1))) vars;
+      Buffer.add_string buf " 0\n")
+    q.prefix;
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (Printf.sprintf "%d " l)) clause;
+      Buffer.add_string buf "0\n")
+    q.clauses;
+  Buffer.contents buf
+
+type answer = True | False | Unknown
+
+(* merge adjacent blocks of the same quantifier; bind free variables
+   existentially at the outermost level *)
+let normalized_prefix q =
+  let bound = Hashtbl.create 16 in
+  List.iter
+    (fun (_, vars) -> List.iter (fun v -> Hashtbl.replace bound v ()) vars)
+    q.prefix;
+  let free =
+    List.init q.num_vars Fun.id
+    |> List.filter (fun v -> not (Hashtbl.mem bound v))
+  in
+  let blocks =
+    (if free = [] then [] else [ (Exists, free) ]) @ q.prefix
+  in
+  let rec merge = function
+    | (q1, v1) :: (q2, v2) :: rest when q1 = q2 -> merge ((q1, v1 @ v2) :: rest)
+    | b :: rest -> b :: merge rest
+    | [] -> []
+  in
+  merge (List.filter (fun (_, vars) -> vars <> []) blocks)
+
+let build_matrix q =
+  let aig = Aig.create () in
+  let inputs = Array.init (max 1 q.num_vars) (fun _ -> Aig.fresh_input aig) in
+  let clause_edge clause =
+    Aig.or_list aig
+      (List.map
+         (fun l ->
+           let e = inputs.(abs l - 1) in
+           if l > 0 then e else Aig.not_ e)
+         clause)
+  in
+  (aig, Aig.and_list aig (List.map clause_edge q.clauses))
+
+let propositional_sat q =
+  let s = Solver.create () in
+  Solver.ensure_var s (q.num_vars - 1);
+  List.iter
+    (fun clause ->
+      ignore
+        (Solver.add_clause s
+           (List.map (fun l -> SLit.of_dimacs l) clause)))
+    q.clauses;
+  Solver.solve s
+
+let solve ?max_iterations ?time_budget q =
+  match normalized_prefix q with
+  | [] | [ (Exists, _) ] -> if propositional_sat q then True else False
+  | [ (Forall, _) ] ->
+      (* ∀X.φ ⟺ ¬SAT(¬φ); with φ in CNF, check whether some clause can be
+         falsified: φ is a tautology iff every assignment satisfies it *)
+      let aig, matrix = build_matrix q in
+      let enc = Step_cnf.Tseitin.create aig in
+      ignore
+        (Solver.add_clause (Step_cnf.Tseitin.solver enc)
+           [ Step_cnf.Tseitin.lit_of enc (Aig.not_ matrix) ]);
+      if Solver.solve (Step_cnf.Tseitin.solver enc) then False else True
+  | [ (Exists, xs); (Forall, ys) ] -> begin
+      let aig, matrix = build_matrix q in
+      match
+        Cegar.solve ?max_iterations ?time_budget aig ~matrix ~exists_vars:xs
+          ~forall_vars:ys
+      with
+      | Cegar.Valid _, _ -> True
+      | Cegar.Invalid, _ -> False
+      | Cegar.Unknown, _ -> Unknown
+    end
+  | [ (Forall, xs); (Exists, ys) ] -> begin
+      (* ∀X∃Y.φ ⟺ ¬(∃X∀Y.¬φ) *)
+      let aig, matrix = build_matrix q in
+      match
+        Cegar.solve ?max_iterations ?time_budget aig ~matrix:(Aig.not_ matrix)
+          ~exists_vars:xs ~forall_vars:ys
+      with
+      | Cegar.Valid _, _ -> False
+      | Cegar.Invalid, _ -> True
+      | Cegar.Unknown, _ -> Unknown
+    end
+  | _ -> failwith "Qdimacs.solve: more than two quantifier levels"

@@ -1,0 +1,28 @@
+(** QDIMACS parsing and 2QBF solving over it.
+
+    Accepts prenex CNF with at most two quantifier levels (the fragment
+    the paper's models live in — and the fragment AReQS decides). Free
+    variables are bound existentially at the outermost level, as the
+    QDIMACS standard prescribes. *)
+
+type quantifier = Exists | Forall
+
+type t = {
+  num_vars : int;
+  prefix : (quantifier * int list) list; (** Outermost first; 0-based vars. *)
+  clauses : int list list; (** DIMACS-signed literals, here ±(var+1). *)
+}
+
+val parse_string : string -> t
+(** @raise Failure on malformed input. *)
+
+val parse_file : string -> t
+
+val to_string : t -> string
+
+type answer = True | False | Unknown
+
+val solve : ?max_iterations:int -> ?time_budget:float -> t -> answer
+(** Decides the formula with the CEGAR engine ([∃∀] directly, [∀∃] via the
+    negated dual, single-level and propositional formulas by SAT).
+    @raise Failure on more than two quantifier alternations. *)

@@ -1,0 +1,64 @@
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+let parse_string text =
+  let clauses = ref [] in
+  let cur = ref [] in
+  let max_var = ref 0 in
+  let header_vars = ref 0 in
+  let lines = String.split_on_char '\n' text in
+  let handle_token tok =
+    match int_of_string_opt tok with
+    | None -> failwith (Printf.sprintf "Dimacs: bad token %S" tok)
+    | Some 0 ->
+        clauses := List.rev !cur :: !clauses;
+        cur := []
+    | Some n ->
+        let l = Lit.of_dimacs n in
+        max_var := max !max_var (Lit.var l + 1);
+        cur := l :: !cur
+  in
+  let handle_line line =
+    let line = String.trim line in
+    if line = "" then ()
+    else if line.[0] = 'c' then ()
+    else if line.[0] = 'p' then begin
+      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+      | [ "p"; "cnf"; nv; _nc ] ->
+          header_vars := (try int_of_string nv with Failure _ -> 0)
+      | _ -> failwith "Dimacs: malformed p line"
+    end
+    else
+      String.split_on_char ' ' line
+      |> List.filter (fun s -> s <> "")
+      |> List.iter handle_token
+  in
+  List.iter handle_line lines;
+  if !cur <> [] then clauses := List.rev !cur :: !clauses;
+  { num_vars = max !header_vars !max_var; clauses = List.rev !clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse_string text
+
+let to_string cnf =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" cnf.num_vars (List.length cnf.clauses));
+  let add_clause c =
+    List.iter (fun l -> Buffer.add_string buf (Lit.to_string l ^ " ")) c;
+    Buffer.add_string buf "0\n"
+  in
+  List.iter add_clause cnf.clauses;
+  Buffer.contents buf
+
+let write_file path cnf =
+  let oc = open_out path in
+  output_string oc (to_string cnf);
+  close_out oc
+
+let load_into solver cnf =
+  Solver.ensure_var solver (cnf.num_vars - 1);
+  List.map (Solver.add_clause solver) cnf.clauses

@@ -1,0 +1,20 @@
+(** DIMACS CNF reading and writing.
+
+    Used by the tests and the [step] CLI to exchange CNF problems; the rest
+    of the pipeline talks to {!Solver} directly. *)
+
+type cnf = { num_vars : int; clauses : Lit.t list list }
+
+val parse_string : string -> cnf
+(** Parses DIMACS CNF text. Tolerates missing/undersized [p cnf] headers
+    (the variable count is the maximum variable seen).
+    @raise Failure on malformed input. *)
+
+val parse_file : string -> cnf
+
+val to_string : cnf -> string
+
+val write_file : string -> cnf -> unit
+
+val load_into : Solver.t -> cnf -> int list
+(** Adds all clauses to the solver; returns the clause ids. *)

@@ -1,0 +1,104 @@
+let export solver =
+  let steps, empty = Solver.proof_of_unsat solver in
+  ignore empty;
+  let learned =
+    Array.to_list steps
+    |> List.map (fun (id, _) -> Array.to_list (Solver.clause_lits solver id))
+  in
+  learned @ [ [] ]
+
+let export_string solver =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun l -> Buffer.add_string buf (Lit.to_string l ^ " "))
+        clause;
+      Buffer.add_string buf "0\n")
+    (export solver);
+  Buffer.contents buf
+
+(* Minimal standalone unit propagation: clauses as literal arrays, naive
+   fixpoint scans. Quadratic, which is fine for certificate checking of
+   the problem sizes in this repository; crucially it shares nothing with
+   the CDCL engine it is auditing. *)
+module Propagator = struct
+  type t = {
+    mutable clauses : int array list;
+    mutable n_vars : int;
+  }
+
+  let create () = { clauses = []; n_vars = 0 }
+
+  let add p clause =
+    (* dedupe literals so unit detection is not fooled by repetitions *)
+    let clause = Array.of_list (List.sort_uniq compare (Array.to_list clause)) in
+    Array.iter (fun l -> p.n_vars <- max p.n_vars (Lit.var l + 1)) clause;
+    p.clauses <- clause :: p.clauses
+
+  (* propagates from the given assumptions; true iff a conflict arises *)
+  let refutes p assumptions =
+    (* assignment: 0 unknown, 1 true, 2 false *)
+    let value = Array.make (max 1 p.n_vars) 0 in
+    let assign l =
+      let v = Lit.var l in
+      let want = if Lit.is_pos l then 1 else 2 in
+      if value.(v) = 0 then begin
+        value.(v) <- want;
+        true
+      end
+      else value.(v) = want
+    in
+    let lit_value l =
+      let v = value.(Lit.var l) in
+      if v = 0 then 0 else if Lit.is_pos l then v else 3 - v
+    in
+    if not (List.for_all assign assumptions) then true
+    else begin
+      let conflict = ref false in
+      let changed = ref true in
+      while !changed && not !conflict do
+        changed := false;
+        List.iter
+          (fun clause ->
+            if not !conflict then begin
+              let unassigned = ref [] and satisfied = ref false in
+              Array.iter
+                (fun l ->
+                  match lit_value l with
+                  | 1 -> satisfied := true
+                  | 0 -> unassigned := l :: !unassigned
+                  | _ -> ())
+                clause;
+              if not !satisfied then begin
+                match !unassigned with
+                | [] -> conflict := true
+                | [ l ] ->
+                    if assign l then changed := true else conflict := true
+                | _ :: _ :: _ -> ()
+              end
+            end)
+          p.clauses
+      done;
+      !conflict
+    end
+end
+
+let check ~cnf ~trace =
+  match List.rev trace with
+  | [] -> false
+  | last :: _ when last <> [] -> false
+  | _ ->
+      let p = Propagator.create () in
+      List.iter (fun c -> Propagator.add p (Array.of_list c)) cnf;
+      let rec go = function
+        | [] -> true
+        | clause :: rest ->
+            let negated = List.map Lit.negate clause in
+            if Propagator.refutes p negated then begin
+              Propagator.add p (Array.of_list clause);
+              go rest
+            end
+            else false
+      in
+      go trace

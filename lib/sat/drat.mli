@@ -1,0 +1,24 @@
+(** DRAT-style proof export and RUP trace checking.
+
+    A proof-logging {!Solver} that answered [Unsat] (without assumptions)
+    can emit its learned clauses in derivation order, ending with the
+    empty clause — a DRAT certificate (without deletion lines). The
+    {!check} function independently validates such a trace against the
+    original CNF by reverse unit propagation (RUP): every trace clause,
+    when negated and propagated together with the clauses accumulated so
+    far, must yield a conflict. This gives an end-to-end check of the
+    solver's UNSAT answers that shares no code with the CDCL engine. *)
+
+val export : Solver.t -> Lit.t list list
+(** The learned-clause trace, final empty clause included.
+    @raise Failure if the solver has no recorded refutation. *)
+
+val export_string : Solver.t -> string
+(** Same trace in textual DRAT format (one clause per line, [0]-terminated
+    DIMACS literals). *)
+
+val check : cnf:Lit.t list list -> trace:Lit.t list list -> bool
+(** [check ~cnf ~trace] is [true] iff every trace clause is RUP with
+    respect to [cnf] plus the preceding trace clauses, and the last trace
+    clause is empty — i.e. the trace certifies unsatisfiability of
+    [cnf]. *)

@@ -1,0 +1,43 @@
+let iter ?project ?(limit = max_int) solver f =
+  let vars =
+    match project with
+    | Some vs -> vs
+    | None -> List.init (Solver.n_vars solver) Fun.id
+  in
+  let rec go count =
+    if count >= limit then count
+    else if not (Solver.solve solver) then count
+    else begin
+      let values = List.map (fun v -> (v, Solver.var_value solver v)) vars in
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (v, b) -> Hashtbl.replace tbl v b) values;
+      f (fun v -> match Hashtbl.find_opt tbl v with Some b -> b | None -> false);
+      (* block this projected assignment *)
+      let blocking =
+        List.map
+          (fun (v, b) -> if b then Lit.neg_of_var v else Lit.pos v)
+          values
+      in
+      if blocking = [] then count + 1
+      else begin
+        ignore (Solver.add_clause solver blocking);
+        go (count + 1)
+      end
+    end
+  in
+  go 0
+
+let count ?project ?limit solver = iter ?project ?limit solver (fun _ -> ())
+
+let models ?project ?limit solver =
+  let vars =
+    match project with
+    | Some vs -> vs
+    | None -> List.init (Solver.n_vars solver) Fun.id
+  in
+  let acc = ref [] in
+  let _ =
+    iter ?project ?limit solver (fun model ->
+        acc := List.map model vars :: !acc)
+  in
+  List.rev !acc

@@ -1,0 +1,28 @@
+(** Model enumeration with blocking clauses.
+
+    Iterates the satisfying assignments of a solver, optionally projected
+    onto a subset of variables: after each model, its projection is blocked
+    and the solver re-queried. With projection, each projected assignment
+    is reported once even when many total models extend it.
+
+    Note that blocking clauses permanently constrain the solver; enumerate
+    on a dedicated solver (or accept the strengthening). *)
+
+val iter :
+  ?project:int list ->
+  ?limit:int ->
+  Solver.t ->
+  ((int -> bool) -> unit) ->
+  int
+(** [iter ~project ~limit s f] calls [f] with each model (as a valuation
+    of the projected variables — all variables when [project] is omitted)
+    and returns the number of models found. Stops at [limit] (default: no
+    bound) or when the solver becomes unsatisfiable. *)
+
+val count : ?project:int list -> ?limit:int -> Solver.t -> int
+(** Number of (projected) models, up to [limit]. *)
+
+val models :
+  ?project:int list -> ?limit:int -> Solver.t -> bool list list
+(** The projected models as lists of values, ordered as the projection
+    list (all variables ascending when omitted). *)

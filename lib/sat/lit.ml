@@ -1,0 +1,27 @@
+type t = int
+
+let of_var sign v =
+  assert (v >= 0);
+  if sign then 2 * v else (2 * v) + 1
+
+let pos v = of_var true v
+
+let neg_of_var v = of_var false v
+
+let var l = l lsr 1
+
+let negate l = l lxor 1
+
+let is_pos l = l land 1 = 0
+
+let sign = is_pos
+
+let to_dimacs l = if is_pos l then var l + 1 else -(var l + 1)
+
+let of_dimacs n =
+  if n = 0 then invalid_arg "Lit.of_dimacs: 0";
+  if n > 0 then pos (n - 1) else neg_of_var (-n - 1)
+
+let to_string l = string_of_int (to_dimacs l)
+
+let pp fmt l = Format.pp_print_int fmt (to_dimacs l)

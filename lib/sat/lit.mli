@@ -1,0 +1,37 @@
+(** Literals encoded as non-negative integers.
+
+    Variable [v] (0-based) yields the positive literal [2*v] and the
+    negative literal [2*v + 1], MiniSat-style. The encoding keeps literals
+    unboxed and makes watch lists directly indexable. *)
+
+type t = int
+
+val of_var : bool -> int -> t
+(** [of_var sign v] is the literal over variable [v]; [sign = true] gives
+    the positive literal. *)
+
+val pos : int -> t
+(** Positive literal of a variable. *)
+
+val neg_of_var : int -> t
+(** Negative literal of a variable. *)
+
+val var : t -> int
+(** Underlying variable. *)
+
+val negate : t -> t
+
+val is_pos : t -> bool
+
+val sign : t -> bool
+(** [sign l] is [true] for positive literals (alias of {!is_pos}). *)
+
+val to_dimacs : t -> int
+(** Signed 1-based DIMACS form: variable [v] becomes [v+1] or [-(v+1)]. *)
+
+val of_dimacs : int -> t
+(** Inverse of {!to_dimacs}. @raise Invalid_argument on [0]. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,137 @@
+type result = {
+  cnf : Dimacs.cnf;
+  eliminated : (int * Lit.t list list) list;
+}
+
+let is_tautology c =
+  List.exists (fun l -> List.mem (Lit.negate l) c) c
+
+let normalize c = List.sort_uniq compare c
+
+(* resolve two clauses on variable v (first contains +v, second -v) *)
+let resolve v pos neg =
+  let keep c skip = List.filter (fun l -> Lit.var l <> v || l <> skip) c in
+  normalize (keep pos (Lit.pos v) @ keep neg (Lit.neg_of_var v))
+
+(* one unit-propagation sweep over a clause list; returns None on conflict *)
+let propagate_units clauses =
+  let units = Hashtbl.create 16 in
+  let rec fixpoint clauses =
+    let changed = ref false in
+    let out = ref [] in
+    let conflict = ref false in
+    List.iter
+      (fun c ->
+        if not !conflict then begin
+          let c' =
+            List.filter
+              (fun l -> not (Hashtbl.mem units (Lit.negate l)))
+              c
+          in
+          if List.exists (fun l -> Hashtbl.mem units l) c' then ()
+          else
+            match c' with
+            | [] -> conflict := true
+            | [ l ] ->
+                if not (Hashtbl.mem units l) then begin
+                  Hashtbl.replace units l ();
+                  changed := true
+                end
+            | _ -> out := c' :: !out
+        end)
+      clauses;
+    if !conflict then None
+    else if !changed then fixpoint !out
+    else Some !out
+  in
+  match fixpoint clauses with
+  | None -> None
+  | Some rest ->
+      let unit_clauses = Hashtbl.fold (fun l () acc -> [ l ] :: acc) units [] in
+      Some (unit_clauses @ rest)
+
+let eliminate ?(growth = 0) ?(max_passes = 3) (cnf : Dimacs.cnf) =
+  let clauses = ref (List.map normalize cnf.Dimacs.clauses) in
+  let eliminated = ref [] in
+  let unsat = ref false in
+  (match propagate_units !clauses with
+  | None ->
+      unsat := true;
+      clauses := [ [] ]
+  | Some cs -> clauses := List.filter (fun c -> not (is_tautology c)) cs);
+  let pass () =
+    let changed = ref false in
+    (* occurrence census *)
+    let occ = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        List.iter
+          (fun l ->
+            let v = Lit.var l in
+            let p, n = Option.value ~default:(0, 0) (Hashtbl.find_opt occ v) in
+            Hashtbl.replace occ v
+              (if Lit.is_pos l then (p + 1, n) else (p, n + 1)))
+          c)
+      !clauses;
+    let candidates =
+      Hashtbl.fold (fun v (p, n) acc -> (p * n, p + n, v) :: acc) occ []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (_, _, v) ->
+        (* never eliminate a variable holding a unit clause of its own *)
+        let with_v, without =
+          List.partition (fun c -> List.exists (fun l -> Lit.var l = v) c)
+            !clauses
+        in
+        if with_v <> [] then begin
+          let pos, neg =
+            List.partition (fun c -> List.mem (Lit.pos v) c) with_v
+          in
+          let resolvents =
+            List.concat_map
+              (fun pc ->
+                List.filter_map
+                  (fun nc ->
+                    let r = resolve v pc nc in
+                    if is_tautology r then None else Some r)
+                  neg)
+              pos
+          in
+          if List.length resolvents <= List.length with_v + growth then begin
+            changed := true;
+            eliminated := (v, with_v) :: !eliminated;
+            clauses := List.sort_uniq compare (resolvents @ without)
+          end
+        end)
+      candidates;
+    !changed
+  in
+  if not !unsat then begin
+    let rec go p = if p < max_passes && pass () then go (p + 1) in
+    go 0
+  end;
+  {
+    cnf = { Dimacs.num_vars = cnf.Dimacs.num_vars; clauses = !clauses };
+    eliminated = List.rev !eliminated;
+  }
+
+let reconstruct r model =
+  let values = Hashtbl.create 16 in
+  let lookup v =
+    match Hashtbl.find_opt values v with Some b -> b | None -> model v
+  in
+  (* assign eliminated variables in reverse elimination order *)
+  List.iter
+    (fun (v, clauses) ->
+      let lit_true l = if Lit.var l = v then false else lookup (Lit.var l) = Lit.is_pos l in
+      (* v must satisfy every recorded clause not already satisfied *)
+      let needs_true =
+        List.exists
+          (fun c ->
+            List.mem (Lit.pos v) c && not (List.exists lit_true c))
+          clauses
+      in
+      Hashtbl.replace values v needs_true)
+    (List.rev r.eliminated);
+  lookup

@@ -1,0 +1,28 @@
+(** CNF preprocessing by bounded variable elimination (SatELite-style).
+
+    Eliminates a variable by replacing its occurrences with all non-tautological
+    resolvents whenever that does not grow the clause count beyond a
+    bound — the classic simplification used ahead of CDCL search. The
+    eliminated clauses are recorded so that a model of the simplified
+    formula can be {!reconstruct}ed into a model of the original.
+
+    Pure (list-based) and deliberately independent of {!Solver}; tests use
+    it both ways (preprocess-then-solve equals solve). *)
+
+type result = {
+  cnf : Dimacs.cnf; (** The simplified formula. *)
+  eliminated : (int * Lit.t list list) list;
+      (** [(var, clauses)] in elimination order: the original clauses
+          containing the variable at the time it was eliminated. *)
+}
+
+val eliminate : ?growth:int -> ?max_passes:int -> Dimacs.cnf -> result
+(** [eliminate cnf] repeatedly removes variables whose elimination adds at
+    most [growth] clauses (default 0) over what it deletes, for up to
+    [max_passes] sweeps (default 3). Unit clauses are propagated first in
+    each pass. The result is equisatisfiable with the input. *)
+
+val reconstruct : result -> (int -> bool) -> int -> bool
+(** [reconstruct r model] extends a model of [r.cnf] to the eliminated
+    variables, yielding a model of the original formula. Variables absent
+    from both read as the simplified model's value. *)

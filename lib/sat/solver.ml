@@ -1,0 +1,872 @@
+module Veci = Step_util.Veci
+
+(* CDCL solver. Nomenclature follows MiniSat: [trail] is the assignment
+   stack, [trail_lim] marks decision-level boundaries, [reason.(v)] is the
+   clause id that propagated variable [v] (-1 for decisions), watch list
+   [watches.(l)] holds clauses in which literal [l] is watched (visited
+   when [l] becomes false). Assignment codes: 0 = unassigned, 1 = true,
+   2 = false, stored per variable with the sign applied on read. *)
+
+module Proof = struct
+  type step = { premises : int array; pivots : int array }
+end
+
+type clause = {
+  mutable lits : int array;
+  learnt : bool;
+  mutable act : float;
+  mutable removed : bool;
+}
+
+type result = Sat | Unsat | Unknown
+
+type t = {
+  mutable clauses : clause array; (* id -> clause; dense prefix *)
+  mutable n_cls : int; (* total records, problem + learned *)
+  mutable n_problem : int;
+  learnts : Veci.t; (* ids of live learned clauses *)
+  mutable watches : Veci.t array; (* per literal *)
+  mutable assign : Bytes.t; (* per var *)
+  mutable level : int array;
+  mutable reason : int array;
+  mutable activity : float array;
+  mutable polarity : Bytes.t; (* saved phase: 1 = true *)
+  mutable seen : Bytes.t;
+  to_clear : Veci.t;
+  trail : Veci.t;
+  trail_lim : Veci.t;
+  mutable qhead : int;
+  mutable order : Idx_heap.t;
+  mutable nvars : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable model : Bytes.t;
+  mutable core : int list;
+  (* statistics *)
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable max_learnts : float;
+  (* budgets *)
+  mutable conflict_budget : int;
+  mutable conflict_limit : int;
+  mutable time_budget : float;
+  mutable deadline : float;
+  (* proof logging *)
+  proof_mode : bool;
+  chain_ids : Veci.t; (* learned clause id per chain *)
+  mutable chains : Proof.step array;
+  mutable n_chains : int;
+  mutable empty_chain : Proof.step option;
+}
+
+let dummy_clause = { lits = [||]; learnt = false; act = 0.; removed = true }
+
+let create ?(proof = false) () =
+  let s =
+    {
+      clauses = Array.make 64 dummy_clause;
+      n_cls = 0;
+      n_problem = 0;
+      learnts = Veci.create ();
+      watches = Array.init 32 (fun _ -> Veci.create ~cap:4 ());
+      assign = Bytes.make 16 '\000';
+      level = Array.make 16 0;
+      reason = Array.make 16 (-1);
+      activity = Array.make 16 0.;
+      polarity = Bytes.make 16 '\000';
+      seen = Bytes.make 16 '\000';
+      to_clear = Veci.create ();
+      trail = Veci.create ();
+      trail_lim = Veci.create ();
+      qhead = 0;
+      order = Idx_heap.create ~gt:(fun _ _ -> false);
+      nvars = 0;
+      var_inc = 1.0;
+      cla_inc = 1.0;
+      ok = true;
+      model = Bytes.make 0 '\000';
+      core = [];
+      conflicts = 0;
+      decisions = 0;
+      propagations = 0;
+      max_learnts = 0.;
+      conflict_budget = -1;
+      conflict_limit = max_int;
+      time_budget = -1.;
+      deadline = infinity;
+      proof_mode = proof;
+      chain_ids = Veci.create ();
+      chains = Array.make 16 { Proof.premises = [||]; pivots = [||] };
+      n_chains = 0;
+      empty_chain = None;
+    }
+  in
+  s.order <- Idx_heap.create ~gt:(fun a b -> s.activity.(a) > s.activity.(b));
+  s
+
+let proof_logging s = s.proof_mode
+
+let n_vars s = s.nvars
+
+let n_clauses s = s.n_problem
+
+let n_learnts s = Veci.length s.learnts
+
+let n_conflicts s = s.conflicts
+
+let n_decisions s = s.decisions
+
+let n_propagations s = s.propagations
+
+let okay s = s.ok
+
+let decision_level s = Veci.length s.trail_lim
+
+(* ---------- variable management ---------- *)
+
+let grow_vars s n =
+  let old = Array.length s.level in
+  if n > old then begin
+    let cap = max (2 * old) n in
+    let level = Array.make cap 0 in
+    Array.blit s.level 0 level 0 old;
+    s.level <- level;
+    let reason = Array.make cap (-1) in
+    Array.blit s.reason 0 reason 0 old;
+    s.reason <- reason;
+    let activity = Array.make cap 0. in
+    Array.blit s.activity 0 activity 0 old;
+    s.activity <- activity;
+    let ext b =
+      let nb = Bytes.make cap '\000' in
+      Bytes.blit b 0 nb 0 (Bytes.length b);
+      nb
+    in
+    s.assign <- ext s.assign;
+    s.polarity <- ext s.polarity;
+    s.seen <- ext s.seen;
+    let watches = Array.make (2 * cap) (Veci.create ()) in
+    Array.blit s.watches 0 watches 0 (Array.length s.watches);
+    for i = Array.length s.watches to (2 * cap) - 1 do
+      watches.(i) <- Veci.create ~cap:4 ()
+    done;
+    s.watches <- watches
+  end
+
+let new_var s =
+  let v = s.nvars in
+  grow_vars s (v + 1);
+  Bytes.set s.assign v '\000';
+  s.level.(v) <- 0;
+  s.reason.(v) <- -1;
+  s.activity.(v) <- 0.;
+  s.nvars <- v + 1;
+  Idx_heap.insert s.order v;
+  v
+
+let ensure_var s v =
+  while s.nvars <= v do
+    ignore (new_var s)
+  done
+
+(* ---------- assignment access ---------- *)
+
+(* 0 unassigned / 1 true / 2 false, for a literal *)
+let value_lit s l =
+  let a = Char.code (Bytes.unsafe_get s.assign (Lit.var l)) in
+  if a = 0 then 0 else if Lit.is_pos l then a else 3 - a
+
+let lit_true s l = value_lit s l = 1
+
+let lit_false s l = value_lit s l = 2
+
+let lit_unassigned s l = value_lit s l = 0
+
+(* ---------- activities ---------- *)
+
+let var_rescale s =
+  for v = 0 to s.nvars - 1 do
+    s.activity.(v) <- s.activity.(v) *. 1e-100
+  done;
+  s.var_inc <- s.var_inc *. 1e-100
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then var_rescale s;
+  Idx_heap.increased s.order v
+
+let var_decay s = s.var_inc <- s.var_inc /. 0.95
+
+let cla_bump s c =
+  c.act <- c.act +. s.cla_inc;
+  if c.act > 1e20 then begin
+    Veci.iter
+      (fun id ->
+        let c = s.clauses.(id) in
+        c.act <- c.act *. 1e-20)
+      s.learnts;
+    s.cla_inc <- s.cla_inc *. 1e-20
+  end
+
+let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
+
+(* ---------- clause store ---------- *)
+
+let alloc_clause s lits learnt =
+  if s.n_cls = Array.length s.clauses then begin
+    let clauses = Array.make (2 * s.n_cls) dummy_clause in
+    Array.blit s.clauses 0 clauses 0 s.n_cls;
+    s.clauses <- clauses
+  end;
+  let id = s.n_cls in
+  s.clauses.(id) <- { lits; learnt; act = 0.; removed = false };
+  s.n_cls <- id + 1;
+  id
+
+let attach s id =
+  let c = s.clauses.(id) in
+  assert (Array.length c.lits >= 2);
+  Veci.push s.watches.(c.lits.(0)) id;
+  Veci.push s.watches.(c.lits.(1)) id
+
+let detach_watch s l id =
+  let w = s.watches.(l) in
+  let rec go i =
+    if i < Veci.length w then
+      if Veci.get w i = id then Veci.remove_unordered w i else go (i + 1)
+  in
+  go 0
+
+let detach s id =
+  let c = s.clauses.(id) in
+  detach_watch s c.lits.(0) id;
+  detach_watch s c.lits.(1) id
+
+(* ---------- trail ---------- *)
+
+let enqueue s l reason =
+  assert (lit_unassigned s l);
+  let v = Lit.var l in
+  Bytes.unsafe_set s.assign v (if Lit.is_pos l then '\001' else '\002');
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Veci.push s.trail l
+
+let new_decision_level s = Veci.push s.trail_lim (Veci.length s.trail)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Veci.get s.trail_lim lvl in
+    for i = Veci.length s.trail - 1 downto bound do
+      let l = Veci.get s.trail i in
+      let v = Lit.var l in
+      Bytes.unsafe_set s.assign v '\000';
+      Bytes.unsafe_set s.polarity v (if Lit.is_pos l then '\001' else '\000');
+      s.reason.(v) <- -1;
+      Idx_heap.insert s.order v
+    done;
+    Veci.shrink s.trail bound;
+    Veci.shrink s.trail_lim lvl;
+    s.qhead <- bound
+  end
+
+(* ---------- propagation ---------- *)
+
+(* Returns the id of a conflicting clause, or -1. *)
+let propagate s =
+  let confl = ref (-1) in
+  while !confl < 0 && s.qhead < Veci.length s.trail do
+    let p = Veci.get s.trail s.qhead in
+    s.qhead <- s.qhead + 1;
+    s.propagations <- s.propagations + 1;
+    let false_lit = Lit.negate p in
+    let w = s.watches.(false_lit) in
+    (* compact in place: keep watches that stay *)
+    let i = ref 0 and j = ref 0 in
+    let n = Veci.length w in
+    while !i < n do
+      let id = Veci.get w !i in
+      incr i;
+      let c = s.clauses.(id) in
+      if c.removed then () (* drop lazily *)
+      else begin
+        let lits = c.lits in
+        if lits.(0) = false_lit then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- false_lit
+        end;
+        assert (lits.(1) = false_lit);
+        if lit_true s lits.(0) then begin
+          Veci.set w !j id;
+          incr j
+        end
+        else begin
+          (* search replacement watch *)
+          let len = Array.length lits in
+          let k = ref 2 in
+          while !k < len && lit_false s lits.(!k) do
+            incr k
+          done;
+          if !k < len then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- false_lit;
+            Veci.push s.watches.(lits.(1)) id
+          end
+          else begin
+            (* unit or conflict *)
+            Veci.set w !j id;
+            incr j;
+            if lit_false s lits.(0) then begin
+              confl := id;
+              s.qhead <- Veci.length s.trail;
+              (* copy remaining watches *)
+              while !i < n do
+                Veci.set w !j (Veci.get w !i);
+                incr i;
+                incr j
+              done
+            end
+            else enqueue s lits.(0) id
+          end
+        end
+      end
+    done;
+    Veci.shrink w !j
+  done;
+  !confl
+
+(* ---------- proof chains ---------- *)
+
+let push_chain s id step =
+  if s.n_chains = Array.length s.chains then begin
+    let chains =
+      Array.make (2 * s.n_chains) { Proof.premises = [||]; pivots = [||] }
+    in
+    Array.blit s.chains 0 chains 0 s.n_chains;
+    s.chains <- chains
+  end;
+  s.chains.(s.n_chains) <- step;
+  s.n_chains <- s.n_chains + 1;
+  Veci.push s.chain_ids id
+
+(* Resolve away level-0 literals marked with seen-code 2, in reverse trail
+   order, appending to [premises]/[pivots]. Clears the marks it consumes. *)
+let resolve_zero s premises pivots =
+  let bound =
+    if Veci.length s.trail_lim = 0 then Veci.length s.trail
+    else Veci.get s.trail_lim 0
+  in
+  for i = bound - 1 downto 0 do
+    let v = Lit.var (Veci.get s.trail i) in
+    if Bytes.get s.seen v = '\002' then begin
+      let r = s.reason.(v) in
+      assert (r >= 0);
+      Veci.push premises r;
+      Veci.push pivots v;
+      let lits = s.clauses.(r).lits in
+      for j = 1 to Array.length lits - 1 do
+        let u = Lit.var lits.(j) in
+        if s.level.(u) = 0 && Bytes.get s.seen u = '\000' then begin
+          Bytes.set s.seen u '\002';
+          Veci.push s.to_clear u
+        end
+      done;
+      Bytes.set s.seen v '\000'
+    end
+  done
+
+let clear_seen s =
+  Veci.iter (fun v -> Bytes.set s.seen v '\000') s.to_clear;
+  Veci.clear s.to_clear
+
+(* Conflict at level 0: derive the empty clause. *)
+let record_empty_chain s confl_id =
+  if s.proof_mode then begin
+    let premises = Veci.create () and pivots = Veci.create () in
+    Veci.push premises confl_id;
+    let lits = s.clauses.(confl_id).lits in
+    Array.iter
+      (fun l ->
+        let v = Lit.var l in
+        if Bytes.get s.seen v = '\000' then begin
+          Bytes.set s.seen v '\002';
+          Veci.push s.to_clear v
+        end)
+      lits;
+    resolve_zero s premises pivots;
+    clear_seen s;
+    s.empty_chain <-
+      Some { Proof.premises = Veci.to_array premises; pivots = Veci.to_array pivots }
+  end
+
+(* ---------- clause addition ---------- *)
+
+let add_clause_a s lits =
+  Array.iter (fun l -> ensure_var s (Lit.var l)) lits;
+  if not s.ok then -1
+  else begin
+    assert (decision_level s = 0);
+    (* sort + dedupe; detect tautologies *)
+    let lits = Array.copy lits in
+    Array.sort compare lits;
+    let n = Array.length lits in
+    let out = Veci.create ~cap:(max n 1) () in
+    let taut = ref false in
+    for i = 0 to n - 1 do
+      let l = lits.(i) in
+      if i > 0 && l = lits.(i - 1) then ()
+      else if i > 0 && l = Lit.negate lits.(i - 1) then taut := true
+      else if not s.proof_mode then begin
+        (* level-0 simplification only outside proof mode *)
+        if lit_true s l then taut := true (* satisfied: treat as absorbed *)
+        else if lit_false s l then () (* drop false literal *)
+        else Veci.push out l
+      end
+      else Veci.push out l
+    done;
+    if !taut then -1
+    else begin
+      let lits = Veci.to_array out in
+      match Array.length lits with
+      | 0 ->
+          s.ok <- false;
+          -1
+      | 1 ->
+          let id = alloc_clause s lits false in
+          s.n_problem <- s.n_problem + 1;
+          if lit_false s lits.(0) then begin
+            (* conflicts with current level-0 assignment *)
+            (if s.proof_mode then begin
+               (* resolvent of this unit with the reason chain of its negation *)
+               let premises = Veci.create () and pivots = Veci.create () in
+               Veci.push premises id;
+               let v = Lit.var lits.(0) in
+               Bytes.set s.seen v '\002';
+               Veci.push s.to_clear v;
+               resolve_zero s premises pivots;
+               clear_seen s;
+               s.empty_chain <-
+                 Some
+                   {
+                     Proof.premises = Veci.to_array premises;
+                     pivots = Veci.to_array pivots;
+                   }
+             end);
+            s.ok <- false;
+            id
+          end
+          else begin
+            if lit_unassigned s lits.(0) then begin
+              enqueue s lits.(0) id;
+              match propagate s with
+              | -1 -> ()
+              | confl ->
+                  record_empty_chain s confl;
+                  s.ok <- false
+            end;
+            id
+          end
+      | _ ->
+          let id = alloc_clause s lits false in
+          s.n_problem <- s.n_problem + 1;
+          (* watch two literals that are not false at level 0 if possible;
+             in proof mode input clauses may carry false literals *)
+          let len = Array.length lits in
+          let pick from =
+            let k = ref from in
+            while !k < len && lit_false s lits.(!k) do
+              incr k
+            done;
+            if !k < len then begin
+              let tmp = lits.(from) in
+              lits.(from) <- lits.(!k);
+              lits.(!k) <- tmp;
+              true
+            end
+            else false
+          in
+          let ok0 = pick 0 in
+          let ok1 = ok0 && pick 1 in
+          if not ok0 then begin
+            (* all literals false at level 0 *)
+            attach s id;
+            record_empty_chain s id;
+            s.ok <- false
+          end
+          else if not ok1 then begin
+            (* clause is unit under level-0 assignment *)
+            attach s id;
+            if lit_unassigned s lits.(0) then begin
+              enqueue s lits.(0) id;
+              match propagate s with
+              | -1 -> ()
+              | confl ->
+                  record_empty_chain s confl;
+                  s.ok <- false
+            end
+          end
+          else attach s id;
+          id
+    end
+  end
+
+let add_clause s lits = add_clause_a s (Array.of_list lits)
+
+(* ---------- conflict analysis ---------- *)
+
+(* First-UIP learning. Returns (learnt literals with the asserting literal
+   first, backtrack level, proof step). *)
+let analyze s confl_id =
+  let learnt = Veci.create () in
+  Veci.push learnt 0;
+  (* slot for the asserting literal *)
+  let premises = Veci.create () and pivots = Veci.create () in
+  Veci.push premises confl_id;
+  let dl = decision_level s in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let idx = ref (Veci.length s.trail - 1) in
+  let confl = ref confl_id in
+  let stop = ref false in
+  while not !stop do
+    let c = s.clauses.(!confl) in
+    if c.learnt then cla_bump s c;
+    let lits = c.lits in
+    let start = if !p = -1 then 0 else 1 in
+    for j = start to Array.length lits - 1 do
+      let q = lits.(j) in
+      let v = Lit.var q in
+      if Bytes.get s.seen v = '\000' then
+        if s.level.(v) > 0 then begin
+          Bytes.set s.seen v '\001';
+          Veci.push s.to_clear v;
+          var_bump s v;
+          if s.level.(v) >= dl then incr path else Veci.push learnt q
+        end
+        else if s.proof_mode then begin
+          Bytes.set s.seen v '\002';
+          Veci.push s.to_clear v
+        end
+    done;
+    (* pick the next current-level literal to expand *)
+    while Bytes.get s.seen (Lit.var (Veci.get s.trail !idx)) <> '\001' do
+      decr idx
+    done;
+    p := Veci.get s.trail !idx;
+    decr idx;
+    let v = Lit.var !p in
+    Bytes.set s.seen v '\000';
+    decr path;
+    if !path = 0 then stop := true
+    else begin
+      confl := s.reason.(v);
+      assert (!confl >= 0);
+      Veci.push premises !confl;
+      Veci.push pivots v
+    end
+  done;
+  Veci.set learnt 0 (Lit.negate !p);
+  (* conflict-clause minimization (disabled in proof mode) *)
+  (if not s.proof_mode then begin
+     let removable q =
+       let r = s.reason.(Lit.var q) in
+       r >= 0
+       &&
+       let lits = s.clauses.(r).lits in
+       let ok = ref true in
+       for j = 1 to Array.length lits - 1 do
+         let u = Lit.var lits.(j) in
+         if s.level.(u) > 0 && Bytes.get s.seen u <> '\001' then ok := false
+       done;
+       !ok
+     in
+     let j = ref 1 in
+     for i = 1 to Veci.length learnt - 1 do
+       let q = Veci.get learnt i in
+       if not (removable q) then begin
+         Veci.set learnt !j q;
+         incr j
+       end
+     done;
+     Veci.shrink learnt !j
+   end);
+  (* resolve away level-0 literals for the proof *)
+  if s.proof_mode then resolve_zero s premises pivots;
+  clear_seen s;
+  (* compute backtrack level; move max-level literal to slot 1 *)
+  let bt =
+    if Veci.length learnt = 1 then 0
+    else begin
+      let max_i = ref 1 in
+      for i = 2 to Veci.length learnt - 1 do
+        if
+          s.level.(Lit.var (Veci.get learnt i))
+          > s.level.(Lit.var (Veci.get learnt !max_i))
+        then max_i := i
+      done;
+      let tmp = Veci.get learnt 1 in
+      Veci.set learnt 1 (Veci.get learnt !max_i);
+      Veci.set learnt !max_i tmp;
+      s.level.(Lit.var (Veci.get learnt 1))
+    end
+  in
+  let step =
+    { Proof.premises = Veci.to_array premises; pivots = Veci.to_array pivots }
+  in
+  (Veci.to_array learnt, bt, step)
+
+(* Assumption-failure analysis: compute the subset of assumptions implying
+   the falsification of assumption literal [p]. *)
+let analyze_final s p =
+  let core = ref [ p ] in
+  if decision_level s > 0 then begin
+    let v0 = Lit.var p in
+    Bytes.set s.seen v0 '\001';
+    Veci.push s.to_clear v0;
+    let base = Veci.get s.trail_lim 0 in
+    for i = Veci.length s.trail - 1 downto base do
+      let l = Veci.get s.trail i in
+      let v = Lit.var l in
+      if Bytes.get s.seen v = '\001' then begin
+        if s.reason.(v) < 0 then begin
+          (* decision: an assumption *)
+          if l <> p then core := l :: !core
+        end
+        else begin
+          let lits = s.clauses.(s.reason.(v)).lits in
+          for j = 1 to Array.length lits - 1 do
+            let u = Lit.var lits.(j) in
+            if s.level.(u) > 0 && Bytes.get s.seen u = '\000' then begin
+              Bytes.set s.seen u '\001';
+              Veci.push s.to_clear u
+            end
+          done
+        end;
+        Bytes.set s.seen v '\000'
+      end
+    done
+  end;
+  clear_seen s;
+  !core
+
+(* ---------- learned clause DB reduction ---------- *)
+
+let locked s id =
+  let c = s.clauses.(id) in
+  Array.length c.lits > 0
+  &&
+  let v = Lit.var c.lits.(0) in
+  s.reason.(v) = id && Char.code (Bytes.get s.assign v) <> 0
+
+let reduce_db s =
+  let ids = Veci.to_array s.learnts in
+  Array.sort
+    (fun a b -> compare s.clauses.(a).act s.clauses.(b).act)
+    ids;
+  let keep = Veci.create () in
+  let n = Array.length ids in
+  Array.iteri
+    (fun i id ->
+      let c = s.clauses.(id) in
+      if
+        Array.length c.lits > 2
+        && (not (locked s id))
+        && (i < n / 2 || c.act < 1e-30)
+      then begin
+        detach s id;
+        c.removed <- true;
+        if not s.proof_mode then c.lits <- [||]
+      end
+      else Veci.push keep id)
+    ids;
+  Veci.clear s.learnts;
+  Veci.iter (fun id -> Veci.push s.learnts id) keep
+
+(* ---------- search ---------- *)
+
+let pick_branch s =
+  let rec go () =
+    if Idx_heap.is_empty s.order then -1
+    else begin
+      let v = Idx_heap.remove_max s.order in
+      if Char.code (Bytes.get s.assign v) = 0 then v else go ()
+    end
+  in
+  go ()
+
+let luby y x =
+  (* Luby restart sequence, as in MiniSat *)
+  let rec size_seq sz seq x = if sz < x + 1 then size_seq ((2 * sz) + 1) (seq + 1) x else (sz, seq) in
+  let rec descend sz seq x =
+    if sz - 1 = x then (sz, seq)
+    else begin
+      let sz = (sz - 1) / 2 in
+      let seq = seq - 1 in
+      descend sz seq (x mod sz)
+    end
+  in
+  let sz, seq = size_seq 1 0 x in
+  let _, seq = descend sz seq x in
+  y ** float_of_int seq
+
+exception Done of result
+
+let learn_clause s lits =
+  let id = alloc_clause s (Array.copy lits) true in
+  if Array.length lits >= 2 then attach s id;
+  Veci.push s.learnts id;
+  id
+
+(* One restart-bounded search episode. *)
+let search s assumptions nof_conflicts =
+  let conflict_c = ref 0 in
+  let n_assumps = Array.length assumptions in
+  let rec loop () =
+    let confl = propagate s in
+    if confl >= 0 then begin
+      s.conflicts <- s.conflicts + 1;
+      incr conflict_c;
+      if decision_level s = 0 then begin
+        record_empty_chain s confl;
+        s.ok <- false;
+        s.core <- [];
+        raise (Done Unsat)
+      end;
+      if s.conflicts land 1023 = 0 && Unix.gettimeofday () > s.deadline then
+        raise (Done Unknown);
+      let lits, bt, step = analyze s confl in
+      cancel_until s bt;
+      let id = learn_clause s lits in
+      if s.proof_mode then push_chain s id step;
+      cla_bump s s.clauses.(id);
+      enqueue s lits.(0) id;
+      var_decay s;
+      cla_decay s;
+      loop ()
+    end
+    else begin
+      if s.conflicts >= s.conflict_limit then raise (Done Unknown);
+      if !conflict_c >= nof_conflicts then begin
+        cancel_until s 0;
+        () (* restart *)
+      end
+      else if float_of_int (Veci.length s.learnts) >= s.max_learnts then begin
+        reduce_db s;
+        loop ()
+      end
+      else if decision_level s < n_assumps then begin
+        let p = assumptions.(decision_level s) in
+        match value_lit s p with
+        | 1 ->
+            new_decision_level s;
+            loop ()
+        | 2 ->
+            s.core <- analyze_final s p;
+            raise (Done Unsat)
+        | _ ->
+            s.decisions <- s.decisions + 1;
+            new_decision_level s;
+            enqueue s p (-1);
+            loop ()
+      end
+      else begin
+        let v = pick_branch s in
+        if v < 0 then begin
+          (* model found *)
+          s.model <- Bytes.sub s.assign 0 s.nvars;
+          raise (Done Sat)
+        end;
+        s.decisions <- s.decisions + 1;
+        new_decision_level s;
+        let phase = Bytes.get s.polarity v = '\001' in
+        enqueue s (Lit.of_var phase v) (-1);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let solve_limited ?(assumptions = []) s =
+  List.iter (fun l -> ensure_var s (Lit.var l)) assumptions;
+  if not s.ok then begin
+    s.core <- [];
+    Unsat
+  end
+  else begin
+    cancel_until s 0;
+    s.core <- [];
+    s.max_learnts <-
+      Float.max 4000. (float_of_int (max 1 s.n_problem) /. 3.);
+    s.deadline <-
+      (if s.time_budget >= 0. then Unix.gettimeofday () +. s.time_budget
+       else infinity);
+    s.conflict_limit <-
+      (if s.conflict_budget >= 0 then s.conflicts + s.conflict_budget
+       else max_int);
+    let assumptions = Array.of_list assumptions in
+    let result =
+      try
+        let restarts = ref 0 in
+        while true do
+          if Unix.gettimeofday () > s.deadline then raise (Done Unknown);
+          let bound = int_of_float (luby 2.0 !restarts *. 100.) in
+          search s assumptions bound;
+          incr restarts;
+          s.max_learnts <- s.max_learnts *. 1.05
+        done;
+        assert false
+      with Done r -> r
+    in
+    cancel_until s 0;
+    result
+  end
+
+let solve ?assumptions s =
+  if s.conflict_budget >= 0 || s.time_budget >= 0. then
+    invalid_arg "Solver.solve: budget active; use solve_limited";
+  match solve_limited ?assumptions s with
+  | Sat -> true
+  | Unsat -> false
+  | Unknown -> assert false
+
+let set_conflict_budget s n = s.conflict_budget <- n
+
+let set_time_budget s t = s.time_budget <- t
+
+let model_value s l =
+  let v = Lit.var l in
+  if v >= Bytes.length s.model then false
+  else begin
+    let a = Char.code (Bytes.get s.model v) in
+    if Lit.is_pos l then a = 1 else a = 2
+  end
+
+let var_value s v = model_value s (Lit.pos v)
+
+let unsat_core s = s.core
+
+let proof_of_unsat s =
+  if not s.proof_mode then failwith "Solver.proof_of_unsat: proof logging off";
+  match s.empty_chain with
+  | None -> failwith "Solver.proof_of_unsat: no refutation recorded"
+  | Some empty ->
+      let steps =
+        Array.init s.n_chains (fun i -> (Veci.get s.chain_ids i, s.chains.(i)))
+      in
+      (steps, empty)
+
+let clause_lits s id =
+  assert (id >= 0 && id < s.n_cls);
+  Array.copy s.clauses.(id).lits
+
+let is_learnt_clause s id =
+  assert (id >= 0 && id < s.n_cls);
+  s.clauses.(id).learnt
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
+    s.nvars s.n_problem (Veci.length s.learnts) s.conflicts s.decisions
+    s.propagations

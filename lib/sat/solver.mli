@@ -1,0 +1,105 @@
+(** Conflict-driven clause-learning (CDCL) SAT solver.
+
+    MiniSat-class engine: two-literal watching, first-UIP clause learning,
+    VSIDS branching with phase saving, Luby restarts, learned-clause
+    database reduction, incremental solving under assumptions with
+    final-conflict core extraction, and optional resolution-proof logging
+    (used by {!Step_interp} to compute Craig interpolants).
+
+    Variables are 0-based integers created by {!new_var}; literals follow
+    the {!Lit} encoding. Clauses may only be added at decision level 0
+    (i.e. between [solve] calls). *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+(** [Unknown] is only returned by {!solve_limited} when a conflict or time
+    budget expires. *)
+
+val create : ?proof:bool -> unit -> t
+(** Fresh solver. With [~proof:true] every learned clause records its
+    resolution chain so {!proof_of_unsat} can reconstruct a refutation;
+    conflict-clause minimization is disabled in that mode. *)
+
+val proof_logging : t -> bool
+
+val new_var : t -> int
+(** Allocates and returns the next variable index. *)
+
+val ensure_var : t -> int -> unit
+(** [ensure_var s v] allocates variables so that [v] is valid. *)
+
+val n_vars : t -> int
+
+val n_clauses : t -> int
+(** Number of problem (non-learned) clauses added so far. *)
+
+val n_learnts : t -> int
+
+val n_conflicts : t -> int
+
+val n_decisions : t -> int
+
+val n_propagations : t -> int
+
+val okay : t -> bool
+(** [false] once the clause set is known unsatisfiable at level 0. *)
+
+val add_clause : t -> Lit.t list -> int
+(** Adds a clause; returns its identifier, or [-1] when the clause was
+    discarded (tautology, or already satisfied at level 0 in non-proof
+    mode). Adding an empty (or all-false-at-level-0) clause makes the
+    solver permanently unsatisfiable. Variables are allocated on demand. *)
+
+val add_clause_a : t -> Lit.t array -> int
+(** Array variant of {!add_clause}; the array is not retained. *)
+
+val solve : ?assumptions:Lit.t list -> t -> bool
+(** [solve s] is [true] iff the clause set (under the given assumptions)
+    is satisfiable. Ignores budgets.
+    @raise Invalid_argument if a budget is active (use {!solve_limited}). *)
+
+val solve_limited : ?assumptions:Lit.t list -> t -> result
+(** Like {!solve} but respects {!set_conflict_budget} and
+    {!set_time_budget}, returning [Unknown] on expiry. *)
+
+val set_conflict_budget : t -> int -> unit
+(** Maximum number of conflicts for subsequent {!solve_limited} calls;
+    [-1] disables the budget. The counter resets at each call. *)
+
+val set_time_budget : t -> float -> unit
+(** Wall-clock budget in seconds for subsequent {!solve_limited} calls;
+    negative disables. Checked at restart boundaries (coarse). *)
+
+val model_value : t -> Lit.t -> bool
+(** Value of a literal in the model of the last [Sat] answer. Literals over
+    variables created after the last solve evaluate as unassigned-false. *)
+
+val var_value : t -> int -> bool
+(** Model value of a variable (last [Sat] answer). *)
+
+val unsat_core : t -> Lit.t list
+(** After an [Unsat] answer under assumptions: a subset of the assumptions
+    sufficient for unsatisfiability. Empty if the clause set is
+    unsatisfiable regardless of assumptions. *)
+
+module Proof : sig
+  type step = { premises : int array; pivots : int array }
+  (** A (trivial) resolution chain: start from clause [premises.(0)] and,
+      for each [i], resolve the running resolvent with clause
+      [premises.(i + 1)] on variable [pivots.(i)]. *)
+end
+
+val proof_of_unsat : t -> (int * Proof.step) array * Proof.step
+(** After [Unsat] without assumptions in proof mode: all learned-clause
+    chains in derivation order (paired with the learned clause id), and the
+    final chain deriving the empty clause.
+    @raise Failure if proof logging is off or no refutation was recorded. *)
+
+val clause_lits : t -> int -> Lit.t array
+(** Literals of the clause with the given identifier (problem or learned).
+    Valid for ids returned by {!add_clause} and ids appearing in proofs. *)
+
+val is_learnt_clause : t -> int -> bool
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+type t = { mutable data : int array; mutable sz : int }
+
+let create ?(cap = 16) () = { data = Array.make (max cap 1) 0; sz = 0 }
+
+let make n x = { data = Array.make (max n 1) x; sz = n }
+
+let length v = v.sz
+
+let is_empty v = v.sz = 0
+
+let get v i =
+  assert (i >= 0 && i < v.sz);
+  Array.unsafe_get v.data i
+
+let set v i x =
+  assert (i >= 0 && i < v.sz);
+  Array.unsafe_set v.data i x
+
+let grow v =
+  let data = Array.make (2 * Array.length v.data) 0 in
+  Array.blit v.data 0 data 0 v.sz;
+  v.data <- data
+
+let push v x =
+  if v.sz = Array.length v.data then grow v;
+  Array.unsafe_set v.data v.sz x;
+  v.sz <- v.sz + 1
+
+let pop v =
+  if v.sz = 0 then invalid_arg "Veci.pop: empty";
+  v.sz <- v.sz - 1;
+  Array.unsafe_get v.data v.sz
+
+let last v =
+  assert (v.sz > 0);
+  Array.unsafe_get v.data (v.sz - 1)
+
+let clear v = v.sz <- 0
+
+let shrink v n =
+  assert (n >= 0 && n <= v.sz);
+  v.sz <- n
+
+let remove_unordered v i =
+  assert (i >= 0 && i < v.sz);
+  v.sz <- v.sz - 1;
+  v.data.(i) <- v.data.(v.sz)
+
+let iter f v =
+  for i = 0 to v.sz - 1 do
+    f (Array.unsafe_get v.data i)
+  done
+
+let exists p v =
+  let rec go i = i < v.sz && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let mem x v = exists (fun y -> y = x) v
+
+let to_list v =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (v.data.(i) :: acc) in
+  go (v.sz - 1) []
+
+let to_array v = Array.sub v.data 0 v.sz
+
+let of_list xs =
+  let v = create ~cap:(max 1 (List.length xs)) () in
+  List.iter (push v) xs;
+  v
+
+let copy v = { data = Array.copy v.data; sz = v.sz }
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.sz

@@ -1,0 +1,56 @@
+(** Growable vector of unboxed integers.
+
+    Used pervasively by the SAT solver for trails, watch lists and clause
+    buffers, where a polymorphic ['a array] would box and a [list] would
+    allocate per element. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** Fresh empty vector. [cap] is the initial capacity (default 16). *)
+
+val make : int -> int -> t
+(** [make n x] is a vector of length [n] filled with [x]. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** [get v i] is the [i]-th element. Bounds-checked by [assert]. *)
+
+val set : t -> int -> int -> unit
+
+val push : t -> int -> unit
+
+val pop : t -> int
+(** Removes and returns the last element. @raise Invalid_argument if empty. *)
+
+val last : t -> int
+
+val clear : t -> unit
+(** Logical clear; capacity is retained. *)
+
+val shrink : t -> int -> unit
+(** [shrink v n] truncates [v] to its first [n] elements. *)
+
+val remove_unordered : t -> int -> unit
+(** [remove_unordered v i] deletes index [i] by swapping in the last
+    element. O(1); does not preserve order. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val exists : (int -> bool) -> t -> bool
+
+val mem : int -> t -> bool
+
+val to_list : t -> int list
+
+val to_array : t -> int array
+
+val of_list : int list -> t
+
+val copy : t -> t
+
+val sort : (int -> int -> int) -> t -> unit
+(** In-place sort of the live prefix. *)

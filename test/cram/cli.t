@@ -1,0 +1,80 @@
+The named benchmark suite lists the 18 Table I circuits with the paper's stats:
+
+  $ step suite | head -3
+  C7552        paper: #In=207   #InM=194  #Out=108
+  s15850.1     paper: #In=611   #InM=183  #Out=684
+  s38584.1     paper: #In=1464  #InM=147  #Out=1730
+
+  $ step suite | wc -l
+  18
+
+Generated circuits are deterministic and well-formed BLIF:
+
+  $ step generate -k parity -n 3
+  .model par3
+  .inputs x0 x1 x2
+  .outputs p
+  .names x0 x1 n4
+  11 1
+  .names x0 x1 n5
+  00 1
+  .names n4 n5 n6
+  00 1
+  .names x2 n6 n7
+  11 1
+  .names x2 n6 n8
+  00 1
+  .names n7 n8 n9
+  00 1
+  .names n9 p
+  1 1
+  .end
+
+Round-trip through the three circuit formats preserves statistics:
+
+  $ step generate -k adder -n 3 -o add3.blif
+  $ step convert add3.blif add3.aag
+  $ step convert add3.aag add3.aig
+  $ step stats add3.blif | head -1
+  add3: #In=7 #Out=4 #InM=7 #And=21
+  $ step stats add3.aig | head -1
+  aig: #In=7 #Out=4 #InM=7 #And=21
+
+The SAT solver answers DIMACS queries, with DRAT self-checking on UNSAT:
+
+  $ printf 'p cnf 2 3\n1 2 0\n-1 0\n-2 0\n' > tiny.cnf
+  $ step sat tiny.cnf --drat
+  s UNSATISFIABLE
+  c DRAT certificate: 1 clauses, self-check PASSED
+  0
+
+The 2QBF engine decides QDIMACS formulas:
+
+  $ printf 'p cnf 2 2\na 1 0\ne 2 0\n1 2 0\n-1 -2 0\n' > fe.qdimacs
+  $ step qbf fe.qdimacs
+  s cnf 1 (TRUE)
+  $ printf 'p cnf 2 2\ne 2 0\na 1 0\n1 2 0\n-1 -2 0\n' > ef.qdimacs
+  $ step qbf ef.qdimacs
+  s cnf 0 (FALSE)
+
+Decomposition of a generated circuit finds the planted structure
+(sum bits are XOR-decomposable, the carry chain is not):
+
+  $ step decompose add3.blif -g xor -m qd -b 5 | tail -1 | sed 's/CPU=[0-9.]*s/CPU=Xs/'
+  == add3 STEP-QD XOR: #Dec=3/4 CPU=Xs
+
+The exported QBF model of an adder sum bit is well-formed QDIMACS and the
+engine answers it (TRUE: the 3-input parity s0 has no OR decomposition,
+so no counterexample partition exists):
+
+  $ step export-qbf add3.blif --po 0 -o model.qdimacs
+  $ head -2 model.qdimacs
+  c negated model (9), OR bi-decomposition, n=3 k=1
+  p cnf 46 103
+  $ step qbf model.qdimacs
+  s cnf 1 (TRUE)
+
+The differential fuzzer agrees with itself on a quick run:
+
+  $ step-fuzz --rounds 20 --seed 3
+  fuzz: 20 rounds, 0 failures

@@ -1,0 +1,625 @@
+(* AIG tests: hand cases plus property tests comparing AIG semantics with a
+   direct Boolean-expression interpreter, and format round-trips. *)
+
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+module Blif = Step_aig.Blif
+module Aag = Step_aig.Aag
+
+(* ---------- random Boolean expressions ---------- *)
+
+type expr =
+  | Var of int
+  | Const of bool
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Ite of expr * expr * expr
+
+let rec eval_expr env = function
+  | Var i -> env i
+  | Const b -> b
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+  | Ite (c, a, b) -> if eval_expr env c then eval_expr env a else eval_expr env b
+
+let rec build_aig m inputs = function
+  | Var i -> inputs.(i)
+  | Const b -> if b then Aig.t_ else Aig.f
+  | Not e -> Aig.not_ (build_aig m inputs e)
+  | And (a, b) -> Aig.and_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Or (a, b) -> Aig.or_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Xor (a, b) -> Aig.xor_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Ite (c, a, b) ->
+      Aig.ite m (build_aig m inputs c) (build_aig m inputs a)
+        (build_aig m inputs b)
+
+let rec pp_expr = function
+  | Var i -> Printf.sprintf "x%d" i
+  | Const b -> string_of_bool b
+  | Not e -> Printf.sprintf "!(%s)" (pp_expr e)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (pp_expr a) (pp_expr b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (pp_expr a) (pp_expr b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (pp_expr a) (pp_expr b)
+  | Ite (c, a, b) ->
+      Printf.sprintf "ite(%s,%s,%s)" (pp_expr c) (pp_expr a) (pp_expr b)
+
+let gen_expr n_vars =
+  let open QCheck2.Gen in
+  sized_size (int_range 0 24) @@ fix (fun self n ->
+      if n = 0 then
+        oneof [ map (fun i -> Var i) (int_range 0 (n_vars - 1));
+                map (fun b -> Const b) bool ]
+      else
+        oneof
+          [
+            map (fun i -> Var i) (int_range 0 (n_vars - 1));
+            map (fun e -> Not e) (self (n - 1));
+            map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2));
+            map3 (fun c a b -> Ite (c, a, b)) (self (n / 3)) (self (n / 3))
+              (self (n / 3));
+          ])
+
+let n_test_vars = 5
+
+let with_expr_aig e =
+  let m = Aig.create () in
+  let inputs = Array.init n_test_vars (fun _ -> Aig.fresh_input m) in
+  let edge = build_aig m inputs e in
+  (m, edge)
+
+let env_of_mask mask i = (mask lsr i) land 1 = 1
+
+let all_masks = List.init (1 lsl n_test_vars) Fun.id
+
+(* ---------- unit tests ---------- *)
+
+let test_constants () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m in
+  Alcotest.(check int) "and false" Aig.f (Aig.and_ m x Aig.f);
+  Alcotest.(check int) "and true" x (Aig.and_ m x Aig.t_);
+  Alcotest.(check int) "x and x" x (Aig.and_ m x x);
+  Alcotest.(check int) "x and !x" Aig.f (Aig.and_ m x (Aig.not_ x));
+  Alcotest.(check int) "xor self" Aig.f (Aig.xor_ m x x);
+  Alcotest.(check int) "xor not self" Aig.t_ (Aig.xor_ m x (Aig.not_ x))
+
+let test_strashing () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let a = Aig.and_ m x y in
+  let b = Aig.and_ m y x in
+  Alcotest.(check int) "commuted ands share" a b;
+  let n = Aig.n_ands m in
+  let _ = Aig.and_ m x y in
+  Alcotest.(check int) "no duplicate" n (Aig.n_ands m)
+
+let test_support () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let z = Aig.fresh_input m in
+  ignore z;
+  let g = Aig.or_ m x (Aig.not_ y) in
+  Alcotest.(check (list int)) "support" [ 0; 1 ] (Aig.support m g);
+  Alcotest.(check (list int)) "const support" [] (Aig.support m Aig.t_)
+
+let test_cofactor () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let g = Aig.and_ m x y in
+  Alcotest.(check int) "g|x=1 = y" y (Aig.cofactor m 0 true g);
+  Alcotest.(check int) "g|x=0 = 0" Aig.f (Aig.cofactor m 0 false g)
+
+let test_quantify () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let g = Aig.and_ m x y in
+  Alcotest.(check int) "exists x (x&y) = y" y (Aig.exists m [ 0 ] g);
+  Alcotest.(check int) "forall x (x&y) = 0" Aig.f (Aig.forall m [ 0 ] g);
+  let h = Aig.or_ m x y in
+  Alcotest.(check int) "forall x (x|y) = y" y (Aig.forall m [ 0 ] h);
+  Alcotest.(check int) "exists xy (x|y) = 1" Aig.t_ (Aig.exists m [ 0; 1 ] h)
+
+let test_blowup_guard () =
+  let m = Aig.create () in
+  let xs = Array.init 8 (fun _ -> Aig.fresh_input m) in
+  let g = Aig.xor_list m (Array.to_list xs) in
+  match Aig.exists ~max_nodes:(Aig.n_nodes m + 2) m [ 0; 1; 2 ] g with
+  | exception Aig.Blowup -> ()
+  | _ -> Alcotest.fail "expected Blowup"
+
+let test_import () =
+  let src = Aig.create () in
+  let x = Aig.fresh_input src and y = Aig.fresh_input src in
+  let g = Aig.xor_ src x y in
+  let dst = Aig.create () in
+  let a = Aig.fresh_input dst and b = Aig.fresh_input dst in
+  let g' = Aig.import dst ~src ~map_input:(fun i -> if i = 0 then a else b) g in
+  (* behavioural check over all 4 assignments *)
+  List.iter
+    (fun mask ->
+      let env = env_of_mask mask in
+      Alcotest.(check bool)
+        (Printf.sprintf "mask %d" mask)
+        (Aig.eval src env g) (Aig.eval dst env g'))
+    [ 0; 1; 2; 3 ]
+
+let test_blif_roundtrip () =
+  let text =
+    ".model test\n.inputs a b c\n.outputs f g\n"
+    ^ ".names a b t1\n11 1\n" ^ ".names t1 c f\n1- 1\n-1 1\n"
+    ^ ".names a g\n0 1\n.end\n"
+  in
+  let c = Blif.parse_string text in
+  Alcotest.(check int) "inputs" 3 (Circuit.n_inputs c);
+  Alcotest.(check int) "outputs" 2 (Circuit.n_outputs c);
+  (* f = (a&b) | c ; g = !a *)
+  let aig = c.Circuit.aig in
+  let f = Circuit.find_output c "f" in
+  let g = Circuit.find_output c "g" in
+  for mask = 0 to 7 do
+    let env = env_of_mask mask in
+    Alcotest.(check bool)
+      (Printf.sprintf "f mask %d" mask)
+      ((env 0 && env 1) || env 2)
+      (Aig.eval aig env f);
+    Alcotest.(check bool)
+      (Printf.sprintf "g mask %d" mask)
+      (not (env 0)) (Aig.eval aig env g)
+  done;
+  (* write and re-read *)
+  let c2 = Blif.parse_string (Blif.to_string c) in
+  let f2 = Circuit.find_output c2 "f" in
+  for mask = 0 to 7 do
+    let env = env_of_mask mask in
+    Alcotest.(check bool)
+      (Printf.sprintf "rt mask %d" mask)
+      (Aig.eval aig env f)
+      (Aig.eval c2.Circuit.aig env f2)
+  done
+
+let test_blif_latch_comb () =
+  let text =
+    ".model seq\n.inputs a\n.outputs o\n.latch d q 0\n"
+    ^ ".names a q d\n11 1\n.names q o\n1 1\n.end\n"
+  in
+  let c = Blif.parse_string text in
+  (* comb conversion: q becomes an input, d becomes output q$in *)
+  Alcotest.(check int) "inputs" 2 (Circuit.n_inputs c);
+  Alcotest.(check int) "outputs" 2 (Circuit.n_outputs c);
+  let d = Circuit.find_output c "q$in" in
+  let env mask i = env_of_mask mask i in
+  for mask = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "d mask %d" mask)
+      (env mask 0 && env mask 1)
+      (Aig.eval c.Circuit.aig (env mask) d)
+  done
+
+let test_blif_loop_detection () =
+  let text = ".model bad\n.inputs a\n.outputs f\n.names f a f\n11 1\n.end\n" in
+  match Blif.parse_string text with
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions loop" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected failure on combinational loop"
+
+let test_blif_constants () =
+  let text = ".model k\n.inputs a\n.outputs one zero\n.names one\n1\n.names zero\n.end\n" in
+  let c = Blif.parse_string text in
+  Alcotest.(check int) "one" Aig.t_ (Circuit.find_output c "one");
+  Alcotest.(check int) "zero" Aig.f (Circuit.find_output c "zero")
+
+module Aig_bin = Step_aig.Aig_bin
+
+let test_aig_bin_roundtrip () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input ~name:"a" m and b = Aig.fresh_input ~name:"b" m in
+  let c0 = Aig.fresh_input ~name:"c" m in
+  let g = Aig.xor_ m (Aig.and_ m a b) (Aig.or_ m b c0) in
+  let h = Aig.not_ (Aig.and_ m a c0) in
+  let c = Circuit.make ~name:"t" m [ ("g", g); ("h", h) ] in
+  let c2 = Aig_bin.parse_bytes (Aig_bin.to_bytes c) in
+  Alcotest.(check int) "inputs" 3 (Circuit.n_inputs c2);
+  Alcotest.(check string) "name preserved" "a"
+    (Aig.input_name c2.Circuit.aig 0);
+  let g2 = Circuit.find_output c2 "g" and h2 = Circuit.find_output c2 "h" in
+  for mask = 0 to 7 do
+    let env = env_of_mask mask in
+    Alcotest.(check bool) "g" (Aig.eval m env g) (Aig.eval c2.Circuit.aig env g2);
+    Alcotest.(check bool) "h" (Aig.eval m env h) (Aig.eval c2.Circuit.aig env h2)
+  done
+
+let prop_aig_bin_matches_aag =
+  QCheck2.Test.make ~count:100 ~name:"binary and ascii AIGER agree"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let c = Circuit.make m [ ("f", edge) ] in
+      let via_bin = Aig_bin.parse_bytes (Aig_bin.to_bytes c) in
+      let via_aag = Aag.parse_string (Aag.to_string c) in
+      let f1 = Circuit.find_output via_bin "f" in
+      let f2 = Circuit.find_output via_aag "f" in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          Aig.eval via_bin.Circuit.aig env f1
+          = Aig.eval via_aag.Circuit.aig env f2
+          && Aig.eval via_bin.Circuit.aig env f1 = Aig.eval m env edge)
+        all_masks)
+
+let test_circuit_compact () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input ~name:"a" m and b = Aig.fresh_input ~name:"b" m in
+  let keep = Aig.xor_ m a b in
+  (* garbage not in the output cone *)
+  let _junk1 = Aig.fresh_input m in
+  let _junk2 = Aig.and_ m keep (Aig.fresh_input m) in
+  let c = Circuit.make ~name:"t" m [ ("f", keep) ] in
+  let c2 = Circuit.compact c in
+  Alcotest.(check int) "only used inputs kept via names" 4 (Circuit.n_inputs c);
+  Alcotest.(check bool) "fewer nodes" true
+    (Aig.n_nodes c2.Circuit.aig < Aig.n_nodes c.Circuit.aig);
+  Alcotest.(check string) "input name preserved" "a"
+    (Aig.input_name c2.Circuit.aig 0);
+  let f2 = Circuit.find_output c2 "f" in
+  for mask = 0 to 3 do
+    let env = env_of_mask mask in
+    Alcotest.(check bool)
+      (Printf.sprintf "mask %d" mask)
+      (Aig.eval m env keep)
+      (Aig.eval c2.Circuit.aig env f2)
+  done
+
+let test_aag_roundtrip () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input ~name:"a" m and b = Aig.fresh_input ~name:"b" m in
+  let g = Aig.xor_ m a b and h = Aig.and_ m a (Aig.not_ b) in
+  let c = Circuit.make ~name:"t" m [ ("g", g); ("h", h) ] in
+  let c2 = Aag.parse_string (Aag.to_string c) in
+  Alcotest.(check int) "inputs" 2 (Circuit.n_inputs c2);
+  let g2 = Circuit.find_output c2 "g" and h2 = Circuit.find_output c2 "h" in
+  for mask = 0 to 3 do
+    let env = env_of_mask mask in
+    Alcotest.(check bool) "g" (Aig.eval m env g) (Aig.eval c2.Circuit.aig env g2);
+    Alcotest.(check bool) "h" (Aig.eval m env h) (Aig.eval c2.Circuit.aig env h2)
+  done
+
+(* ---------- cuts ---------- *)
+
+module Cuts = Step_aig.Cuts
+
+let test_cuts_basic () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let c0 = Aig.fresh_input m in
+  let g = Aig.and_ m (Aig.and_ m a b) c0 in
+  let cuts = Cuts.enumerate m ~k:3 g in
+  (* the trivial cut and the full-leaf cut must both appear *)
+  Alcotest.(check bool) "trivial cut" true
+    (List.mem [ Aig.node_of g ] cuts);
+  let leaf_cut =
+    List.sort compare
+      [ Aig.node_of a; Aig.node_of b; Aig.node_of c0 ]
+  in
+  Alcotest.(check bool) "leaf cut" true (List.mem leaf_cut cuts);
+  List.iter
+    (fun cut ->
+      Alcotest.(check bool) "is a cut" true (Cuts.is_cut m g cut);
+      Alcotest.(check bool) "k-bounded" true (List.length cut <= 3))
+    cuts
+
+let prop_cuts_are_cuts =
+  QCheck2.Test.make ~count:150 ~name:"every enumerated cut separates"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let cuts = Cuts.enumerate m ~k:4 edge in
+      cuts <> []
+      && List.for_all
+           (fun cut -> Cuts.is_cut m edge cut && List.length cut <= 4)
+           cuts)
+
+(* ---------- rewriting ---------- *)
+
+module Rewrite = Step_aig.Rewrite
+
+let test_simplify_rules () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let ab = Aig.and_ m a b in
+  (* (a&b)&a = a&b *)
+  Alcotest.(check int) "absorption" ab (Rewrite.simplify m (Aig.and_ m ab a));
+  (* (a&b)&!a = 0 *)
+  Alcotest.(check int) "contradiction" Aig.f
+    (Rewrite.simplify m (Aig.and_ m ab (Aig.not_ a)));
+  (* a & !(a&b) = a & !b *)
+  Alcotest.(check int) "substitution"
+    (Aig.and_ m a (Aig.not_ b))
+    (Rewrite.simplify m (Aig.and_ m a (Aig.not_ ab)));
+  (* !(a&b) & !a = !a *)
+  Alcotest.(check int) "covered complement" (Aig.not_ a)
+    (Rewrite.simplify m (Aig.and_ m (Aig.not_ ab) (Aig.not_ a)))
+
+let test_balance_chain () =
+  let m = Aig.create () in
+  let xs = List.init 16 (fun _ -> Aig.fresh_input m) in
+  let chain = Aig.and_list m xs in
+  Alcotest.(check int) "chain depth" 15 (Aig.depth m chain);
+  let bal = Rewrite.balance m chain in
+  Alcotest.(check int) "balanced depth" 4 (Aig.depth m bal);
+  (* same semantics on a few masks *)
+  List.iter
+    (fun mask ->
+      let env i = (mask lsr i) land 1 = 1 in
+      Alcotest.(check bool) "semantics" (Aig.eval m env chain)
+        (Aig.eval m env bal))
+    [ 0; 0xffff; 0x1234; 0xfffe ]
+
+let test_balance_preserves_sharing () =
+  let m = Aig.create () in
+  let xs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+  let shared = Aig.and_list m [ xs.(0); xs.(1); xs.(2) ] in
+  let f = Aig.and_ m (Aig.and_ m shared xs.(3)) (Aig.and_ m shared xs.(4)) in
+  let bal = Rewrite.balance m f in
+  (* shared chain must not be duplicated: size must not grow *)
+  Alcotest.(check bool) "no blowup" true
+    (Aig.cone_size m bal <= Aig.cone_size m f + 1)
+
+let prop_rewrite_preserves_semantics =
+  QCheck2.Test.make ~count:200 ~name:"simplify/balance preserve semantics"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let s = Rewrite.simplify m edge in
+      let b = Rewrite.balance m edge in
+      let sf = Rewrite.simplify_fixpoint m edge in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          let v = Aig.eval m env edge in
+          Aig.eval m env s = v && Aig.eval m env b = v && Aig.eval m env sf = v)
+        all_masks)
+
+let prop_simplify_never_grows =
+  QCheck2.Test.make ~count:200 ~name:"simplify never grows the cone"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      Aig.cone_size m (Rewrite.simplify m edge) <= Aig.cone_size m edge)
+
+(* ---------- truth tables ---------- *)
+
+module Truth = Step_aig.Truth
+
+let test_truth_basic () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let t = Truth.of_edge m (Aig.and_ m x y) in
+  Alcotest.(check int) "vars" 2 (Truth.n_vars t);
+  Alcotest.(check string) "and = 8" "8" (Truth.to_hex t);
+  Alcotest.(check int) "ones" 1 (Truth.count_ones t);
+  let o = Truth.of_edge m (Aig.or_ m x y) in
+  Alcotest.(check string) "or = e" "e" (Truth.to_hex o);
+  Alcotest.(check bool) "not constant" true (Truth.is_constant t = None);
+  let c = Truth.of_edge_on m ~vars:[ 0 ] Aig.t_ in
+  Alcotest.(check bool) "constant true" true (Truth.is_constant c = Some true)
+
+let test_truth_cofactor_depends () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let t = Truth.of_edge m (Aig.xor_ m x y) in
+  Alcotest.(check bool) "depends x" true (Truth.depends_on t 0);
+  let t1 = Truth.cofactor t 0 true in
+  Alcotest.(check bool) "cofactor kills dependence" false
+    (Truth.depends_on t1 0);
+  (* (x^y)|x=1 = !y : value at y=0 is 1 *)
+  Alcotest.(check bool) "value" true (Truth.get t1 0)
+
+let prop_truth_matches_eval =
+  QCheck2.Test.make ~count:200 ~name:"truth table matches eval"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let support = Aig.support m edge in
+      if support = [] then true
+      else begin
+        let t = Truth.of_edge m edge in
+        let bit_of_mask mask =
+          (* project the global mask onto the support positions *)
+          List.fold_left
+            (fun (acc, p) v ->
+              ((if env_of_mask mask v then acc lor (1 lsl p) else acc), p + 1))
+            (0, 0) support
+          |> fst
+        in
+        List.for_all
+          (fun mask ->
+            Truth.get t (bit_of_mask mask) = Aig.eval m (env_of_mask mask) edge)
+          all_masks
+      end)
+
+let prop_truth_seven_vars =
+  (* exercise the multi-word path with a function of 7+ variables *)
+  QCheck2.Test.make ~count:50 ~name:"multi-word truth tables"
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let m = Aig.create () in
+      let xs = Array.init 8 (fun _ -> Aig.fresh_input m) in
+      let leaf v = if Random.State.bool st then v else Aig.not_ v in
+      let f =
+        Array.fold_left
+          (fun acc v ->
+            match Random.State.int st 3 with
+            | 0 -> Aig.and_ m acc (leaf v)
+            | 1 -> Aig.or_ m acc (leaf v)
+            | _ -> Aig.xor_ m acc (leaf v))
+          (leaf xs.(0)) (Array.sub xs 1 7)
+      in
+      let t = Truth.of_edge_on m ~vars:(List.init 8 Fun.id) f in
+      List.for_all
+        (fun j ->
+          Truth.get t j = Aig.eval m (fun i -> (j lsr i) land 1 = 1) f)
+        (List.init 256 Fun.id))
+
+(* ---------- property tests ---------- *)
+
+let prop_eval_matches_interp =
+  QCheck2.Test.make ~count:300 ~name:"aig eval matches interpreter"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          Aig.eval m env edge = eval_expr env e)
+        all_masks)
+
+let prop_sim64_matches_eval =
+  QCheck2.Test.make ~count:200 ~name:"sim64 matches eval" ~print:pp_expr
+    (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      (* pattern i carries masks 64k..64k+63; here a single word where bit j
+         encodes assignment j *)
+      let pat i =
+        let w = ref 0L in
+        for mask = 0 to 63 do
+          if env_of_mask mask i then
+            w := Int64.logor !w (Int64.shift_left 1L mask)
+        done;
+        !w
+      in
+      let v = Aig.sim64 m pat edge in
+      List.for_all
+        (fun mask ->
+          mask >= 64
+          || Int64.logand (Int64.shift_right_logical v mask) 1L
+             = (if Aig.eval m (env_of_mask mask) edge then 1L else 0L))
+        all_masks)
+
+let prop_cofactor_semantics =
+  QCheck2.Test.make ~count:200 ~name:"cofactor fixes a variable"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let c1 = Aig.cofactor m 0 true edge in
+      let c0 = Aig.cofactor m 0 false edge in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          let forced b i = if i = 0 then b else env i in
+          Aig.eval m env c1 = Aig.eval m (forced true) edge
+          && Aig.eval m env c0 = Aig.eval m (forced false) edge)
+        all_masks)
+
+let prop_quantify_semantics =
+  QCheck2.Test.make ~count:150 ~name:"exists/forall semantics" ~print:pp_expr
+    (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let ex = Aig.exists m [ 0; 2 ] edge in
+      let fa = Aig.forall m [ 0; 2 ] edge in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          let variants =
+            List.map
+              (fun (b0, b2) ->
+                Aig.eval m
+                  (fun i -> if i = 0 then b0 else if i = 2 then b2 else env i)
+                  edge)
+              [ (false, false); (false, true); (true, false); (true, true) ]
+          in
+          Aig.eval m env ex = List.exists Fun.id variants
+          && Aig.eval m env fa = List.for_all Fun.id variants)
+        all_masks)
+
+let prop_blif_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"blif write/parse preserves semantics"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let c = Circuit.make m [ ("f", edge) ] in
+      let c2 = Blif.parse_string (Blif.to_string c) in
+      (* input order may map by name x0..x4 *)
+      let f2 = Circuit.find_output c2 "f" in
+      List.for_all
+        (fun mask ->
+          let env = env_of_mask mask in
+          let env2 i =
+            let name = Step_aig.Aig.input_name c2.Circuit.aig i in
+            let orig = int_of_string (String.sub name 1 (String.length name - 1)) in
+            env orig
+          in
+          Aig.eval m env edge = Aig.eval c2.Circuit.aig env2 f2)
+        all_masks)
+
+let prop_aag_roundtrip =
+  QCheck2.Test.make ~count:100 ~name:"aag write/parse preserves semantics"
+    ~print:pp_expr (gen_expr n_test_vars) (fun e ->
+      let m, edge = with_expr_aig e in
+      let c = Circuit.make m [ ("f", edge) ] in
+      let c2 = Aag.parse_string (Aag.to_string c) in
+      let f2 = Circuit.find_output c2 "f" in
+      Circuit.n_inputs c2 = n_test_vars
+      && List.for_all
+           (fun mask ->
+             let env = env_of_mask mask in
+             Aig.eval m env edge = Aig.eval c2.Circuit.aig env f2)
+           all_masks)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "step_aig"
+    [
+      ( "aig",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "strashing" `Quick test_strashing;
+          Alcotest.test_case "support" `Quick test_support;
+          Alcotest.test_case "cofactor" `Quick test_cofactor;
+          Alcotest.test_case "quantify" `Quick test_quantify;
+          Alcotest.test_case "blowup guard" `Quick test_blowup_guard;
+          Alcotest.test_case "import" `Quick test_import;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "blif roundtrip" `Quick test_blif_roundtrip;
+          Alcotest.test_case "blif latch comb" `Quick test_blif_latch_comb;
+          Alcotest.test_case "blif loop detection" `Quick
+            test_blif_loop_detection;
+          Alcotest.test_case "blif constants" `Quick test_blif_constants;
+          Alcotest.test_case "aag roundtrip" `Quick test_aag_roundtrip;
+          Alcotest.test_case "binary aiger roundtrip" `Quick
+            test_aig_bin_roundtrip;
+          Alcotest.test_case "circuit compact" `Quick test_circuit_compact;
+        ] );
+      ( "truth",
+        [
+          Alcotest.test_case "basic" `Quick test_truth_basic;
+          Alcotest.test_case "cofactor/depends" `Quick
+            test_truth_cofactor_depends;
+        ] );
+      ("cuts", [ Alcotest.test_case "basic" `Quick test_cuts_basic ]);
+      ( "rewrite",
+        [
+          Alcotest.test_case "simplify rules" `Quick test_simplify_rules;
+          Alcotest.test_case "balance chain" `Quick test_balance_chain;
+          Alcotest.test_case "balance preserves sharing" `Quick
+            test_balance_preserves_sharing;
+        ] );
+      qsuite "properties"
+        [
+          prop_eval_matches_interp;
+          prop_sim64_matches_eval;
+          prop_cofactor_semantics;
+          prop_quantify_semantics;
+          prop_blif_roundtrip;
+          prop_aag_roundtrip;
+          prop_truth_matches_eval;
+          prop_truth_seven_vars;
+          prop_rewrite_preserves_semantics;
+          prop_simplify_never_grows;
+          prop_aig_bin_matches_aag;
+          prop_cuts_are_cuts;
+        ];
+    ]

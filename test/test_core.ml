@@ -1,0 +1,719 @@
+(* Core bi-decomposition tests: SAT-based checks vs truth-table reference,
+   QBF optimum vs exhaustive partition enumeration, extraction engines
+   verified end-to-end. *)
+
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Problem = Step_core.Problem
+module Copies = Step_core.Copies
+module Check = Step_core.Check
+module Exhaustive = Step_core.Exhaustive
+module Mg = Step_core.Mg
+module Ljh = Step_core.Ljh
+module Qbf_model = Step_core.Qbf_model
+module Extract = Step_core.Extract
+module Verify = Step_core.Verify
+module Pipeline = Step_core.Pipeline
+
+(* ---------- generators ---------- *)
+
+type expr =
+  | Var of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+let rec build_aig m inputs = function
+  | Var i -> inputs.(i)
+  | Not e -> Aig.not_ (build_aig m inputs e)
+  | And (a, b) -> Aig.and_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Or (a, b) -> Aig.or_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Xor (a, b) -> Aig.xor_ m (build_aig m inputs a) (build_aig m inputs b)
+
+let rec pp_expr = function
+  | Var i -> Printf.sprintf "x%d" i
+  | Not e -> Printf.sprintf "!(%s)" (pp_expr e)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (pp_expr a) (pp_expr b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (pp_expr a) (pp_expr b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (pp_expr a) (pp_expr b)
+
+let gen_expr n_vars =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 16) @@ fix (fun self n ->
+      if n = 0 then map (fun i -> Var i) (int_range 0 (n_vars - 1))
+      else
+        oneof
+          [
+            map (fun i -> Var i) (int_range 0 (n_vars - 1));
+            map (fun e -> Not e) (self (n - 1));
+            map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2));
+          ])
+
+let gen_gate =
+  QCheck2.Gen.oneofl [ Gate.Or_gate; Gate.And_gate; Gate.Xor_gate ]
+
+let problem_of_expr n e =
+  let m = Aig.create () in
+  let inputs = Array.init n (fun _ -> Aig.fresh_input m) in
+  Problem.of_edge m (build_aig m inputs e)
+
+(* random partition of the problem's support *)
+let gen_partition_of support =
+  let open QCheck2.Gen in
+  let n = List.length support in
+  let+ sorts = list_size (pure n) (int_range 0 2) in
+  let cells = List.combine support sorts in
+  let pick k = List.filter_map (fun (v, s) -> if s = k then Some v else None) cells in
+  (* ensure non-trivial: steal members if needed *)
+  let xa = ref (pick 0) and xb = ref (pick 1) and xc = ref (pick 2) in
+  (match (!xa, !xb, !xc) with
+  | [], [], c :: c' :: rest ->
+      xa := [ c ];
+      xb := [ c' ];
+      xc := rest
+  | [], b :: rest, _ when rest <> [] || !xc = [] ->
+      xa := [ b ];
+      xb := rest
+  | [], b, c :: rest ->
+      xa := [ c ];
+      xb := b;
+      xc := rest
+  | a :: rest, [], _ when rest <> [] || !xc = [] ->
+      xb := rest;
+      xa := [ a ]
+  | _, [], c :: rest ->
+      xb := [ c ];
+      xc := rest
+  | _, _, _ -> ());
+  Partition.make ~xa:!xa ~xb:!xb ~xc:!xc
+
+(* planted decomposable function: g(XA,XC) <op> h(XB,XC) *)
+let planted_problem gate seed =
+  let st = Random.State.make [| seed |] in
+  let m = Aig.create () in
+  let inputs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+  let rand_fn vars =
+    (* random-shaped tree using every given input edge exactly once, so
+       the structural support is exactly [vars] *)
+    let leaf v = if Random.State.bool st then v else Aig.not_ v in
+    let node a b =
+      match Random.State.int st 3 with
+      | 0 -> Aig.and_ m a b
+      | 1 -> Aig.or_ m a b
+      | _ -> Aig.xor_ m a b
+    in
+    match List.map leaf vars with
+    | [] -> Aig.f
+    | first :: rest -> List.fold_left node first rest
+  in
+  let xa = [ inputs.(0); inputs.(1) ]
+  and xb = [ inputs.(2); inputs.(3) ]
+  and xc = [ inputs.(4); inputs.(5) ] in
+  let g = rand_fn (xa @ xc) and h = rand_fn (xb @ xc) in
+  let f =
+    match gate with
+    | Gate.Or_gate -> Aig.or_ m g h
+    | Gate.And_gate -> Aig.and_ m g h
+    | Gate.Xor_gate -> Aig.xor_ m g h
+  in
+  (Problem.of_edge m f, Partition.make ~xa:[ 0; 1 ] ~xb:[ 2; 3 ] ~xc:[ 4; 5 ])
+
+(* ---------- unit tests ---------- *)
+
+let test_partition_metrics () =
+  let p = Partition.make ~xa:[ 0; 1; 2 ] ~xb:[ 3 ] ~xc:[ 4 ] in
+  Alcotest.(check int) "size" 5 (Partition.size p);
+  Alcotest.(check (float 1e-9)) "disjointness" 0.2 (Partition.disjointness p);
+  Alcotest.(check (float 1e-9)) "balancedness" 0.4 (Partition.balancedness p);
+  Alcotest.(check (float 1e-9)) "cost" 0.6 (Partition.cost p);
+  Alcotest.(check int) "combined k" 3 (Partition.combined_k p);
+  Alcotest.(check bool) "nontrivial" false (Partition.is_trivial p);
+  let c = Partition.canonical (Partition.make ~xa:[ 3 ] ~xb:[ 0; 1 ] ~xc:[]) in
+  Alcotest.(check int) "canonical |XA|" 2 (List.length c.Partition.xa)
+
+let test_partition_overlap_rejected () =
+  match Partition.make ~xa:[ 0 ] ~xb:[ 0 ] ~xc:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected overlap rejection"
+
+let test_or_decomposable_planted () =
+  List.iter
+    (fun gate ->
+      let p, part = planted_problem gate 7 in
+      Alcotest.(check (option bool))
+        (Gate.to_string gate ^ " planted decomposable")
+        (Some true)
+        (Check.decomposable p gate part))
+    Gate.all
+
+let test_xor_parity_fully_decomposable () =
+  (* parity is XOR-decomposable under every partition *)
+  let m = Aig.create () in
+  let xs = List.init 5 (fun _ -> Aig.fresh_input m) in
+  let p = Problem.of_edge m (Aig.xor_list m xs) in
+  let part = Partition.make ~xa:[ 0; 1 ] ~xb:[ 2; 3; 4 ] ~xc:[] in
+  Alcotest.(check (option bool)) "xor" (Some true)
+    (Check.decomposable p Gate.Xor_gate part);
+  (* but not OR-decomposable: parity has no OR decomposition *)
+  Alcotest.(check (option bool)) "or" (Some false)
+    (Check.decomposable p Gate.Or_gate part)
+
+let test_mg_finds_planted () =
+  List.iter
+    (fun gate ->
+      let p, _ = planted_problem gate 11 in
+      let r = Mg.find p gate in
+      match r.Mg.partition with
+      | None -> Alcotest.fail (Gate.to_string gate ^ ": MG found nothing")
+      | Some part ->
+          Alcotest.(check (option bool))
+            (Gate.to_string gate ^ " MG partition valid")
+            (Some true)
+            (Check.decomposable p gate part))
+    Gate.all
+
+let test_ljh_finds_planted () =
+  List.iter
+    (fun gate ->
+      let p, _ = planted_problem gate 13 in
+      let r = Ljh.find p gate in
+      match r.Ljh.partition with
+      | None -> Alcotest.fail (Gate.to_string gate ^ ": LJH found nothing")
+      | Some part ->
+          Alcotest.(check (option bool))
+            (Gate.to_string gate ^ " LJH partition valid")
+            (Some true)
+            (Check.decomposable p gate part))
+    Gate.all
+
+let test_qbf_optimum_matches_exhaustive () =
+  List.iter
+    (fun gate ->
+      List.iter
+        (fun seed ->
+          let p, _ = planted_problem gate seed in
+          let o = Qbf_model.optimize p gate Qbf_model.Disjointness in
+          let e = Exhaustive.best ~objective:Partition.disjointness_k p gate in
+          match (o.Qbf_model.partition, e) with
+          | Some qp, Some ep ->
+              Alcotest.(check bool) "optimal flag" true o.Qbf_model.optimal;
+              Alcotest.(check int)
+                (Printf.sprintf "%s seed %d optimum |XC|" (Gate.to_string gate)
+                   seed)
+                (Partition.disjointness_k ep)
+                (Partition.disjointness_k qp)
+          | None, None -> ()
+          | Some _, None -> Alcotest.fail "QBF found, exhaustive did not"
+          | None, Some _ -> Alcotest.fail "exhaustive found, QBF did not")
+        [ 3; 17 ])
+    Gate.all
+
+let test_qbf_balancedness_optimum () =
+  let p, _ = planted_problem Gate.Or_gate 23 in
+  let o = Qbf_model.optimize p Gate.Or_gate Qbf_model.Balancedness in
+  let e = Exhaustive.best ~objective:Partition.balancedness_k p Gate.Or_gate in
+  match (o.Qbf_model.partition, e) with
+  | Some qp, Some ep ->
+      Alcotest.(check int) "optimum balance" (Partition.balancedness_k ep)
+        (Partition.balancedness_k qp)
+  | _, _ -> Alcotest.fail "expected partitions on planted instance"
+
+let test_qbf_combined_optimum () =
+  let p, _ = planted_problem Gate.Or_gate 29 in
+  let o = Qbf_model.optimize p Gate.Or_gate Qbf_model.Combined in
+  let e =
+    Exhaustive.best
+      ~objective:(fun part -> Partition.combined_k (Partition.canonical part))
+      p Gate.Or_gate
+  in
+  match (o.Qbf_model.partition, e) with
+  | Some qp, Some ep ->
+      Alcotest.(check int) "optimum combined"
+        (Partition.combined_k (Partition.canonical ep))
+        (Partition.combined_k (Partition.canonical qp))
+  | _, _ -> Alcotest.fail "expected partitions on planted instance"
+
+let test_qbf_weighted_optimum () =
+  (* weighted cost wd=2, wb=1 checked against exhaustive search *)
+  let p, _ = planted_problem Gate.Or_gate 53 in
+  let target = Qbf_model.Weighted { wd = 2; wb = 1 } in
+  let o = Qbf_model.optimize p Gate.Or_gate target in
+  let objective part = Qbf_model.target_k target part in
+  let e = Exhaustive.best ~objective p Gate.Or_gate in
+  match (o.Qbf_model.partition, e) with
+  | Some qp, Some ep ->
+      Alcotest.(check bool) "optimal" true o.Qbf_model.optimal;
+      Alcotest.(check int) "weighted optimum" (objective ep) (objective qp)
+  | _, _ -> Alcotest.fail "expected partitions on planted instance"
+
+let test_qbf_weighted_matches_combined () =
+  (* unit weights must agree with the Combined target *)
+  let p, _ = planted_problem Gate.Or_gate 59 in
+  let w = Qbf_model.optimize p Gate.Or_gate (Qbf_model.Weighted { wd = 1; wb = 1 }) in
+  let c = Qbf_model.optimize p Gate.Or_gate Qbf_model.Combined in
+  Alcotest.(check (option int)) "same optimum" c.Qbf_model.best_k
+    w.Qbf_model.best_k
+
+let test_strategies_agree () =
+  let p, _ = planted_problem Gate.Or_gate 31 in
+  let ks =
+    List.map
+      (fun s ->
+        let o =
+          Qbf_model.optimize ~strategy:s p Gate.Or_gate Qbf_model.Disjointness
+        in
+        (o.Qbf_model.best_k, o.Qbf_model.optimal))
+      [ Qbf_model.Mi; Qbf_model.Md; Qbf_model.Bin; Qbf_model.Composite ]
+  in
+  match ks with
+  | (k0, _) :: rest ->
+      List.iter
+        (fun (k, opt) ->
+          Alcotest.(check bool) "optimal" true opt;
+          Alcotest.(check (option int)) "same k" k0 k)
+        rest
+  | [] -> assert false
+
+let test_qbf_bootstrap_never_worse () =
+  let p, _ = planted_problem Gate.Or_gate 37 in
+  let copies = Copies.create p Gate.Or_gate in
+  let mg = Mg.find ~copies p Gate.Or_gate in
+  match mg.Mg.partition with
+  | None -> Alcotest.fail "MG failed on planted"
+  | Some bootstrap ->
+      let o =
+        Qbf_model.optimize ~copies ~bootstrap p Gate.Or_gate
+          Qbf_model.Disjointness
+      in
+      let k = Option.get o.Qbf_model.best_k in
+      Alcotest.(check bool) "no worse than bootstrap" true
+        (k <= Partition.disjointness_k bootstrap)
+
+let test_gate_full_all_gates () =
+  (* for the negated gates, the target function is ¬(g <base> h), which is
+     exactly what a <gf> bi-decomposition must reconstruct *)
+  List.iter
+    (fun gf ->
+      let base_gate, complement = Step_core.Gate_full.base gf in
+      let p0, _ = planted_problem base_gate 61 in
+      let target = if complement then Problem.negate p0 else p0 in
+      match Step_core.Gate_full.decompose ~method_:Pipeline.Mg target gf with
+      | None ->
+          Alcotest.fail
+            (Step_core.Gate_full.to_string gf ^ ": no decomposition")
+      | Some (part, fa, fb) ->
+          let aig = target.Problem.aig in
+          let rebuilt = Step_core.Gate_full.apply aig gf fa fb in
+          let miter = Aig.xor_ aig target.Problem.f rebuilt in
+          let enc = Step_cnf.Tseitin.create aig in
+          ignore
+            (Step_sat.Solver.add_clause
+               (Step_cnf.Tseitin.solver enc)
+               [ Step_cnf.Tseitin.lit_of enc miter ]);
+          Alcotest.(check bool)
+            (Step_core.Gate_full.to_string gf ^ " verified")
+            false
+            (Step_sat.Solver.solve (Step_cnf.Tseitin.solver enc));
+          ignore part)
+    Step_core.Gate_full.all
+
+let test_extract_engines_planted () =
+  List.iter
+    (fun gate ->
+      let p, part = planted_problem gate 41 in
+      List.iter
+        (fun engine ->
+          let r = Extract.run ~engine p gate part in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s verified" (Gate.to_string gate))
+            true
+            (Verify.decomposition p gate part ~fa:r.Extract.fa ~fb:r.Extract.fb))
+        [ Extract.Quantify; Extract.Interpolate ])
+    Gate.all
+
+let test_certified_equivalence () =
+  let p, part = planted_problem Gate.Or_gate 67 in
+  let e = Extract.run p Gate.Or_gate part in
+  Alcotest.(check bool) "certified" true
+    (Verify.certified_equivalent p Gate.Or_gate ~fa:e.Extract.fa
+       ~fb:e.Extract.fb);
+  (* wrong decomposition must fail (and not crash the certifier) *)
+  let aig = p.Problem.aig in
+  Alcotest.(check bool) "wrong rejected" false
+    (Verify.certified_equivalent p Gate.Or_gate ~fa:(Aig.input aig 0)
+       ~fb:(Aig.input aig 2))
+
+let test_verify_rejects_wrong () =
+  let p, part = planted_problem Gate.Or_gate 43 in
+  let aig = p.Problem.aig in
+  let bogus_fa = Aig.input aig 0 and bogus_fb = Aig.input aig 2 in
+  Alcotest.(check bool) "bogus rejected" false
+    (Verify.decomposition p Gate.Or_gate part ~fa:bogus_fa ~fb:bogus_fb)
+
+let test_recursive_decomposition () =
+  let m = Aig.create () in
+  let x = Array.init 8 (fun _ -> Aig.fresh_input m) in
+  let f =
+    Aig.or_ m
+      (Aig.and_ m (Aig.xor_ m x.(0) x.(1)) (Aig.or_ m x.(2) x.(3)))
+      (Aig.and_ m (Aig.xor_ m x.(4) x.(5)) (Aig.or_ m x.(6) x.(7)))
+  in
+  let p = Problem.of_edge m f in
+  let module R = Step_core.Recursive in
+  let config = { R.default_config with R.stop_support = 2 } in
+  let tree = R.decompose ~config p in
+  let stats = R.stats_of m tree in
+  Alcotest.(check bool) "has internal gates" true (stats.R.gates >= 1);
+  Alcotest.(check bool) "leaf support bounded or indecomposable" true
+    (stats.R.max_leaf_support <= 2);
+  (* the tree must rebuild to an equivalent function *)
+  let rebuilt = R.rebuild m tree in
+  Alcotest.(check bool) "rebuild equivalent" true
+    (Verify.equivalent p Gate.Or_gate ~fa:rebuilt ~fb:Aig.f);
+  (* parity is decomposable only by XOR; tree should be XOR nodes *)
+  let par = Problem.of_edge m (Aig.xor_list m (Array.to_list x)) in
+  let ptree = R.decompose ~config par in
+  let pstats = R.stats_of m ptree in
+  Alcotest.(check bool) "parity tree nontrivial" true (pstats.R.gates >= 3);
+  Alcotest.(check bool) "parity rebuild" true
+    (Verify.equivalent par Gate.Or_gate ~fa:(R.rebuild m ptree) ~fb:Aig.f);
+  let rec all_xor = function
+    | R.Leaf _ -> true
+    | R.Node (g, _, a, b) -> g = Gate.Xor_gate && all_xor a && all_xor b
+  in
+  Alcotest.(check bool) "parity uses xor nodes" true (all_xor ptree)
+
+module Ashenhurst = Step_core.Ashenhurst
+
+let test_ashenhurst_planted () =
+  (* f = h(g(xb), xa): mux of xa0/xa1 selected by g = xb0 ^ xb1 *)
+  let m = Aig.create () in
+  let xa0 = Aig.fresh_input m and xa1 = Aig.fresh_input m in
+  let xb0 = Aig.fresh_input m and xb1 = Aig.fresh_input m in
+  let g = Aig.xor_ m xb0 xb1 in
+  let f = Aig.ite m g xa0 xa1 in
+  let p = Problem.of_edge m f in
+  let part = Partition.make ~xa:[ 0; 1 ] ~xb:[ 2; 3 ] ~xc:[] in
+  Alcotest.(check (option bool)) "planted decomposable" (Some true)
+    (Ashenhurst.decomposable p part);
+  Alcotest.(check bool) "semantic agrees" true
+    (Ashenhurst.decomposable_semantic p part)
+
+let test_ashenhurst_counterexample () =
+  (* a function with column multiplicity > 2: 2-bit adder-ish *)
+  let m = Aig.create () in
+  let xs = Array.init 4 (fun _ -> Aig.fresh_input m) in
+  (* f = majority-of-sum style: (a0+2a1) + (b0+2b1) >= 2 over columns *)
+  let s0 = Aig.xor_ m xs.(0) xs.(2) in
+  let c0 = Aig.and_ m xs.(0) xs.(2) in
+  let s1 = Aig.xor_ m (Aig.xor_ m xs.(1) xs.(3)) c0 in
+  let f = Aig.and_ m s0 (Aig.xor_ m s1 xs.(1)) in
+  let p = Problem.of_edge m f in
+  let part = Partition.make ~xa:[ 0; 1 ] ~xb:[ 2; 3 ] ~xc:[] in
+  Alcotest.(check bool) "sat and semantic agree" true
+    (Ashenhurst.decomposable p part
+    = Some (Ashenhurst.decomposable_semantic p part))
+
+let prop_ashenhurst_matches_semantic =
+  QCheck2.Test.make ~count:120 ~name:"ashenhurst SAT check matches truth table"
+    ~print:(fun (e, _) -> pp_expr e)
+    QCheck2.Gen.(pair (gen_expr 5) (int_range 0 100))
+    (fun (e, seed) ->
+      let p = problem_of_expr 5 e in
+      let support = p.Problem.support in
+      if List.length support < 3 then true
+      else begin
+        let st = Random.State.make [| seed |] in
+        let sorted =
+          List.map (fun v -> (Random.State.int st 3, v)) support
+        in
+        let pick k = List.filter_map (fun (s, v) -> if s = k then Some v else None) sorted in
+        let xa = ref (pick 0) and xb = ref (pick 1) and xc = ref (pick 2) in
+        (match (!xa, !xb) with
+        | [], _ -> begin
+            match !xc @ !xb with
+            | v :: rest ->
+                xa := [ v ];
+                let b = List.filter (fun u -> u <> v) !xb in
+                let c = List.filter (fun u -> u <> v) !xc in
+                xb := b;
+                xc := c;
+                ignore rest
+            | [] -> ()
+          end
+        | _, [] -> begin
+            match !xc @ !xa with
+            | v :: _ when List.length !xa > 1 || !xc <> [] ->
+                xb := [ v ];
+                xa := List.filter (fun u -> u <> v) !xa;
+                xc := List.filter (fun u -> u <> v) !xc
+            | _ -> ()
+          end
+        | _, _ -> ());
+        if !xa = [] || !xb = [] then true
+        else begin
+          let part = Partition.make ~xa:!xa ~xb:!xb ~xc:!xc in
+          Ashenhurst.decomposable p part
+          = Some (Ashenhurst.decomposable_semantic p part)
+        end
+      end)
+
+let test_qbf_export_roundtrip () =
+  (* the exported negated model (9) must be FALSE exactly when a partition
+     meeting the bound exists; checked against exhaustive enumeration *)
+  let m = Aig.create () in
+  let xs = Array.init 5 (fun _ -> Aig.fresh_input m) in
+  let f =
+    Aig.or_ m
+      (Aig.and_ m xs.(0) xs.(1))
+      (Aig.and_ m xs.(2) (Aig.xor_ m xs.(3) xs.(4)))
+  in
+  let p = Problem.of_edge m f in
+  let feasible k =
+    Exhaustive.all_decomposable p Gate.Or_gate
+    |> List.exists (fun part -> Partition.disjointness_k part <= k)
+  in
+  List.iter
+    (fun k ->
+      let text = Step_core.Qbf_export.or_model ~k p in
+      let q = Step_qbf.Qdimacs.parse_string text in
+      let answer = Step_qbf.Qdimacs.solve q in
+      match
+        Step_core.Qbf_export.parse_answer
+          ~expected_decomposable:(feasible k) answer
+      with
+      | Some ok -> Alcotest.(check bool) (Printf.sprintf "k=%d" k) true ok
+      | None -> Alcotest.fail "QBF solver gave Unknown")
+    [ 0; 1; 2; 3 ];
+  (* balancedness and combined targets, loosest bound: feasibility =
+     plain decomposability *)
+  List.iter
+    (fun target ->
+      let text = Step_core.Qbf_export.or_model ~target p in
+      let answer = Step_qbf.Qdimacs.solve (Step_qbf.Qdimacs.parse_string text) in
+      match
+        Step_core.Qbf_export.parse_answer ~expected_decomposable:true answer
+      with
+      | Some ok -> Alcotest.(check bool) "loosest bound" true ok
+      | None -> Alcotest.fail "Unknown")
+    [ Qbf_model.Balancedness; Qbf_model.Combined ]
+
+let test_pipeline_small_circuit () =
+  (* circuit with one decomposable and one non-decomposable PO *)
+  let m = Aig.create () in
+  let xs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+  let dec =
+    Aig.or_ m (Aig.and_ m xs.(0) xs.(1)) (Aig.and_ m xs.(2) xs.(3))
+  in
+  (* parity is not OR-decomposable *)
+  let par = Aig.xor_list m (Array.to_list xs) in
+  let c = Circuit.make ~name:"toy" m [ ("dec", dec); ("par", par) ] in
+  List.iter
+    (fun method_ ->
+      let r = Pipeline.run c Gate.Or_gate method_ in
+      Alcotest.(check int)
+        (Pipeline.method_name method_ ^ " #Dec")
+        1 r.Pipeline.n_decomposed;
+      Array.iter
+        (fun po ->
+          match po.Pipeline.partition with
+          | Some part ->
+              let p = Problem.of_edge m (Circuit.find_output c po.Pipeline.po_name) in
+              Alcotest.(check (option bool)) "valid" (Some true)
+                (Check.decomposable p Gate.Or_gate part)
+          | None -> ())
+        r.Pipeline.per_po)
+    [ Pipeline.Ljh; Pipeline.Mg; Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
+
+(* ---------- property tests ---------- *)
+
+let n_prop_vars = 5
+
+let gen_problem_partition_gate =
+  let open QCheck2.Gen in
+  let* e = gen_expr n_prop_vars in
+  let* g = gen_gate in
+  let p = problem_of_expr n_prop_vars e in
+  if List.length p.Problem.support < 2 then
+    let+ _ = pure () in
+    None
+  else
+    let+ part = gen_partition_of p.Problem.support in
+    Some (e, g, part)
+
+let prop_sat_check_matches_semantic =
+  QCheck2.Test.make ~count:250 ~name:"Prop.1 SAT check matches truth table"
+    ~print:(function
+      | None -> "trivial support"
+      | Some (e, g, part) ->
+          Printf.sprintf "%s %s %s" (pp_expr e) (Gate.to_string g)
+            (Partition.to_string part))
+    gen_problem_partition_gate (function
+      | None -> true
+      | Some (e, g, part) ->
+          let p = problem_of_expr n_prop_vars e in
+          Check.decomposable p g part = Some (Check.decomposable_semantic p g part))
+
+let prop_extract_verifies =
+  QCheck2.Test.make ~count:120
+    ~name:"extraction verified on decomposable partitions"
+    ~print:(function
+      | None -> "trivial"
+      | Some (e, g, part) ->
+          Printf.sprintf "%s %s %s" (pp_expr e) (Gate.to_string g)
+            (Partition.to_string part))
+    gen_problem_partition_gate (function
+      | None -> true
+      | Some (e, g, part) ->
+          let p = problem_of_expr n_prop_vars e in
+          if Check.decomposable p g part <> Some true then true
+          else begin
+            let q = Extract.run ~engine:Extract.Quantify p g part in
+            let i = Extract.run ~engine:Extract.Interpolate p g part in
+            Verify.decomposition p g part ~fa:q.Extract.fa ~fb:q.Extract.fb
+            && Verify.decomposition p g part ~fa:i.Extract.fa ~fb:i.Extract.fb
+          end)
+
+let prop_mg_partitions_valid =
+  QCheck2.Test.make ~count:100 ~name:"MG partitions are always valid"
+    ~print:(fun (e, _) -> pp_expr e)
+    QCheck2.Gen.(pair (gen_expr n_prop_vars) gen_gate)
+    (fun (e, g) ->
+      let p = problem_of_expr n_prop_vars e in
+      if List.length p.Problem.support < 2 then true
+      else
+        match (Mg.find p g).Mg.partition with
+        | None -> true
+        | Some part ->
+            (not (Partition.is_trivial part))
+            && Check.decomposable p g part = Some true)
+
+let prop_qbf_optimal_vs_exhaustive =
+  QCheck2.Test.make ~count:40 ~name:"QBF disjointness optimum is exact"
+    ~print:(fun (e, _) -> pp_expr e)
+    QCheck2.Gen.(pair (gen_expr n_prop_vars) gen_gate)
+    (fun (e, g) ->
+      let p = problem_of_expr n_prop_vars e in
+      if List.length p.Problem.support < 2 then true
+      else begin
+        let o = Qbf_model.optimize p g Qbf_model.Disjointness in
+        let ex = Exhaustive.best ~objective:Partition.disjointness_k p g in
+        match (o.Qbf_model.partition, ex) with
+        | Some qp, Some ep ->
+            o.Qbf_model.optimal
+            && Partition.disjointness_k qp = Partition.disjointness_k ep
+            && Check.decomposable p g qp = Some true
+        | None, None -> true
+        | Some _, None | None, Some _ -> false
+      end)
+
+let prop_gate_full_verified =
+  QCheck2.Test.make ~count:60 ~name:"derived gates decompose verifiably"
+    ~print:(fun (e, _) -> pp_expr e)
+    QCheck2.Gen.(pair (gen_expr 5) (int_range 0 5))
+    (fun (e, gate_idx) ->
+      let p = problem_of_expr 5 e in
+      if List.length p.Problem.support < 2 then true
+      else begin
+        let gf = List.nth Step_core.Gate_full.all gate_idx in
+        match Step_core.Gate_full.decompose ~method_:Pipeline.Mg p gf with
+        | None -> true
+        | Some (_, fa, fb) ->
+            let aig = p.Problem.aig in
+            let rebuilt = Step_core.Gate_full.apply aig gf fa fb in
+            let miter = Aig.xor_ aig p.Problem.f rebuilt in
+            let enc = Step_cnf.Tseitin.create aig in
+            ignore
+              (Step_sat.Solver.add_clause
+                 (Step_cnf.Tseitin.solver enc)
+                 [ Step_cnf.Tseitin.lit_of enc miter ]);
+            not (Step_sat.Solver.solve (Step_cnf.Tseitin.solver enc))
+      end)
+
+let prop_recursive_rebuild_equivalent =
+  QCheck2.Test.make ~count:40 ~name:"recursive trees rebuild equivalently"
+    ~print:pp_expr (gen_expr 6) (fun e ->
+      let p = problem_of_expr 6 e in
+      let module R = Step_core.Recursive in
+      let config =
+        { R.default_config with R.stop_support = 2; method_ = Pipeline.Mg }
+      in
+      let tree = R.decompose ~config p in
+      let rebuilt = R.rebuild p.Problem.aig tree in
+      Verify.equivalent p Gate.Or_gate ~fa:rebuilt ~fb:Aig.f)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "step_core"
+    [
+      ( "partition",
+        [
+          Alcotest.test_case "metrics" `Quick test_partition_metrics;
+          Alcotest.test_case "overlap rejected" `Quick
+            test_partition_overlap_rejected;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "planted decomposable" `Quick
+            test_or_decomposable_planted;
+          Alcotest.test_case "parity xor" `Quick
+            test_xor_parity_fully_decomposable;
+        ] );
+      ( "methods",
+        [
+          Alcotest.test_case "mg planted" `Quick test_mg_finds_planted;
+          Alcotest.test_case "ljh planted" `Quick test_ljh_finds_planted;
+          Alcotest.test_case "qbf optimum = exhaustive" `Slow
+            test_qbf_optimum_matches_exhaustive;
+          Alcotest.test_case "qbf balancedness optimum" `Quick
+            test_qbf_balancedness_optimum;
+          Alcotest.test_case "qbf combined optimum" `Quick
+            test_qbf_combined_optimum;
+          Alcotest.test_case "qbf weighted optimum" `Quick
+            test_qbf_weighted_optimum;
+          Alcotest.test_case "weighted(1,1) = combined" `Quick
+            test_qbf_weighted_matches_combined;
+          Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+          Alcotest.test_case "bootstrap never worse" `Quick
+            test_qbf_bootstrap_never_worse;
+        ] );
+      ( "extract",
+        [
+          Alcotest.test_case "both engines on planted" `Quick
+            test_extract_engines_planted;
+          Alcotest.test_case "verify rejects wrong" `Quick
+            test_verify_rejects_wrong;
+          Alcotest.test_case "certified equivalence" `Quick
+            test_certified_equivalence;
+          Alcotest.test_case "derived gate family" `Quick
+            test_gate_full_all_gates;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "small circuit" `Slow test_pipeline_small_circuit;
+          Alcotest.test_case "recursive decomposition" `Quick
+            test_recursive_decomposition;
+          Alcotest.test_case "qbf export roundtrip" `Quick
+            test_qbf_export_roundtrip;
+          Alcotest.test_case "ashenhurst planted" `Quick
+            test_ashenhurst_planted;
+          Alcotest.test_case "ashenhurst counterexample" `Quick
+            test_ashenhurst_counterexample;
+        ] );
+      qsuite "properties"
+        [
+          prop_sat_check_matches_semantic;
+          prop_extract_verifies;
+          prop_mg_partitions_valid;
+          prop_qbf_optimal_vs_exhaustive;
+          prop_ashenhurst_matches_semantic;
+          prop_gate_full_verified;
+          prop_recursive_rebuild_equivalent;
+        ];
+    ]

@@ -1,0 +1,247 @@
+(* Tests for the whole-circuit pipeline, automatic gate selection, the
+   Report module, and the full gate family — the integration layer. *)
+
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Problem = Step_core.Problem
+module Pipeline = Step_core.Pipeline
+module Report = Step_core.Report
+module Check = Step_core.Check
+module Suite = Step_circuits.Suite
+module Generators = Step_circuits.Generators
+
+(* a small circuit with known decomposability profile *)
+let toy_circuit () =
+  let m = Aig.create () in
+  let xs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+  let or_dec = Aig.or_ m (Aig.and_ m xs.(0) xs.(1)) (Aig.and_ m xs.(2) xs.(3)) in
+  let and_dec =
+    Aig.and_ m (Aig.or_ m xs.(0) xs.(1)) (Aig.or_ m xs.(4) xs.(5))
+  in
+  let xor_dec = Aig.xor_ m (Aig.and_ m xs.(0) xs.(1)) (Aig.xor_ m xs.(2) xs.(3)) in
+  let parity = Aig.xor_list m (Array.to_list xs) in
+  Circuit.make ~name:"toy" m
+    [ ("ord", or_dec); ("andd", and_dec); ("xord", xor_dec); ("par", parity) ]
+
+let methods =
+  [ Pipeline.Ljh; Pipeline.Mg; Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
+
+let test_run_counts () =
+  let c = toy_circuit () in
+  List.iter
+    (fun m ->
+      let r = Pipeline.run c Gate.Or_gate m in
+      Alcotest.(check int)
+        (Pipeline.method_name m ^ " total POs")
+        4
+        (Array.length r.Pipeline.per_po);
+      Alcotest.(check bool)
+        (Pipeline.method_name m ^ " #Dec sane")
+        true
+        (r.Pipeline.n_decomposed >= 1 && r.Pipeline.n_decomposed <= 4))
+    methods
+
+let test_all_partitions_valid () =
+  let c = toy_circuit () in
+  List.iter
+    (fun gate ->
+      List.iter
+        (fun m ->
+          let r = Pipeline.run c gate m in
+          Array.iter
+            (fun (po : Pipeline.po_result) ->
+              match po.Pipeline.partition with
+              | None -> ()
+              | Some part ->
+                  let p =
+                    Problem.of_edge c.Circuit.aig
+                      (Circuit.find_output c po.Pipeline.po_name)
+                  in
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s/%s/%s nontrivial"
+                       (Gate.to_string gate) (Pipeline.method_name m)
+                       po.Pipeline.po_name)
+                    false (Partition.is_trivial part);
+                  Alcotest.(check (option bool))
+                    (Printf.sprintf "%s/%s/%s valid" (Gate.to_string gate)
+                       (Pipeline.method_name m) po.Pipeline.po_name)
+                    (Some true)
+                    (Check.decomposable p gate part))
+            r.Pipeline.per_po)
+        methods)
+    Gate.all
+
+let test_qbf_not_worse_than_mg () =
+  let c = Suite.by_name "mm9b" in
+  let mg = Pipeline.run c Gate.Or_gate Pipeline.Mg in
+  let qd = Pipeline.run c Gate.Or_gate Pipeline.Qd in
+  Array.iteri
+    (fun i (mg_po : Pipeline.po_result) ->
+      let qd_po = qd.Pipeline.per_po.(i) in
+      match (mg_po.Pipeline.partition, qd_po.Pipeline.partition) with
+      | Some mp, Some qp ->
+          Alcotest.(check bool) "disjointness no worse" true
+            (Partition.disjointness qp <= Partition.disjointness mp +. 1e-9)
+      | None, Some _ | None, None -> ()
+      | Some _, None -> Alcotest.fail "QD lost a decomposition MG found")
+    mg.Pipeline.per_po
+
+let test_auto_gate () =
+  let c = toy_circuit () in
+  (* parity must come out as XOR; the OR-planted output as OR *)
+  let g_par, r_par =
+    Pipeline.decompose_output_auto c 3 Pipeline.Qd
+  in
+  Alcotest.(check bool) "parity decomposed" true (r_par.Pipeline.partition <> None);
+  (match g_par with
+  | Some Gate.Xor_gate -> ()
+  | Some g -> Alcotest.fail ("parity chose " ^ Gate.to_string g)
+  | None -> Alcotest.fail "parity not decomposed");
+  let g_or, r_or = Pipeline.decompose_output_auto c 0 Pipeline.Qd in
+  Alcotest.(check bool) "or-cone decomposed" true (r_or.Pipeline.partition <> None);
+  match g_or with
+  | Some _ -> ()
+  | None -> Alcotest.fail "or cone not decomposed"
+
+let test_report_aggregate () =
+  let c = toy_circuit () in
+  let r = Pipeline.run c Gate.Or_gate Pipeline.Qd in
+  let a = Report.aggregate_of r in
+  Alcotest.(check int) "outputs" 4 a.Report.n_outputs;
+  Alcotest.(check int) "decomposed" r.Pipeline.n_decomposed a.Report.n_decomposed;
+  Alcotest.(check bool) "mean eD defined" true
+    (not (Float.is_nan a.Report.mean_disjointness))
+
+let test_report_csv_shape () =
+  let c = toy_circuit () in
+  let r = Pipeline.run c Gate.Or_gate Pipeline.Mg in
+  let csv = Report.to_csv r in
+  let lines =
+    String.split_on_char '\n' csv |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "header + 4 rows" 5 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int)
+        ("11 fields: " ^ line)
+        11
+        (List.length (String.split_on_char ',' line)))
+    lines
+
+let test_report_markdown_and_text () =
+  let c = toy_circuit () in
+  let r = Pipeline.run c Gate.Or_gate Pipeline.Qb in
+  let md = Report.to_markdown r in
+  Alcotest.(check bool) "has table header" true
+    (String.length md > 0
+    && String.sub md 0 3 = "###");
+  let text = Report.to_text r in
+  Alcotest.(check bool) "mentions summary" true
+    (String.length text > 0)
+
+let test_compare_table () =
+  let c = toy_circuit () in
+  let baseline = Pipeline.run c Gate.Or_gate Pipeline.Ljh in
+  let challenger = Pipeline.run c Gate.Or_gate Pipeline.Qd in
+  let t =
+    Report.compare_table ~baseline ~challenger
+      ~metric:Partition.disjointness
+  in
+  Alcotest.(check bool) "renders" true (String.length t > 0)
+
+let test_total_budget_timeout () =
+  let c = Suite.by_name "C7552" in
+  let r = Pipeline.run ~total_budget:0.0 c Gate.Or_gate Pipeline.Qd in
+  (* everything after the first PO must be reported as timed out *)
+  let timed_out =
+    Array.fold_left
+      (fun acc po -> if po.Pipeline.timed_out then acc + 1 else acc)
+      0 r.Pipeline.per_po
+  in
+  Alcotest.(check bool) "timeouts reported" true
+    (timed_out >= Array.length r.Pipeline.per_po - 1)
+
+(* ---------- network synthesis & support reduction ---------- *)
+
+module Network = Step_core.Network
+module Recursive = Step_core.Recursive
+module Verify = Step_core.Verify
+
+let test_network_synthesize () =
+  let c = toy_circuit () in
+  let config =
+    { Recursive.default_config with Recursive.stop_support = 3 }
+  in
+  let r = Network.synthesize ~config c in
+  Alcotest.(check int) "entries" 4 (Array.length r.Network.entries);
+  Alcotest.(check bool) "some gates" true (r.Network.total_gates >= 3);
+  (* rebuilt outputs must be equivalent to the originals *)
+  let c2 = r.Network.circuit in
+  Alcotest.(check int) "same outputs" 4 (Circuit.n_outputs c2);
+  for i = 0 to 3 do
+    let name = Circuit.output_name c i in
+    let orig = Problem.of_edge c.Circuit.aig (Circuit.find_output c name) in
+    (* import the rebuilt output into the original manager for the miter *)
+    let imported =
+      Aig.import c.Circuit.aig ~src:c2.Circuit.aig
+        ~map_input:(fun j -> Aig.input c.Circuit.aig j)
+        (Circuit.find_output c2 name)
+    in
+    Alcotest.(check bool)
+      (name ^ " equivalent") true
+      (Verify.equivalent orig Gate.Or_gate ~fa:imported ~fb:Aig.f)
+  done
+
+let test_problem_reduce () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let z = Aig.fresh_input m in
+  (* f structurally mentions z but z cancels: f = (x&z) ^ (x&z) ^ (x|y) *)
+  let t = Aig.and_ m x z in
+  let f = Aig.xor_ m (Aig.xor_ m t t) (Aig.or_ m x y) in
+  (* strashing already kills this one; build a subtler vacuous support *)
+  let g = Aig.ite m z (Aig.or_ m x y) (Aig.or_ m y x) in
+  let p = Problem.of_edge m g in
+  ignore f;
+  Alcotest.(check (list int)) "structural support has z" [ 0; 1; 2 ]
+    p.Problem.support;
+  let reduced = Problem.reduce p in
+  Alcotest.(check (list int)) "semantic support drops z" [ 0; 1 ]
+    reduced.Problem.support;
+  (* reduced function equivalent to the original *)
+  for mask = 0 to 7 do
+    let env i = (mask lsr i) land 1 = 1 in
+    Alcotest.(check bool) "equiv" (Aig.eval m env g)
+      (Aig.eval m env reduced.Problem.f)
+  done
+
+let () =
+  Alcotest.run "step_pipeline"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "run counts" `Quick test_run_counts;
+          Alcotest.test_case "all partitions valid" `Slow
+            test_all_partitions_valid;
+          Alcotest.test_case "qbf never worse than mg" `Quick
+            test_qbf_not_worse_than_mg;
+          Alcotest.test_case "auto gate" `Quick test_auto_gate;
+          Alcotest.test_case "total budget timeout" `Quick
+            test_total_budget_timeout;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "aggregate" `Quick test_report_aggregate;
+          Alcotest.test_case "csv shape" `Quick test_report_csv_shape;
+          Alcotest.test_case "markdown/text" `Quick
+            test_report_markdown_and_text;
+          Alcotest.test_case "compare table" `Quick test_compare_table;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "synthesize" `Quick test_network_synthesize;
+          Alcotest.test_case "support reduction" `Quick test_problem_reduce;
+        ] );
+    ]

@@ -1,0 +1,382 @@
+(* Tests for the CEGAR 2QBF engine (vs brute force) and MUS extraction. *)
+
+module Aig = Step_aig.Aig
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Cegar = Step_qbf.Cegar
+module Naive = Step_qbf.Naive
+module Mus = Step_mus.Mus
+
+(* ---------- qbf unit tests ---------- *)
+
+let test_tautology () =
+  let m = Aig.create () in
+  let y = Aig.fresh_input m in
+  let matrix = Aig.or_ m y (Aig.not_ y) in
+  match Cegar.solve m ~matrix ~exists_vars:[] ~forall_vars:[ 0 ] with
+  | Cegar.Valid _, _ -> ()
+  | (Cegar.Invalid | Cegar.Unknown), _ -> Alcotest.fail "tautology is valid"
+
+let test_exists_pick () =
+  (* ∃x ∀y . x ∨ y is invalid... x∨y with x=1 is a tautology: valid *)
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let matrix = Aig.or_ m x y in
+  match Cegar.solve m ~matrix ~exists_vars:[ 0 ] ~forall_vars:[ 1 ] with
+  | Cegar.Valid w, _ -> Alcotest.(check bool) "x must be 1" true (w 0)
+  | (Cegar.Invalid | Cegar.Unknown), _ -> Alcotest.fail "expected Valid"
+
+let test_invalid () =
+  (* ∃x ∀y . x ⊕ y is invalid *)
+  let m = Aig.create () in
+  let x = Aig.fresh_input m and y = Aig.fresh_input m in
+  let matrix = Aig.xor_ m x y in
+  match Cegar.solve m ~matrix ~exists_vars:[ 0 ] ~forall_vars:[ 1 ] with
+  | Cegar.Invalid, _ -> ()
+  | (Cegar.Valid _ | Cegar.Unknown), _ -> Alcotest.fail "expected Invalid"
+
+let test_equality_witness () =
+  (* ∃x1 x2 ∀y1 y2 . (x1 ≡ y1∨¬y1) ∧ (x2 ≡ y2∧¬y2): forces x1=1, x2=0 *)
+  let m = Aig.create () in
+  let x1 = Aig.fresh_input m and x2 = Aig.fresh_input m in
+  let y1 = Aig.fresh_input m and y2 = Aig.fresh_input m in
+  let c1 = Aig.iff_ m x1 (Aig.or_ m y1 (Aig.not_ y1)) in
+  let c2 = Aig.iff_ m x2 (Aig.and_ m y2 (Aig.not_ y2)) in
+  let matrix = Aig.and_ m c1 c2 in
+  match Cegar.solve m ~matrix ~exists_vars:[ 0; 1 ] ~forall_vars:[ 2; 3 ] with
+  | Cegar.Valid w, _ ->
+      Alcotest.(check bool) "x1" true (w 0);
+      Alcotest.(check bool) "x2" false (w 1)
+  | (Cegar.Invalid | Cegar.Unknown), _ -> Alcotest.fail "expected Valid"
+
+let test_budget () =
+  let m = Aig.create () in
+  let xs = List.init 4 (fun _ -> Aig.fresh_input m) in
+  let ys = List.init 4 (fun _ -> Aig.fresh_input m) in
+  let matrix =
+    Aig.and_list m
+      (List.map2 (fun x y -> Aig.iff_ m x y) xs ys)
+  in
+  match
+    Cegar.solve ~max_iterations:0 m ~matrix ~exists_vars:[ 0; 1; 2; 3 ]
+      ~forall_vars:[ 4; 5; 6; 7 ]
+  with
+  | Cegar.Unknown, _ -> ()
+  | (Cegar.Valid _ | Cegar.Invalid), _ -> Alcotest.fail "expected Unknown"
+
+let test_support_check () =
+  let m = Aig.create () in
+  let x = Aig.fresh_input m in
+  let _y = Aig.fresh_input m in
+  match Cegar.solve m ~matrix:x ~exists_vars:[ 1 ] ~forall_vars:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ---------- qbf property test ---------- *)
+
+type expr =
+  | Var of int
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+
+let rec build_aig m inputs = function
+  | Var i -> inputs.(i)
+  | Not e -> Aig.not_ (build_aig m inputs e)
+  | And (a, b) -> Aig.and_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Or (a, b) -> Aig.or_ m (build_aig m inputs a) (build_aig m inputs b)
+  | Xor (a, b) -> Aig.xor_ m (build_aig m inputs a) (build_aig m inputs b)
+
+let rec pp_expr = function
+  | Var i -> Printf.sprintf "x%d" i
+  | Not e -> Printf.sprintf "!(%s)" (pp_expr e)
+  | And (a, b) -> Printf.sprintf "(%s & %s)" (pp_expr a) (pp_expr b)
+  | Or (a, b) -> Printf.sprintf "(%s | %s)" (pp_expr a) (pp_expr b)
+  | Xor (a, b) -> Printf.sprintf "(%s ^ %s)" (pp_expr a) (pp_expr b)
+
+let n_vars = 6
+
+let gen_expr =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 30) @@ fix (fun self n ->
+      if n = 0 then map (fun i -> Var i) (int_range 0 (n_vars - 1))
+      else
+        oneof
+          [
+            map (fun i -> Var i) (int_range 0 (n_vars - 1));
+            map (fun e -> Not e) (self (n - 1));
+            map2 (fun a b -> And (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Or (a, b)) (self (n / 2)) (self (n / 2));
+            map2 (fun a b -> Xor (a, b)) (self (n / 2)) (self (n / 2));
+          ])
+
+let prop_cegar_matches_naive =
+  QCheck2.Test.make ~count:250 ~name:"cegar agrees with brute force"
+    ~print:pp_expr gen_expr (fun e ->
+      let m = Aig.create () in
+      let inputs = Array.init n_vars (fun _ -> Aig.fresh_input m) in
+      let matrix = build_aig m inputs e in
+      let exists_vars = [ 0; 1; 2 ] and forall_vars = [ 3; 4; 5 ] in
+      let expected = Naive.exists_forall m ~matrix ~exists_vars ~forall_vars in
+      match Cegar.solve m ~matrix ~exists_vars ~forall_vars with
+      | Cegar.Valid w, _ ->
+          expected
+          && (* verify the witness *)
+          Naive.exists_forall m ~matrix:(
+            Aig.compose m
+              (fun v ->
+                if List.mem v exists_vars then
+                  Some (if w v then Aig.t_ else Aig.f)
+                else None)
+              matrix)
+            ~exists_vars:[] ~forall_vars
+      | Cegar.Invalid, _ -> not expected
+      | Cegar.Unknown, _ -> false)
+
+let prop_cegar_duality =
+  QCheck2.Test.make ~count:150 ~name:"forall-exists via negated dual"
+    ~print:pp_expr gen_expr (fun e ->
+      let m = Aig.create () in
+      let inputs = Array.init n_vars (fun _ -> Aig.fresh_input m) in
+      let matrix = build_aig m inputs e in
+      let forall_vars = [ 0; 1; 2 ] and exists_vars = [ 3; 4; 5 ] in
+      let expected = Naive.forall_exists m ~matrix ~forall_vars ~exists_vars in
+      (* ∀Y∃X.φ  ⇔  ¬(∃Y∀X.¬φ) *)
+      match
+        Cegar.solve m ~matrix:(Aig.not_ matrix) ~exists_vars:forall_vars
+          ~forall_vars:exists_vars
+      with
+      | Cegar.Valid _, _ -> not expected
+      | Cegar.Invalid, _ -> expected
+      | Cegar.Unknown, _ -> false)
+
+(* ---------- qdimacs ---------- *)
+
+module Qdimacs = Step_qbf.Qdimacs
+
+let test_qdimacs_parse () =
+  let q = Qdimacs.parse_string "p cnf 3 2\ne 1 2 0\na 3 0\n1 3 0\n-2 -3 0\n" in
+  Alcotest.(check int) "vars" 3 q.Qdimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length q.Qdimacs.clauses);
+  Alcotest.(check int) "prefix blocks" 2 (List.length q.Qdimacs.prefix);
+  let q2 = Qdimacs.parse_string (Qdimacs.to_string q) in
+  Alcotest.(check bool) "roundtrip" true (q = q2)
+
+let solve_text text =
+  Qdimacs.solve (Qdimacs.parse_string text)
+
+let test_qdimacs_solve_cases () =
+  let check name text expected =
+    match solve_text text with
+    | r -> Alcotest.(check bool) name true (r = expected)
+  in
+  (* ∃x. x ∧ ¬x : false *)
+  check "contradiction" "p cnf 1 2\ne 1 0\n1 0\n-1 0\n" Qdimacs.False;
+  (* ∀x ∃y. (x∨y)(¬x∨¬y): true (y = ¬x) *)
+  check "forall-exists true" "p cnf 2 2\na 1 0\ne 2 0\n1 2 0\n-1 -2 0\n"
+    Qdimacs.True;
+  (* ∃y ∀x. (x∨y)(¬x∨¬y): false *)
+  check "exists-forall false" "p cnf 2 2\ne 2 0\na 1 0\n1 2 0\n-1 -2 0\n"
+    Qdimacs.False;
+  (* ∀x. x∨¬x : true *)
+  check "forall tautology" "p cnf 1 1\na 1 0\n1 -1 0\n" Qdimacs.True;
+  (* ∀x. x : false *)
+  check "forall contradiction" "p cnf 1 1\na 1 0\n1 0\n" Qdimacs.False;
+  (* free variable bound existentially: x free, ∀y. x∨y ... = ∃x∀y x∨y: true *)
+  check "free variable" "p cnf 2 1\na 2 0\n1 2 0\n" Qdimacs.True
+
+let test_qdimacs_budget () =
+  let q =
+    Qdimacs.parse_string "p cnf 4 2\ne 1 2 0\na 3 4 0\n1 3 0\n2 -4 0\n"
+  in
+  match Qdimacs.solve ~max_iterations:0 q with
+  | Qdimacs.Unknown -> ()
+  | Qdimacs.True | Qdimacs.False ->
+      Alcotest.fail "expected Unknown at zero budget"
+
+let test_qdimacs_three_blocks_rejected () =
+  let q =
+    Qdimacs.parse_string "p cnf 3 1\ne 1 0\na 2 0\ne 3 0\n1 2 3 0\n"
+  in
+  match Qdimacs.solve q with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected rejection of 3 quantifier levels"
+
+let prop_qdimacs_matches_naive =
+  (* random 2QBF over 6 vars, 3 in each block *)
+  let gen =
+    let open QCheck2.Gen in
+    let* n_clauses = int_range 1 12 in
+    let gen_lit = map2 (fun v s -> if s then v else -v) (int_range 1 6) bool in
+    let* clauses = list_size (pure n_clauses) (list_size (int_range 1 3) gen_lit) in
+    let+ order = bool in
+    (clauses, order)
+  in
+  QCheck2.Test.make ~count:200 ~name:"qdimacs solve matches brute force"
+    ~print:(fun (cls, order) ->
+      Printf.sprintf "%s %b"
+        (String.concat "; "
+           (List.map
+              (fun c -> String.concat " " (List.map string_of_int c))
+              cls))
+        order)
+    gen
+    (fun (clauses, exists_first) ->
+      let prefix =
+        if exists_first then
+          [ (Qdimacs.Exists, [ 0; 1; 2 ]); (Qdimacs.Forall, [ 3; 4; 5 ]) ]
+        else [ (Qdimacs.Forall, [ 0; 1; 2 ]); (Qdimacs.Exists, [ 3; 4; 5 ]) ]
+      in
+      let q = { Qdimacs.num_vars = 6; prefix; clauses } in
+      (* brute force on the AIG matrix *)
+      let m = Aig.create () in
+      let inputs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+      let clause_edge c =
+        Aig.or_list m
+          (List.map
+             (fun l ->
+               let e = inputs.(abs l - 1) in
+               if l > 0 then e else Aig.not_ e)
+             c)
+      in
+      let matrix = Aig.and_list m (List.map clause_edge clauses) in
+      let expected =
+        if exists_first then
+          Naive.exists_forall m ~matrix ~exists_vars:[ 0; 1; 2 ]
+            ~forall_vars:[ 3; 4; 5 ]
+        else
+          Naive.forall_exists m ~matrix ~forall_vars:[ 0; 1; 2 ]
+            ~exists_vars:[ 3; 4; 5 ]
+      in
+      match Qdimacs.solve q with
+      | Qdimacs.True -> expected
+      | Qdimacs.False -> not expected
+      | Qdimacs.Unknown -> false)
+
+(* ---------- mus ---------- *)
+
+let selector_clause s solver sel lits =
+  ignore s;
+  ignore (Solver.add_clause solver (Lit.negate sel :: lits))
+
+let test_mus_simple () =
+  (* groups: {x}, {¬x}, {y} — the MUS is the first two *)
+  let solver = Solver.create () in
+  let sel () = Lit.pos (Solver.new_var solver) in
+  let s1 = sel () and s2 = sel () and s3 = sel () in
+  let x = Lit.pos (Solver.new_var solver) in
+  let y = Lit.pos (Solver.new_var solver) in
+  selector_clause () solver s1 [ x ];
+  selector_clause () solver s2 [ Lit.negate x ];
+  selector_clause () solver s3 [ y ];
+  let mus = Mus.minimize solver ~selectors:[ s1; s2; s3 ] in
+  Alcotest.(check (list int)) "mus = {s1,s2}" (List.sort compare [ s1; s2 ])
+    (List.sort compare mus);
+  Alcotest.(check bool) "is minimal" true (Mus.is_minimal solver mus)
+
+let test_mus_requires_unsat () =
+  let solver = Solver.create () in
+  let s1 = Lit.pos (Solver.new_var solver) in
+  let x = Lit.pos (Solver.new_var solver) in
+  selector_clause () solver s1 [ x ];
+  match Mus.minimize solver ~selectors:[ s1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument on satisfiable input"
+
+let test_mus_with_hard () =
+  (* hard: x; groups {¬x ∨ y}, {¬y}, {z} → MUS = first two *)
+  let solver = Solver.create () in
+  let sel () = Lit.pos (Solver.new_var solver) in
+  let s1 = sel () and s2 = sel () and s3 = sel () in
+  let h = Lit.pos (Solver.new_var solver) in
+  let x = Lit.pos (Solver.new_var solver) in
+  let y = Lit.pos (Solver.new_var solver) in
+  let z = Lit.pos (Solver.new_var solver) in
+  ignore (Solver.add_clause solver [ Lit.negate h; x ]);
+  selector_clause () solver s1 [ Lit.negate x; y ];
+  selector_clause () solver s2 [ Lit.negate y ];
+  selector_clause () solver s3 [ z ];
+  let mus = Mus.minimize ~hard:[ h ] solver ~selectors:[ s1; s2; s3 ] in
+  Alcotest.(check (list int)) "mus" (List.sort compare [ s1; s2 ])
+    (List.sort compare mus)
+
+let prop_mus_minimal =
+  (* random unsatisfiable group structure: groups of unit clauses over few
+     vars; force unsat by adding complementary pair groups *)
+  let gen =
+    let open QCheck2.Gen in
+    let* n_groups = int_range 2 10 in
+    let* seed = int_range 0 10000 in
+    return (n_groups, seed)
+  in
+  QCheck2.Test.make ~count:150 ~name:"mus output is a minimal unsat set"
+    ~print:(fun (g, s) -> Printf.sprintf "groups=%d seed=%d" g s)
+    gen (fun (n_groups, seed) ->
+      let st = Random.State.make [| seed |] in
+      let solver = Solver.create () in
+      let n_base = 4 in
+      let base = Array.init n_base (fun _ -> Solver.new_var solver) in
+      let selectors =
+        List.init n_groups (fun _ ->
+            let sel = Lit.pos (Solver.new_var solver) in
+            (* each group: 1-2 random unit or binary clauses *)
+            let n_cl = 1 + Random.State.int st 2 in
+            for _ = 1 to n_cl do
+              let lit () =
+                Lit.of_var (Random.State.bool st)
+                  base.(Random.State.int st n_base)
+              in
+              let c =
+                if Random.State.bool st then [ lit () ] else [ lit (); lit () ]
+              in
+              ignore (Solver.add_clause solver (Lit.negate sel :: c))
+            done;
+            sel)
+      in
+      (* make sure the whole thing is unsat: add two contradictory groups *)
+      let sa = Lit.pos (Solver.new_var solver) in
+      let sb = Lit.pos (Solver.new_var solver) in
+      ignore (Solver.add_clause solver [ Lit.negate sa; Lit.pos base.(0) ]);
+      ignore (Solver.add_clause solver [ Lit.negate sb; Lit.neg_of_var base.(0) ]);
+      let selectors = sa :: sb :: selectors in
+      let mus = Mus.minimize solver ~selectors in
+      Mus.is_minimal solver mus
+      && List.for_all (fun l -> List.mem l selectors) mus)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "step_qbf_mus"
+    [
+      ( "cegar",
+        [
+          Alcotest.test_case "tautology" `Quick test_tautology;
+          Alcotest.test_case "exists pick" `Quick test_exists_pick;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+          Alcotest.test_case "equality witness" `Quick test_equality_witness;
+          Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "support check" `Quick test_support_check;
+        ] );
+      ( "qdimacs",
+        [
+          Alcotest.test_case "parse/roundtrip" `Quick test_qdimacs_parse;
+          Alcotest.test_case "solve cases" `Quick test_qdimacs_solve_cases;
+          Alcotest.test_case "budget" `Quick test_qdimacs_budget;
+          Alcotest.test_case "three blocks rejected" `Quick
+            test_qdimacs_three_blocks_rejected;
+        ] );
+      ( "mus",
+        [
+          Alcotest.test_case "simple" `Quick test_mus_simple;
+          Alcotest.test_case "requires unsat" `Quick test_mus_requires_unsat;
+          Alcotest.test_case "with hard assumptions" `Quick test_mus_with_hard;
+        ] );
+      qsuite "properties"
+        [
+          prop_cegar_matches_naive;
+          prop_cegar_duality;
+          prop_qdimacs_matches_naive;
+          prop_mus_minimal;
+        ];
+    ]

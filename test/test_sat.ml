@@ -1,0 +1,447 @@
+(* Tests for the CDCL SAT solver: hand-written scenarios plus qcheck
+   cross-validation against a brute-force model enumerator. *)
+
+module Lit = Step_sat.Lit
+module Solver = Step_sat.Solver
+module Dimacs = Step_sat.Dimacs
+
+let pos = Lit.pos
+let neg = Lit.neg_of_var
+
+(* ---------- brute force reference ---------- *)
+
+let eval_clause model clause =
+  List.exists
+    (fun l ->
+      let v = Lit.var l in
+      if Lit.is_pos l then (model lsr v) land 1 = 1
+      else (model lsr v) land 1 = 0)
+    clause
+
+let brute_force_sat n_vars clauses =
+  let rec go m =
+    if m >= 1 lsl n_vars then None
+    else if List.for_all (eval_clause m) clauses then Some m
+    else go (m + 1)
+  in
+  go 0
+
+let solver_of ?proof clauses =
+  let s = Solver.create ?proof () in
+  List.iter (fun c -> ignore (Solver.add_clause s c)) clauses;
+  s
+
+(* ---------- random CNF generator ---------- *)
+
+let gen_cnf =
+  let open QCheck2.Gen in
+  let* n_vars = int_range 1 10 in
+  let* n_clauses = int_range 1 42 in
+  let gen_lit = map2 Lit.of_var bool (int_range 0 (n_vars - 1)) in
+  let gen_clause = list_size (int_range 1 4) gen_lit in
+  let+ clauses = list_size (pure n_clauses) gen_clause in
+  (n_vars, clauses)
+
+let print_cnf (n, clauses) =
+  Printf.sprintf "vars=%d cnf=%s" n
+    (String.concat " ; "
+       (List.map
+          (fun c -> String.concat " " (List.map Lit.to_string c))
+          clauses))
+
+(* ---------- unit tests ---------- *)
+
+let test_empty_clause () =
+  let s = Solver.create () in
+  ignore (Solver.add_clause s []);
+  Alcotest.(check bool) "unsat" false (Solver.solve s)
+
+let test_trivial_sat () =
+  let s = solver_of [ [ pos 0 ]; [ neg 1 ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve s);
+  Alcotest.(check bool) "x0" true (Solver.var_value s 0);
+  Alcotest.(check bool) "x1" false (Solver.var_value s 1)
+
+let test_contradictory_units () =
+  let s = solver_of [ [ pos 0 ]; [ neg 0 ] ] in
+  Alcotest.(check bool) "unsat" false (Solver.solve s)
+
+let test_chain_propagation () =
+  (* x0 and a chain of implications forcing x9 *)
+  let clauses =
+    [ pos 0 ]
+    :: List.init 9 (fun i -> [ neg i; pos (i + 1) ])
+  in
+  let s = solver_of clauses in
+  Alcotest.(check bool) "sat" true (Solver.solve s);
+  Alcotest.(check bool) "x9 forced" true (Solver.var_value s 9)
+
+let test_pigeonhole_3_2 () =
+  (* 3 pigeons, 2 holes: p_{i,h} = var (2i + h) *)
+  let v i h = (2 * i) + h in
+  let at_least = List.init 3 (fun i -> [ pos (v i 0); pos (v i 1) ]) in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        [
+          [ neg (v 0 h); neg (v 1 h) ];
+          [ neg (v 0 h); neg (v 2 h) ];
+          [ neg (v 1 h); neg (v 2 h) ];
+        ])
+      [ 0; 1 ]
+  in
+  let s = solver_of (at_least @ at_most) in
+  Alcotest.(check bool) "unsat" false (Solver.solve s)
+
+let test_pigeonhole_proof_mode () =
+  let v i h = (2 * i) + h in
+  let at_least = List.init 3 (fun i -> [ pos (v i 0); pos (v i 1) ]) in
+  let at_most =
+    List.concat_map
+      (fun h ->
+        [
+          [ neg (v 0 h); neg (v 1 h) ];
+          [ neg (v 0 h); neg (v 2 h) ];
+          [ neg (v 1 h); neg (v 2 h) ];
+        ])
+      [ 0; 1 ]
+  in
+  let s = solver_of ~proof:true (at_least @ at_most) in
+  Alcotest.(check bool) "unsat" false (Solver.solve s);
+  let steps, empty = Solver.proof_of_unsat s in
+  Alcotest.(check bool)
+    "empty chain has premises" true
+    (Array.length empty.Solver.Proof.premises > 0);
+  Alcotest.(check bool)
+    "pivot count consistent" true
+    (Array.for_all
+       (fun (_, st) ->
+         Array.length st.Solver.Proof.premises
+         = Array.length st.Solver.Proof.pivots + 1)
+       steps)
+
+let test_assumptions_sat_unsat () =
+  let s = solver_of [ [ pos 0; pos 1 ] ] in
+  Alcotest.(check bool) "sat under a" true
+    (Solver.solve ~assumptions:[ neg 0 ] s);
+  Alcotest.(check bool) "x1 forced" true (Solver.var_value s 1);
+  Alcotest.(check bool) "unsat under both" false
+    (Solver.solve ~assumptions:[ neg 0; neg 1 ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core nonempty" true (core <> []);
+  Alcotest.(check bool) "core subset of assumptions" true
+    (List.for_all (fun l -> List.mem l [ neg 0; neg 1 ]) core);
+  (* the core itself must suffice *)
+  Alcotest.(check bool) "core unsat" false (Solver.solve ~assumptions:core s)
+
+let test_assumption_of_fresh_var () =
+  let s = solver_of [ [ pos 0 ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve ~assumptions:[ pos 5 ] s);
+  Alcotest.(check bool) "assumed value" true (Solver.var_value s 5)
+
+let test_contradictory_assumptions () =
+  let s = solver_of [ [ pos 0; pos 1 ] ] in
+  Alcotest.(check bool) "p and not p" false
+    (Solver.solve ~assumptions:[ pos 2; neg 2 ] s);
+  let core = Solver.unsat_core s in
+  Alcotest.(check bool) "core mentions var 2" true
+    (List.for_all (fun l -> Lit.var l = 2) core && core <> [])
+
+let test_incremental () =
+  let s = solver_of [ [ pos 0; pos 1 ] ] in
+  Alcotest.(check bool) "sat" true (Solver.solve s);
+  ignore (Solver.add_clause s [ neg 0 ]);
+  Alcotest.(check bool) "still sat" true (Solver.solve s);
+  Alcotest.(check bool) "x1" true (Solver.var_value s 1);
+  ignore (Solver.add_clause s [ neg 1 ]);
+  Alcotest.(check bool) "now unsat" false (Solver.solve s);
+  Alcotest.(check bool) "okay false" false (Solver.okay s)
+
+let test_tautology_ignored () =
+  let s = Solver.create () in
+  let id = Solver.add_clause s [ pos 0; neg 0 ] in
+  Alcotest.(check int) "discarded" (-1) id;
+  Alcotest.(check bool) "sat" true (Solver.solve s)
+
+let test_duplicate_literals () =
+  let s = Solver.create () in
+  ignore (Solver.add_clause s [ pos 0; pos 0; pos 0 ]);
+  Alcotest.(check bool) "sat" true (Solver.solve s);
+  Alcotest.(check bool) "forced" true (Solver.var_value s 0)
+
+let test_conflict_budget () =
+  (* pigeonhole 6->5 takes more than 1 conflict *)
+  let n_p = 6 and n_h = 5 in
+  let v i h = (i * n_h) + h in
+  let s = Solver.create () in
+  for i = 0 to n_p - 1 do
+    ignore (Solver.add_clause s (List.init n_h (fun h -> pos (v i h))))
+  done;
+  for h = 0 to n_h - 1 do
+    for i = 0 to n_p - 1 do
+      for j = i + 1 to n_p - 1 do
+        ignore (Solver.add_clause s [ neg (v i h); neg (v j h) ])
+      done
+    done
+  done;
+  Solver.set_conflict_budget s 1;
+  (match Solver.solve_limited s with
+  | Solver.Unknown -> ()
+  | Solver.Sat | Solver.Unsat -> Alcotest.fail "expected Unknown on budget");
+  Solver.set_conflict_budget s (-1);
+  (match Solver.solve_limited s with
+  | Solver.Unsat -> ()
+  | Solver.Sat | Solver.Unknown -> Alcotest.fail "expected Unsat unbounded")
+
+let test_dimacs_roundtrip () =
+  let text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n" in
+  let cnf = Dimacs.parse_string text in
+  Alcotest.(check int) "vars" 3 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+  let cnf2 = Dimacs.parse_string (Dimacs.to_string cnf) in
+  Alcotest.(check bool) "roundtrip" true (cnf = cnf2)
+
+let test_dimacs_multiline_clause () =
+  let cnf = Dimacs.parse_string "1 2\n-3 0 3 0" in
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses)
+
+let test_large_random_sat () =
+  (* a satisfiable planted instance with 300 vars *)
+  let n = 300 in
+  let st = Random.State.make [| 42 |] in
+  let planted v = (v * 7) mod 2 = 0 in
+  let s = Solver.create () in
+  for _ = 1 to 1200 do
+    let vs = List.init 3 (fun _ -> Random.State.int st n) in
+    (* make sure at least one literal agrees with the planted model *)
+    let c =
+      List.mapi
+        (fun i v ->
+          if i = 0 then Lit.of_var (planted v) v
+          else Lit.of_var (Random.State.bool st) v)
+        vs
+    in
+    ignore (Solver.add_clause s c)
+  done;
+  Alcotest.(check bool) "sat" true (Solver.solve s)
+
+(* ---------- preprocessing ---------- *)
+
+module Simp = Step_sat.Simp
+
+let test_simp_pure_literal () =
+  (* v occurs only positively: eliminated with zero resolvents *)
+  let cnf =
+    { Dimacs.num_vars = 3;
+      clauses = [ [ pos 0; pos 1 ]; [ pos 0; neg 2 ]; [ pos 1; pos 2 ] ] }
+  in
+  let r = Simp.eliminate cnf in
+  Alcotest.(check bool) "fewer clauses" true
+    (List.length r.Simp.cnf.Dimacs.clauses < 3);
+  Alcotest.(check bool) "var 0 eliminated" true
+    (List.mem_assoc 0 r.Simp.eliminated)
+
+let test_simp_preserves_unsat () =
+  let cnf =
+    { Dimacs.num_vars = 2;
+      clauses =
+        [ [ pos 0; pos 1 ]; [ pos 0; neg 1 ]; [ neg 0; pos 1 ]; [ neg 0; neg 1 ] ] }
+  in
+  let r = Simp.eliminate ~growth:4 cnf in
+  let s = Solver.create () in
+  List.iter (fun c -> ignore (Solver.add_clause s c)) r.Simp.cnf.Dimacs.clauses;
+  Alcotest.(check bool) "still unsat" false (Solver.solve s)
+
+let prop_simp_equisatisfiable =
+  QCheck2.Test.make ~count:300 ~name:"elimination preserves satisfiability"
+    ~print:print_cnf gen_cnf (fun (n, clauses) ->
+      let cnf = { Dimacs.num_vars = n; clauses } in
+      let r = Simp.eliminate ~growth:2 cnf in
+      let solve cs =
+        let s = Solver.create () in
+        List.iter (fun c -> ignore (Solver.add_clause s c)) cs;
+        if Solver.solve s then Some (fun v -> Solver.var_value s v) else None
+      in
+      match (solve clauses, solve r.Simp.cnf.Dimacs.clauses) with
+      | None, None -> true
+      | Some _, Some model ->
+          (* the reconstructed model must satisfy the original formula *)
+          let full = Simp.reconstruct r model in
+          List.for_all
+            (List.exists (fun l -> full (Lit.var l) = Lit.is_pos l))
+            clauses
+      | Some _, None | None, Some _ -> false)
+
+(* ---------- enumeration ---------- *)
+
+module Enum = Step_sat.Enum
+
+let test_enum_count () =
+  (* x0 ∨ x1 over 2 vars: 3 models *)
+  let s = solver_of [ [ pos 0; pos 1 ] ] in
+  Alcotest.(check int) "models" 3 (Enum.count s)
+
+let test_enum_projection () =
+  (* models of (x0 ∨ x1) ∧ (x2 free): projected on {x0,x1} -> 3 *)
+  let s = solver_of [ [ pos 0; pos 1 ] ] in
+  Solver.ensure_var s 2;
+  Alcotest.(check int) "projected" 3 (Enum.count ~project:[ 0; 1 ] s);
+  let s2 = solver_of [ [ pos 0; pos 1 ] ] in
+  Solver.ensure_var s2 2;
+  Alcotest.(check int) "unprojected" 6 (Enum.count s2)
+
+let test_enum_limit () =
+  let s = Solver.create () in
+  Solver.ensure_var s 3;
+  Alcotest.(check int) "limited" 5 (Enum.count ~limit:5 s)
+
+let prop_enum_matches_brute_force =
+  QCheck2.Test.make ~count:150 ~name:"model count matches brute force"
+    ~print:print_cnf gen_cnf (fun (n, clauses) ->
+      let expected =
+        List.length
+          (List.filter
+             (fun m -> List.for_all (eval_clause m) clauses)
+             (List.init (1 lsl n) Fun.id))
+      in
+      let s = solver_of clauses in
+      Solver.ensure_var s (n - 1);
+      Enum.count ~project:(List.init n Fun.id) s = expected)
+
+(* ---------- drat ---------- *)
+
+module Drat = Step_sat.Drat
+
+let test_drat_pigeonhole () =
+  let v i h = (2 * i) + h in
+  let cnf =
+    List.init 3 (fun i -> [ pos (v i 0); pos (v i 1) ])
+    @ List.concat_map
+        (fun h ->
+          [
+            [ neg (v 0 h); neg (v 1 h) ];
+            [ neg (v 0 h); neg (v 2 h) ];
+            [ neg (v 1 h); neg (v 2 h) ];
+          ])
+        [ 0; 1 ]
+  in
+  let s = solver_of ~proof:true cnf in
+  Alcotest.(check bool) "unsat" false (Solver.solve s);
+  let trace = Drat.export s in
+  Alcotest.(check bool) "certificate checks" true (Drat.check ~cnf ~trace);
+  (* corrupted traces must be rejected: a non-RUP clause w.r.t. a
+     satisfiable formula, and a trace without the empty clause *)
+  Alcotest.(check bool) "non-RUP clause rejected" false
+    (Drat.check ~cnf:[ [ pos 0; pos 1 ] ] ~trace:[ [ pos 0 ]; [] ]);
+  Alcotest.(check bool) "missing empty clause rejected" false
+    (Drat.check ~cnf ~trace:(List.filter (fun c -> c <> []) trace))
+
+let prop_drat_certificates_check =
+  QCheck2.Test.make ~count:250 ~name:"drat certificates always check"
+    ~print:print_cnf gen_cnf (fun (_, clauses) ->
+      let s = solver_of ~proof:true clauses in
+      if Solver.solve s then true
+      else Drat.check ~cnf:clauses ~trace:(Drat.export s))
+
+(* ---------- property tests ---------- *)
+
+let prop_matches_brute_force =
+  QCheck2.Test.make ~count:400 ~name:"solver agrees with brute force"
+    ~print:print_cnf gen_cnf (fun (n, clauses) ->
+      let expected = brute_force_sat n clauses <> None in
+      let s = solver_of clauses in
+      let got = Solver.solve s in
+      if got && expected then
+        (* model must satisfy every clause *)
+        List.for_all
+          (List.exists (fun l -> Solver.model_value s l))
+          clauses
+      else got = expected)
+
+let prop_proof_mode_agrees =
+  QCheck2.Test.make ~count:200 ~name:"proof mode agrees with normal mode"
+    ~print:print_cnf gen_cnf (fun (_, clauses) ->
+      let s1 = solver_of clauses in
+      let s2 = solver_of ~proof:true clauses in
+      Solver.solve s1 = Solver.solve s2)
+
+let prop_core_sufficient =
+  QCheck2.Test.make ~count:200 ~name:"unsat cores are sufficient"
+    ~print:print_cnf gen_cnf (fun (n, clauses) ->
+      let s = solver_of clauses in
+      let assumptions = List.init n (fun v -> Lit.of_var (v mod 2 = 0) v) in
+      if Solver.solve ~assumptions s then true
+      else begin
+        let core = Solver.unsat_core s in
+        List.for_all (fun l -> List.mem l assumptions) core
+        && not (Solver.solve ~assumptions:core s)
+      end)
+
+let prop_model_complete =
+  QCheck2.Test.make ~count:200 ~name:"models assign every variable coherently"
+    ~print:print_cnf gen_cnf (fun (n, clauses) ->
+      let s = solver_of clauses in
+      Solver.ensure_var s (n - 1);
+      if not (Solver.solve s) then true
+      else
+        List.init n (fun v ->
+            Solver.model_value s (pos v) <> Solver.model_value s (neg v))
+        |> List.for_all Fun.id)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "step_sat"
+    [
+      ( "solver",
+        [
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "trivial sat" `Quick test_trivial_sat;
+          Alcotest.test_case "contradictory units" `Quick
+            test_contradictory_units;
+          Alcotest.test_case "chain propagation" `Quick test_chain_propagation;
+          Alcotest.test_case "pigeonhole 3-2" `Quick test_pigeonhole_3_2;
+          Alcotest.test_case "pigeonhole proof mode" `Quick
+            test_pigeonhole_proof_mode;
+          Alcotest.test_case "assumptions" `Quick test_assumptions_sat_unsat;
+          Alcotest.test_case "fresh assumption var" `Quick
+            test_assumption_of_fresh_var;
+          Alcotest.test_case "contradictory assumptions" `Quick
+            test_contradictory_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental;
+          Alcotest.test_case "tautology" `Quick test_tautology_ignored;
+          Alcotest.test_case "duplicate literals" `Quick
+            test_duplicate_literals;
+          Alcotest.test_case "conflict budget" `Quick test_conflict_budget;
+          Alcotest.test_case "large planted instance" `Quick
+            test_large_random_sat;
+        ] );
+      ( "dimacs",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
+          Alcotest.test_case "multiline clause" `Quick
+            test_dimacs_multiline_clause;
+        ] );
+      ("drat", [ Alcotest.test_case "pigeonhole" `Quick test_drat_pigeonhole ]);
+      ( "enum",
+        [
+          Alcotest.test_case "count" `Quick test_enum_count;
+          Alcotest.test_case "projection" `Quick test_enum_projection;
+          Alcotest.test_case "limit" `Quick test_enum_limit;
+        ] );
+      ( "simp",
+        [
+          Alcotest.test_case "pure literal" `Quick test_simp_pure_literal;
+          Alcotest.test_case "preserves unsat" `Quick test_simp_preserves_unsat;
+        ] );
+      qsuite "properties"
+        [
+          prop_matches_brute_force;
+          prop_proof_mode_agrees;
+          prop_core_sufficient;
+          prop_model_complete;
+          prop_drat_certificates_check;
+          prop_enum_matches_brute_force;
+          prop_simp_equisatisfiable;
+        ];
+    ]
