@@ -1,0 +1,28 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all check test smoke bench clean
+
+all:
+	dune build @all
+
+# The gate every change must pass: full build + unit/property/cram tests.
+check:
+	dune build && dune runtest
+
+test: check
+
+# Quick end-to-end exercise of the pipeline, telemetry and bench harness.
+smoke:
+	dune build bin/step.exe bench/main.exe
+	dune exec --no-build bin/step.exe -- decompose mm9b -m qd -b 1 \
+	  --trace smoke_trace.jsonl --stats
+	dune exec --no-build bin/step.exe -- trace smoke_trace.jsonl
+	dune exec --no-build bench/main.exe -- --quick --budget 0.2 --table 1
+	rm -f smoke_trace.jsonl
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean
+	rm -rf bench_out smoke_trace.jsonl

@@ -57,19 +57,25 @@ let () =
   let config = !config in
   let artifacts =
     [
-      ("1", fun () -> Tables.table1 config);
-      ("2", fun () -> Tables.table2 config);
-      ("3", fun () -> Tables.table3 config);
-      ("4", fun () -> Tables.table4 config);
-      ("fig", fun () -> Tables.figure1 config);
-      ("a1", fun () -> Tables.ablation_symmetry config);
-      ("a2", fun () -> Tables.ablation_strategy config);
-      ("a3", fun () -> Tables.ablation_extract config);
-      ("a4", fun () -> Tables.ablation_weights config);
-      ("a5", fun () -> Tables.ablation_bdd config);
-      ("a6", fun () -> Tables.ablation_depth config);
-      ("a7", fun () -> Tables.ablation_seed_order config);
+      ("1", "table1", fun () -> Tables.table1 config);
+      ("2", "table2", fun () -> Tables.table2 config);
+      ("3", "table3", fun () -> Tables.table3 config);
+      ("4", "table4", fun () -> Tables.table4 config);
+      ("fig", "fig", fun () -> Tables.figure1 config);
+      ("a1", "a1", fun () -> Tables.ablation_symmetry config);
+      ("a2", "a2", fun () -> Tables.ablation_strategy config);
+      ("a3", "a3", fun () -> Tables.ablation_extract config);
+      ("a4", "a4", fun () -> Tables.ablation_weights config);
+      ("a5", "a5", fun () -> Tables.ablation_bdd config);
+      ("a6", "a6", fun () -> Tables.ablation_depth config);
+      ("a7", "a7", fun () -> Tables.ablation_seed_order config);
     ]
+  in
+  (* Each artifact also leaves a machine-readable record of every
+     pipeline run it (and its predecessors) performed. *)
+  let with_dump (_, artifact, f) () =
+    f ();
+    Runs.dump_json config ~dir:"bench_out" ~artifact
   in
   if !bechamel then begin
     (* One Bechamel test per table: each samples the table's workload on
@@ -123,10 +129,12 @@ let () =
   end
   else begin
     match !selection with
-    | All -> List.iter (fun (_, f) -> f ()) artifacts
+    | All -> List.iter (fun a -> with_dump a ()) artifacts
     | One key -> begin
-        match List.assoc_opt key artifacts with
-        | Some f -> f ()
+        match
+          List.find_opt (fun (k, _, _) -> k = key) artifacts
+        with
+        | Some a -> with_dump a ()
         | None -> usage ()
       end
   end

@@ -72,6 +72,44 @@ let run config circuit gate method_ =
       Hashtbl.replace cache key r;
       r
 
+(* Machine-readable snapshot of every cached run so far, one file per
+   artifact: bench_out/run_<artifact>.json *)
+let dump_json config ~dir ~artifact =
+  let module J = Step_obs.Json in
+  let results =
+    Hashtbl.fold (fun _ r acc -> r :: acc) cache []
+    |> List.sort (fun (a : Pipeline.circuit_result) b ->
+           compare
+             ( a.Pipeline.circuit_name,
+               Pipeline.method_name a.Pipeline.method_used,
+               Gate.to_string a.Pipeline.gate_used )
+             ( b.Pipeline.circuit_name,
+               Pipeline.method_name b.Pipeline.method_used,
+               Gate.to_string b.Pipeline.gate_used ))
+  in
+  let j =
+    J.Obj
+      [
+        ("artifact", J.String artifact);
+        ( "config",
+          J.Obj
+            [
+              ("per_po_budget_s", J.Float config.per_po_budget);
+              ("scale", J.Float config.scale);
+              ("quick", J.Bool config.quick);
+            ] );
+        ("runs", J.List (List.map Step_core.Report.to_json results));
+      ]
+  in
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let file = Filename.concat dir (Printf.sprintf "run_%s.json" artifact) in
+  let oc = open_out file in
+  output_string oc (J.to_string j);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" file
+
 (* per-PO metric comparison between a QBF method and a baseline: counts
    (better, equal, comparable) over POs decomposed by both *)
 let compare_metric (metric : Partition.t -> float) (challenger : Pipeline.circuit_result)

@@ -19,6 +19,9 @@ module Extract = Step_core.Extract
 module Verify = Step_core.Verify
 module Suite = Step_circuits.Suite
 module Generators = Step_circuits.Generators
+module Obs = Step_obs.Obs
+module Metrics = Step_obs.Metrics
+module Json = Step_obs.Json
 
 open Cmdliner
 
@@ -51,20 +54,49 @@ let circuit_arg =
 (* ---------- stats ---------- *)
 
 let stats_cmd =
-  let run path =
+  let json_flag =
+    let doc = "Emit the statistics as JSON instead of aligned text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run path json =
     let c = load_circuit path in
-    print_endline (Circuit.stats c);
     let sizes = Circuit.support_sizes c in
-    Array.iteri
-      (fun i s ->
-        Printf.printf "  %-16s support=%d cone=%d\n" (Circuit.output_name c i)
-          s
-          (Aig.cone_size c.Circuit.aig (Circuit.output c i)))
-      sizes;
+    if json then begin
+      let po_json i s =
+        Json.Obj
+          [
+            ("po", Json.String (Circuit.output_name c i));
+            ("support", Json.Int s);
+            ("cone", Json.Int (Aig.cone_size c.Circuit.aig (Circuit.output c i)));
+          ]
+      in
+      let j =
+        Json.Obj
+          [
+            ("circuit", Json.String c.Circuit.name);
+            ("n_inputs", Json.Int (Circuit.n_inputs c));
+            ("n_outputs", Json.Int (Circuit.n_outputs c));
+            ("max_support", Json.Int (Circuit.max_support c));
+            ("n_and", Json.Int (Aig.n_ands c.Circuit.aig));
+            ( "outputs",
+              Json.List (Array.to_list (Array.mapi po_json sizes)) );
+          ]
+      in
+      print_endline (Json.to_string j)
+    end
+    else begin
+      print_endline (Circuit.stats c);
+      Array.iteri
+        (fun i s ->
+          Printf.printf "  %-16s support=%d cone=%d\n"
+            (Circuit.output_name c i) s
+            (Aig.cone_size c.Circuit.aig (Circuit.output c i)))
+        sizes
+    end;
     `Ok ()
   in
   let doc = "Print circuit statistics." in
-  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ circuit_arg))
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ circuit_arg $ json_flag))
 
 (* ---------- decompose ---------- *)
 
@@ -99,6 +131,21 @@ let recursive_flag =
   in
   Arg.(value & flag & info [ "recursive"; "r" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a JSONL span trace of the run to $(docv) (inspect with $(b,step \
+     trace))."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let stats_flag =
+  let doc =
+    "After the run, print the process-wide telemetry: SAT \
+     conflicts/decisions/propagations, CEGAR refinements, QBF queries, and \
+     latency histograms."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
 let print_po_result (r : Pipeline.po_result) =
   let status =
     match r.Pipeline.partition with
@@ -119,8 +166,8 @@ let print_po_result (r : Pipeline.po_result) =
         (Partition.balancedness part)
 
 let decompose_cmd =
-  let run path gate method_ budget po extract verify_ recursive =
-    match
+  let run path gate method_ budget po extract verify_ recursive trace stats =
+    let body () =
       let method_ = Pipeline.method_of_string method_ in
       let c = load_circuit path in
       if recursive then begin
@@ -198,9 +245,19 @@ let decompose_cmd =
             (Array.length r.Pipeline.per_po)
             r.Pipeline.total_cpu);
       ()
-    with
-    | () | exception Exit -> `Ok ()
+    in
+    let traced () =
+      match trace with
+      | Some file -> Obs.with_trace_file file body
+      | None -> body ()
+    in
+    let finish_stats () = if stats then print_string (Metrics.render ()) in
+    match traced () with
+    | () | exception Exit ->
+        finish_stats ();
+        `Ok ()
     | exception Failure msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, msg)
   in
   let doc = "Bi-decompose the primary outputs of a circuit." in
   Cmd.v
@@ -208,7 +265,23 @@ let decompose_cmd =
     Term.(
       ret
         (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg $ po_arg
-       $ extract_arg $ verify_flag $ recursive_flag))
+       $ extract_arg $ verify_flag $ recursive_flag $ trace_arg $ stats_flag))
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let file_arg =
+    let doc = "JSONL trace file written by $(b,step decompose --trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    match Step_obs.Trace_summary.of_file file with
+    | t -> print_string (Step_obs.Trace_summary.render t); `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, msg)
+  in
+  let doc = "Summarise a JSONL trace into a hot-path breakdown." in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(ret (const run $ file_arg))
 
 (* ---------- report / compare / convert ---------- *)
 
@@ -486,6 +559,7 @@ let main_cmd =
     [
       stats_cmd;
       decompose_cmd;
+      trace_cmd;
       report_cmd;
       compare_cmd;
       convert_cmd;

@@ -1,4 +1,11 @@
 module Solver = Step_sat.Solver
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Metrics = Step_obs.Metrics
+
+let m_sat_calls = Metrics.counter "ljh.sat_calls"
+
+let m_found = Metrics.counter "ljh.decomposed"
 
 type result = {
   partition : Partition.t option;
@@ -7,10 +14,18 @@ type result = {
 }
 
 let find ?seed_limit ?time_budget (p : Problem.t) g =
-  let t0 = Unix.gettimeofday () in
+  Obs.span
+    ~attrs:[ ("n", Step_obs.Json.Int (Problem.n_vars p)) ]
+    "ljh.find"
+  @@ fun () ->
+  let t0 = Clock.now () in
   let n = Problem.n_vars p in
   let finish partition sat_calls =
-    { partition; sat_calls; cpu = Unix.gettimeofday () -. t0 }
+    Metrics.add m_sat_calls sat_calls;
+    if partition <> None then Metrics.inc m_found;
+    Obs.add_attr "sat_calls" (Step_obs.Json.Int sat_calls);
+    Obs.add_attr "decomposed" (Step_obs.Json.Bool (partition <> None));
+    { partition; sat_calls; cpu = Clock.elapsed_since t0 }
   in
   if n < 2 then finish None 0
   else begin
@@ -44,7 +59,7 @@ let find ?seed_limit ?time_budget (p : Problem.t) g =
         ~xc:(List.filter (fun i -> i <> u && i <> v) p.Problem.support)
     in
     let rec scan pairs tried =
-      if tried >= limit || Unix.gettimeofday () > deadline then None
+      if tried >= limit || Clock.now () > deadline then None
       else
         match pairs with
         | [] -> None
@@ -63,7 +78,7 @@ let find ?seed_limit ?time_budget (p : Problem.t) g =
         let xa = ref [ u ] and xb = ref [ v ] and xc = ref [] in
         let rest = List.filter (fun i -> i <> u && i <> v) p.Problem.support in
         let try_move i =
-          if Unix.gettimeofday () > deadline then xc := i :: !xc
+          if Clock.now () > deadline then xc := i :: !xc
           else begin
             (* variables not yet decided stay shared for this probe *)
             let unplaced =

@@ -1,6 +1,15 @@
 module Aig = Step_aig.Aig
 module Solver = Step_sat.Solver
 module Mus = Step_mus.Mus
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Metrics = Step_obs.Metrics
+
+let m_seeds = Metrics.counter "mg.seeds_tried"
+
+let m_sat_calls = Metrics.counter "mg.sat_calls"
+
+let m_found = Metrics.counter "mg.decomposed"
 
 type result = {
   partition : Partition.t option;
@@ -97,10 +106,20 @@ let partition_of_selectors (p : Problem.t) ~u ~v ~mus ~alpha_sel ~beta_sel =
 
 let find ?copies ?seed_limit ?(seed_order = Spread) ?time_budget
     (p : Problem.t) g =
-  let t0 = Unix.gettimeofday () in
+  Obs.span
+    ~attrs:[ ("n", Step_obs.Json.Int (Problem.n_vars p)) ]
+    "mg.find"
+  @@ fun () ->
+  let t0 = Clock.now () in
   let n = Problem.n_vars p in
   let finish partition seeds_tried sat_calls =
-    { partition; seeds_tried; sat_calls; cpu = Unix.gettimeofday () -. t0 }
+    Metrics.add m_seeds seeds_tried;
+    Metrics.add m_sat_calls sat_calls;
+    if partition <> None then Metrics.inc m_found;
+    Obs.add_attr "seeds_tried" (Step_obs.Json.Int seeds_tried);
+    Obs.add_attr "sat_calls" (Step_obs.Json.Int sat_calls);
+    Obs.add_attr "decomposed" (Step_obs.Json.Bool (partition <> None));
+    { partition; seeds_tried; sat_calls; cpu = Clock.elapsed_since t0 }
   in
   if n < 2 then finish None 0 0
   else begin
@@ -115,9 +134,7 @@ let find ?copies ?seed_limit ?(seed_order = Spread) ?time_budget
     let calls0 = Solver.n_conflicts solver in
     ignore calls0;
     let deadline =
-      match time_budget with
-      | Some b -> t0 +. b
-      | None -> infinity
+      match time_budget with Some b -> t0 +. b | None -> infinity
     in
     let limit =
       match seed_limit with
@@ -138,7 +155,7 @@ let find ?copies ?seed_limit ?(seed_order = Spread) ?time_budget
         p.Problem.support
     in
     let rec scan pairs tried =
-      if tried >= limit || Unix.gettimeofday () > deadline then
+      if tried >= limit || Clock.now () > deadline then
         finish None tried !sat_calls
       else
         match pairs with
@@ -160,7 +177,10 @@ let find ?copies ?seed_limit ?(seed_order = Spread) ?time_budget
                       else [ alpha_sel i; beta_sel i ])
                     p.Problem.support
                 in
-                let mus = Mus.minimize ~hard solver ~selectors in
+                let mus =
+                  Obs.span "mg.mus" (fun () ->
+                      Mus.minimize ~hard solver ~selectors)
+                in
                 let partition =
                   partition_of_selectors p ~u ~v ~mus ~alpha_sel ~beta_sel
                 in

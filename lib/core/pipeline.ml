@@ -1,4 +1,6 @@
 module Circuit = Step_aig.Circuit
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
 
 type method_ = Ljh | Mg | Qd | Qb | Qdb
 
@@ -25,6 +27,7 @@ type po_result = {
   proven_optimal : bool;
   timed_out : bool;
   cpu : float;
+  counters : (string * int) list;
 }
 
 type circuit_result = {
@@ -44,18 +47,41 @@ let qbf_target = function
 
 let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
     gate method_ =
-  let t0 = Unix.gettimeofday () in
   let name = Circuit.output_name circuit i in
+  Obs.span
+    ~attrs:
+      [
+        ("po", Step_obs.Json.String name);
+        ("method", Step_obs.Json.String (method_name method_));
+        ("gate", Step_obs.Json.String (Gate.to_string gate));
+      ]
+    "pipeline.po"
+  @@ fun () ->
+  let t0 = Clock.now () in
   let p = Problem.of_output circuit i in
   let n = Problem.n_vars p in
-  let finish partition proven_optimal timed_out =
+  let finish ?(counters = []) partition proven_optimal timed_out =
+    let status =
+      match partition with
+      | Some _ when proven_optimal -> "optimal"
+      | Some _ -> "decomposed"
+      | None -> if timed_out then "timeout" else "indecomposable"
+    in
+    Obs.add_attr "n" (Step_obs.Json.Int n);
+    Obs.add_attr "status" (Step_obs.Json.String status);
+    (match partition with
+    | Some part ->
+        let part = Partition.canonical part in
+        Obs.add_attr "xc" (Step_obs.Json.Int (List.length part.Partition.xc))
+    | None -> ());
     {
       po_name = name;
       support_size = n;
       partition = Option.map Partition.canonical partition;
       proven_optimal;
       timed_out;
-      cpu = Unix.gettimeofday () -. t0;
+      cpu = Clock.elapsed_since t0;
+      counters;
     }
   in
   if n < max 2 min_support then finish None true false
@@ -63,20 +89,41 @@ let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
     match method_ with
     | Ljh ->
         let r = Ljh.find ~time_budget:per_po_budget p gate in
-        finish r.Ljh.partition false
+        finish
+          ~counters:[ ("sat_calls", r.Ljh.sat_calls) ]
+          r.Ljh.partition false
           (r.Ljh.partition = None && r.Ljh.cpu >= per_po_budget)
     | Mg ->
         let r = Mg.find ~time_budget:per_po_budget p gate in
-        finish r.Mg.partition false
+        finish
+          ~counters:
+            [
+              ("seeds_tried", r.Mg.seeds_tried); ("sat_calls", r.Mg.sat_calls);
+            ]
+          r.Mg.partition false
           (r.Mg.partition = None && r.Mg.cpu >= per_po_budget)
     | Qd | Qb | Qdb ->
         (* bootstrap with STEP-MG on a shared scaffold, as the paper does *)
         let copies = Copies.create p gate in
         let mg_budget = per_po_budget /. 4.0 in
         let mg = Mg.find ~copies ~time_budget:mg_budget p gate in
-        let remaining = per_po_budget -. (Unix.gettimeofday () -. t0) in
+        let mg_counters =
+          [
+            ("mg_seeds_tried", mg.Mg.seeds_tried);
+            ("mg_sat_calls", mg.Mg.sat_calls);
+          ]
+        in
+        let qbf_counters (o : Qbf_model.outcome) =
+          mg_counters
+          @ [
+              ("refinements", o.Qbf_model.refinements);
+              ("qbf_queries", o.Qbf_model.qbf_queries);
+            ]
+        in
+        let remaining = per_po_budget -. Clock.elapsed_since t0 in
         if remaining <= 0.0 then
-          finish mg.Mg.partition false (mg.Mg.partition = None)
+          finish ~counters:mg_counters mg.Mg.partition false
+            (mg.Mg.partition = None)
         else begin
           match mg.Mg.partition with
           | None ->
@@ -85,14 +132,16 @@ let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
                 Qbf_model.optimize ~copies ~time_budget:remaining p gate
                   (qbf_target method_)
               in
-              finish o.Qbf_model.partition o.Qbf_model.optimal
+              finish ~counters:(qbf_counters o) o.Qbf_model.partition
+                o.Qbf_model.optimal
                 ((not o.Qbf_model.optimal) && o.Qbf_model.partition = None)
           | Some bootstrap ->
               let o =
                 Qbf_model.optimize ~copies ~bootstrap ~time_budget:remaining p
                   gate (qbf_target method_)
               in
-              finish o.Qbf_model.partition o.Qbf_model.optimal false
+              finish ~counters:(qbf_counters o) o.Qbf_model.partition
+                o.Qbf_model.optimal false
         end
   end
 
@@ -126,11 +175,21 @@ let decompose_output_auto ?(per_po_budget = 10.0) ?min_support circuit i
 
 let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
     gate method_ =
-  let t0 = Unix.gettimeofday () in
+  Obs.span
+    ~attrs:
+      [
+        ("circuit", Step_obs.Json.String circuit.Circuit.name);
+        ("method", Step_obs.Json.String (method_name method_));
+        ("gate", Step_obs.Json.String (Gate.to_string gate));
+        ("n_outputs", Step_obs.Json.Int (Circuit.n_outputs circuit));
+      ]
+    "pipeline.run"
+  @@ fun () ->
+  let t0 = Clock.now () in
   let n_out = Circuit.n_outputs circuit in
   let per_po =
     Array.init n_out (fun i ->
-        let elapsed = Unix.gettimeofday () -. t0 in
+        let elapsed = Clock.elapsed_since t0 in
         if elapsed > total_budget then
           {
             po_name = Circuit.output_name circuit i;
@@ -139,6 +198,7 @@ let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
             proven_optimal = false;
             timed_out = true;
             cpu = 0.0;
+            counters = [];
           }
         else
           let budget = Float.min per_po_budget (total_budget -. elapsed) in
@@ -150,11 +210,12 @@ let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
       (fun acc r -> if r.partition <> None then acc + 1 else acc)
       0 per_po
   in
+  Obs.add_attr "n_decomposed" (Step_obs.Json.Int n_decomposed);
   {
     circuit_name = circuit.Circuit.name;
     method_used = method_;
     gate_used = gate;
     per_po;
     n_decomposed;
-    total_cpu = Unix.gettimeofday () -. t0;
+    total_cpu = Clock.elapsed_since t0;
   }

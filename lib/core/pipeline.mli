@@ -26,6 +26,11 @@ type po_result = {
   proven_optimal : bool; (** Only ever [true] for QBF methods. *)
   timed_out : bool;
   cpu : float;
+  counters : (string * int) list;
+      (** Engine statistics for this output — e.g. [sat_calls] /
+          [seeds_tried] for the SAT methods, [mg_sat_calls] /
+          [refinements] / [qbf_queries] for the QBF methods. Keys are
+          stable per method; see docs/OBSERVABILITY.md. *)
 }
 
 type circuit_result = {

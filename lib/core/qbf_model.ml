@@ -1,6 +1,17 @@
 module Solver = Step_sat.Solver
 module Lit = Step_sat.Lit
 module Cardinality = Step_cnf.Cardinality
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Metrics = Step_obs.Metrics
+
+let m_refinements = Metrics.counter "qbf.refinements"
+
+let m_queries = Metrics.counter "qbf.queries"
+
+let m_optimize = Metrics.counter "qbf.optimize_calls"
+
+let h_query = Metrics.histogram "qbf.query_s"
 
 type target =
   | Disjointness
@@ -203,12 +214,17 @@ type query_answer =
 let query abs copies target k ~deadline ~refinement_cap ~refinements
     ~qbf_queries =
   incr qbf_queries;
+  Metrics.inc m_queries;
+  let t_query = Clock.now () in
   let assumptions = bound_assumptions abs target k in
   let rec loop () =
-    if Unix.gettimeofday () > deadline || !refinements >= refinement_cap then
+    if Clock.now () > deadline || !refinements >= refinement_cap then
       Q_unknown
     else
-      match Solver.solve_limited ~assumptions abs.solver with
+      match
+        Obs.span "sat.abstraction" (fun () ->
+            Solver.solve_limited ~assumptions abs.solver)
+      with
       | Solver.Unknown -> Q_unknown
       | Solver.Unsat -> Q_invalid
       | Solver.Sat ->
@@ -220,7 +236,7 @@ let query abs copies target k ~deadline ~refinement_cap ~refinements
               ~alpha:(fun i -> alpha_val (Hashtbl.find abs.pos_of i))
               ~beta:(fun i -> beta_val (Hashtbl.find abs.pos_of i))
           in
-          (match Copies.check copies partition with
+          (match Obs.span "sat.verify" (fun () -> Copies.check copies partition) with
           | Solver.Unsat -> Q_valid partition
           | Solver.Unknown -> Q_unknown
           | Solver.Sat ->
@@ -235,25 +251,48 @@ let query abs copies target k ~deadline ~refinement_cap ~refinements
               assert (clause <> []);
               ignore (Solver.add_clause abs.solver clause);
               incr refinements;
+              Metrics.inc m_refinements;
               loop ())
   in
-  loop ()
+  let answer =
+    Obs.span ~attrs:[ ("k", Step_obs.Json.Int k) ] "qbf.query" loop
+  in
+  Metrics.observe h_query (Clock.elapsed_since t_query);
+  answer
 
 (* ---------- optimum search strategies ---------- *)
 
+let target_name = function
+  | Disjointness -> "disjointness"
+  | Balancedness -> "balancedness"
+  | Combined -> "combined"
+  | Weighted { wd; wb } -> Printf.sprintf "weighted:%d:%d" wd wb
+
 let optimize ?copies ?(symmetry_breaking = true) ?strategy ?bootstrap
     ?(max_refinements = 100_000) ?time_budget (p : Problem.t) g target =
-  let t0 = Unix.gettimeofday () in
+  Obs.span
+    ~attrs:
+      [
+        ("target", Step_obs.Json.String (target_name target));
+        ("n", Step_obs.Json.Int (Problem.n_vars p));
+      ]
+    "qbf.optimize"
+  @@ fun () ->
+  Metrics.inc m_optimize;
+  let t0 = Clock.now () in
   let n = Problem.n_vars p in
   let refinements = ref 0 and qbf_queries = ref 0 in
   let finish partition optimal =
+    Obs.add_attr "refinements" (Step_obs.Json.Int !refinements);
+    Obs.add_attr "queries" (Step_obs.Json.Int !qbf_queries);
+    Obs.add_attr "optimal" (Step_obs.Json.Bool optimal);
     {
       partition;
       optimal;
       best_k = Option.map (target_k target) partition;
       refinements = !refinements;
       qbf_queries = !qbf_queries;
-      cpu = Unix.gettimeofday () -. t0;
+      cpu = Clock.elapsed_since t0;
     }
   in
   if n < 2 then finish None true

@@ -56,6 +56,9 @@ type outcome = {
   cpu : float;
 }
 
+val target_name : target -> string
+(** Stable lowercase label, used in span attributes and reports. *)
+
 val target_k : target -> Partition.t -> int
 (** The integer the target bounds, for a canonicalized partition. *)
 

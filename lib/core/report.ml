@@ -37,6 +37,27 @@ let aggregate_of (r : Pipeline.circuit_result) =
     total_cpu = r.Pipeline.total_cpu;
   }
 
+(* Per-circuit sum of the per-PO engine counters, key-wise. *)
+let counters_of (r : Pipeline.circuit_result) =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  Array.iter
+    (fun (po : Pipeline.po_result) ->
+      List.iter
+        (fun (k, v) ->
+          match Hashtbl.find_opt tbl k with
+          | Some acc -> Hashtbl.replace tbl k (acc + v)
+          | None ->
+              Hashtbl.replace tbl k v;
+              order := k :: !order)
+        po.Pipeline.counters)
+    r.Pipeline.per_po;
+  List.rev_map (fun k -> (k, Hashtbl.find tbl k)) !order
+
+let counters_cell counters =
+  String.concat ";"
+    (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
+
 let po_fields (po : Pipeline.po_result) =
   match po.Pipeline.partition with
   | None -> (0, 0, 0, nan, nan)
@@ -82,16 +103,18 @@ let to_text r =
 
 let to_csv r =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu\n";
+  Buffer.add_string buf
+    "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,counters\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f\n"
+        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f,%s\n"
            po.Pipeline.po_name po.Pipeline.support_size
            (po.Pipeline.partition <> None)
            po.Pipeline.proven_optimal po.Pipeline.timed_out xa xb xc ed eb
-           po.Pipeline.cpu))
+           po.Pipeline.cpu
+           (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.contents buf
 
@@ -102,8 +125,8 @@ let to_markdown r =
        (Pipeline.method_name r.Pipeline.method_used)
        (Gate.to_string r.Pipeline.gate_used));
   Buffer.add_string buf
-    "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) |\n";
-  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|\n";
+    "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) | counters |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
@@ -114,12 +137,47 @@ let to_markdown r =
         | Some _ -> "decomposed"
       in
       Buffer.add_string buf
-        (Printf.sprintf "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f |\n"
+        (Printf.sprintf
+           "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f | %s |\n"
            po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
-           po.Pipeline.cpu))
+           po.Pipeline.cpu
+           (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.add_string buf (Printf.sprintf "\n%s\n" (summary_line r));
   Buffer.contents buf
+
+let to_json (r : Pipeline.circuit_result) =
+  let module J = Step_obs.Json in
+  let counters_json cs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) cs) in
+  let po_json (po : Pipeline.po_result) =
+    let xa, xb, xc, ed, eb = po_fields po in
+    J.Obj
+      [
+        ("po", J.String po.Pipeline.po_name);
+        ("support", J.Int po.Pipeline.support_size);
+        ("decomposed", J.Bool (po.Pipeline.partition <> None));
+        ("optimal", J.Bool po.Pipeline.proven_optimal);
+        ("timed_out", J.Bool po.Pipeline.timed_out);
+        ("xa", J.Int xa);
+        ("xb", J.Int xb);
+        ("xc", J.Int xc);
+        ("eD", J.Float ed);
+        ("eB", J.Float eb);
+        ("cpu_s", J.Float po.Pipeline.cpu);
+        ("counters", counters_json po.Pipeline.counters);
+      ]
+  in
+  J.Obj
+    [
+      ("circuit", J.String r.Pipeline.circuit_name);
+      ("method", J.String (Pipeline.method_name r.Pipeline.method_used));
+      ("gate", J.String (Gate.to_string r.Pipeline.gate_used));
+      ("n_outputs", J.Int (Array.length r.Pipeline.per_po));
+      ("n_decomposed", J.Int r.Pipeline.n_decomposed);
+      ("total_cpu_s", J.Float r.Pipeline.total_cpu);
+      ("counters", counters_json (counters_of r));
+      ("per_po", J.List (Array.to_list (Array.map po_json r.Pipeline.per_po)));
+    ]
 
 let compare_table ~baseline ~challenger ~metric =
   let buf = Buffer.create 512 in

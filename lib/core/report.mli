@@ -16,14 +16,23 @@ type aggregate = {
 
 val aggregate_of : Pipeline.circuit_result -> aggregate
 
+val counters_of : Pipeline.circuit_result -> (string * int) list
+(** Key-wise sum of the per-PO engine counters (SAT calls, seeds,
+    CEGAR refinements, QBF queries…), in first-seen order. *)
+
 val to_text : Pipeline.circuit_result -> string
 (** Aligned per-PO table plus a summary line. *)
 
 val to_csv : Pipeline.circuit_result -> string
 (** One row per PO:
-    [po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu]. *)
+    [po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,counters]
+    — the counters cell is [;]-separated [key=value] pairs. *)
 
 val to_markdown : Pipeline.circuit_result -> string
+
+val to_json : Pipeline.circuit_result -> Step_obs.Json.t
+(** Machine-readable form of the whole run, per-PO counters included —
+    what [bench_out/run_<table>.json] is built from. *)
 
 val compare_table :
   baseline:Pipeline.circuit_result ->

@@ -1,0 +1,16 @@
+let source = ref Unix.gettimeofday
+
+let floor_ = ref neg_infinity
+
+let now () =
+  let t = !source () in
+  if t > !floor_ then floor_ := t;
+  !floor_
+
+let elapsed_since t0 = Float.max 0.0 (now () -. t0)
+
+let set_source f =
+  source := f;
+  floor_ := neg_infinity
+
+let use_wall_clock () = set_source Unix.gettimeofday

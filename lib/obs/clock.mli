@@ -1,0 +1,21 @@
+(** Single process-wide time source for every budget check and every
+    duration measured in the solver stack.
+
+    [now] is {e monotonized}: it never returns a value smaller than one it
+    already returned, so deadlines computed as [now () +. budget] are
+    immune to system clock steps (NTP adjustments, VM suspends) that made
+    raw [Unix.gettimeofday] deltas occasionally negative or skewed. The
+    source is swappable for tests. *)
+
+val now : unit -> float
+(** Current time in seconds. Monotone non-decreasing within the process. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0], clamped to be non-negative. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the underlying source (tests). Resets the monotonic floor, so
+    the next [now] reflects the new source exactly. *)
+
+val use_wall_clock : unit -> unit
+(** Restore the default [Unix.gettimeofday] source (resets the floor). *)

@@ -1,0 +1,42 @@
+(** Minimal JSON tree, emitter and parser.
+
+    This is the one JSON implementation in the repository: trace sinks,
+    the metrics report, [step stats --json] and the bench harness all
+    share it, and [step trace] uses {!of_string} to read JSONL traces
+    back. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** [nan]/[inf] are emitted as [null]. *)
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape_to_buffer : Buffer.t -> string -> unit
+(** Append the JSON string literal (with surrounding quotes) for the given
+    OCaml string; control characters, quotes and backslashes are escaped. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact (single-line) rendering. *)
+
+val of_string : string -> t
+(** Parse a single JSON value. @raise Failure on malformed input. *)
+
+(** {2 Accessors} — total functions for digging into parsed values. *)
+
+val member : string -> t -> t
+(** Field of an object; [Null] when absent or not an object. *)
+
+val to_int_opt : t -> int option
+(** Accepts [Int] and integral [Float]. *)
+
+val to_float_opt : t -> float option
+
+val to_string_opt : t -> string option
+
+val to_list : t -> t list
+(** [[]] when not a list. *)

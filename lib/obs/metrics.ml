@@ -1,0 +1,230 @@
+(* Log-scale bucket layout: [buckets_per_decade] buckets per power of ten
+   between 10^lo_exp and 10^hi_exp, plus an underflow bucket (index 0) and
+   an overflow bucket (last index). Bucket [1 + i] covers
+   [10^(lo_exp + i/bpd), 10^(lo_exp + (i+1)/bpd)). *)
+
+let lo_exp = -7.0
+
+let hi_exp = 3.0
+
+let buckets_per_decade = 10
+
+let n_core = int_of_float ((hi_exp -. lo_exp) *. float_of_int buckets_per_decade)
+
+let n_buckets = n_core + 2
+
+type counter = { c_name : string; mutable c_val : int }
+
+type gauge = { g_name : string; mutable g_val : float }
+
+type histogram = {
+  h_name : string;
+  buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
+
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+
+let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_val = 0 } in
+      Hashtbl.replace counters_tbl name c;
+      c
+
+let inc c = c.c_val <- c.c_val + 1
+
+let add c n = c.c_val <- c.c_val + n
+
+let value c = c.c_val
+
+let gauge name =
+  match Hashtbl.find_opt gauges_tbl name with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_val = 0.0 } in
+      Hashtbl.replace gauges_tbl name g;
+      g
+
+let set g v = g.g_val <- v
+
+let gauge_value g = g.g_val
+
+let histogram name =
+  match Hashtbl.find_opt histograms_tbl name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.make n_buckets 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = infinity;
+          h_max = neg_infinity;
+        }
+      in
+      Hashtbl.replace histograms_tbl name h;
+      h
+
+let bucket_index v =
+  if v <= 0.0 then 0
+  else begin
+    let i =
+      int_of_float
+        (Float.floor ((Float.log10 v -. lo_exp) *. float_of_int buckets_per_decade))
+    in
+    if i < 0 then 0 else if i >= n_core then n_buckets - 1 else i + 1
+  end
+
+(* geometric midpoint of core bucket [1 + i] *)
+let bucket_mid idx =
+  Float.pow 10.0
+    (lo_exp
+    +. ((float_of_int (idx - 1) +. 0.5) /. float_of_int buckets_per_decade))
+
+let observe h v =
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let rank = Float.max 1.0 (Float.round (q *. float_of_int h.h_count)) in
+    let rank = int_of_float rank in
+    let idx = ref 0 and cum = ref 0 in
+    (try
+       for i = 0 to n_buckets - 1 do
+         cum := !cum + h.buckets.(i);
+         if !cum >= rank then begin
+           idx := i;
+           raise Exit
+         end
+       done;
+       idx := n_buckets - 1
+     with Exit -> ());
+    let rep =
+      if !idx = 0 then h.h_min
+      else if !idx = n_buckets - 1 then h.h_max
+      else bucket_mid !idx
+    in
+    Float.min h.h_max (Float.max h.h_min rep)
+  end
+
+let stats h =
+  if h.h_count = 0 then
+    { count = 0; sum = 0.0; min = nan; max = nan; p50 = nan; p90 = nan; p99 = nan }
+  else
+    {
+      count = h.h_count;
+      sum = h.h_sum;
+      min = h.h_min;
+      max = h.h_max;
+      p50 = quantile h 0.50;
+      p90 = quantile h 0.90;
+      p99 = quantile h 0.99;
+    }
+
+let sorted_of_tbl tbl f =
+  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let counters () = sorted_of_tbl counters_tbl (fun c -> c.c_val)
+
+let gauges () = sorted_of_tbl gauges_tbl (fun g -> g.g_val)
+
+let histograms () = sorted_of_tbl histograms_tbl stats
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.c_val <- 0) counters_tbl;
+  Hashtbl.iter (fun _ g -> g.g_val <- 0.0) gauges_tbl;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 n_buckets 0;
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- infinity;
+      h.h_max <- neg_infinity)
+    histograms_tbl
+
+let render () =
+  let buf = Buffer.create 512 in
+  let cs = List.filter (fun (_, v) -> v <> 0) (counters ()) in
+  if cs <> [] then begin
+    Buffer.add_string buf "counters:\n";
+    let w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 cs
+    in
+    List.iter
+      (fun (n, v) -> Buffer.add_string buf (Printf.sprintf "  %-*s %d\n" w n v))
+      cs
+  end;
+  let gs = gauges () in
+  if gs <> [] then begin
+    Buffer.add_string buf "gauges:\n";
+    let w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 gs
+    in
+    List.iter
+      (fun (n, v) ->
+        Buffer.add_string buf (Printf.sprintf "  %-*s %g\n" w n v))
+      gs
+  end;
+  let hs = List.filter (fun (_, s) -> s.count > 0) (histograms ()) in
+  if hs <> [] then begin
+    Buffer.add_string buf "histograms:\n";
+    let w =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 0 hs
+    in
+    List.iter
+      (fun (n, s) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  %-*s count=%-8d sum=%-10.4g p50=%-9.3g p90=%-9.3g p99=%-9.3g \
+              max=%.3g\n"
+             w n s.count s.sum s.p50 s.p90 s.p99 s.max))
+      hs
+  end;
+  Buffer.contents buf
+
+let to_json () =
+  let obj_of pairs f = Json.Obj (List.map (fun (n, v) -> (n, f v)) pairs) in
+  Json.Obj
+    [
+      ("counters", obj_of (counters ()) (fun v -> Json.Int v));
+      ("gauges", obj_of (gauges ()) (fun v -> Json.Float v));
+      ( "histograms",
+        obj_of (histograms ()) (fun s ->
+            Json.Obj
+              [
+                ("count", Json.Int s.count);
+                ("sum", Json.Float s.sum);
+                ("min", Json.Float s.min);
+                ("max", Json.Float s.max);
+                ("p50", Json.Float s.p50);
+                ("p90", Json.Float s.p90);
+                ("p99", Json.Float s.p99);
+              ]) );
+    ]

@@ -1,0 +1,70 @@
+(** Process-wide metrics registry: named counters, gauges and log-scale
+    latency histograms.
+
+    Handles are created once (module-level, by name; creating the same
+    name twice returns the same underlying cell) and updated from hot
+    paths with plain integer/float mutations — no hashing or allocation
+    per update, so instrumentation can stay on even in tight solver
+    loops. Rendering and JSON export walk the registry.
+
+    The registry is global and single-threaded, like the solver stack. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Find-or-create the counter with this name. *)
+
+val inc : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Find-or-create. Buckets are logarithmic: 10 per decade covering
+    [1e-7, 1e3] (seconds), with underflow/overflow buckets at the ends.
+    Exact count/sum/min/max are tracked alongside the buckets. *)
+
+val observe : histogram -> float -> unit
+
+type histogram_stats = {
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty. *)
+  max : float;  (** [nan] when empty. *)
+  p50 : float;  (** Quantiles from bucket midpoints, clamped to
+                    [[min, max]]; [nan] when empty. *)
+  p90 : float;
+  p99 : float;
+}
+
+val stats : histogram -> histogram_stats
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [[0, 1]]; [nan] when empty. *)
+
+val counters : unit -> (string * int) list
+(** Sorted by name; zero-valued entries included. *)
+
+val gauges : unit -> (string * float) list
+
+val histograms : unit -> (string * histogram_stats) list
+
+val reset : unit -> unit
+(** Zero every registered metric. Handles stay valid. *)
+
+val render : unit -> string
+(** Aligned-text report of every non-empty metric. *)
+
+val to_json : unit -> Json.t
+(** [{ "counters": {...}, "gauges": {...}, "histograms": {...} }]. *)

@@ -1,0 +1,183 @@
+type attr = string * Json.t
+
+type record = {
+  r_id : int;
+  r_parent : int option;
+  r_depth : int;
+  r_name : string;
+  r_start : float;
+  r_dur : float;
+  r_self : float;
+  r_attrs : attr list;
+  r_kind : [ `Span | `Event ];
+}
+
+type sink = Null | Emit of (record -> unit)
+
+let null_sink = Null
+
+let callback_sink f = Emit f
+
+let record_to_json r =
+  let base =
+    [
+      ("type", Json.String (match r.r_kind with `Span -> "span" | `Event -> "event"));
+      ("id", Json.Int r.r_id);
+    ]
+  in
+  let parent =
+    match r.r_parent with Some p -> [ ("parent", Json.Int p) ] | None -> []
+  in
+  let timing =
+    [
+      ("depth", Json.Int r.r_depth);
+      ("name", Json.String r.r_name);
+      ("start_s", Json.Float r.r_start);
+      ("dur_s", Json.Float r.r_dur);
+      ("self_s", Json.Float r.r_self);
+    ]
+  in
+  let attrs =
+    match r.r_attrs with [] -> [] | l -> [ ("attrs", Json.Obj l) ]
+  in
+  Json.Obj (base @ parent @ timing @ attrs)
+
+let jsonl_sink oc =
+  Emit
+    (fun r ->
+      output_string oc (Json.to_string (record_to_json r));
+      output_char oc '\n')
+
+let sink = ref Null
+
+let enabled = ref false
+
+type frame = {
+  id : int;
+  name : string;
+  start : float;
+  parent : int option;
+  depth : int;
+  mutable attrs : attr list;
+  mutable child_time : float;
+}
+
+let next_id = ref 0
+
+let stack : frame list ref = ref []
+
+let set_sink s =
+  sink := s;
+  stack := [];
+  enabled := (match s with Null -> false | Emit _ -> true)
+
+let clear_sink () = set_sink Null
+
+let tracing () = !enabled
+
+let emit r = match !sink with Null -> () | Emit f -> f r
+
+let push name attrs =
+  incr next_id;
+  let parent, depth =
+    match !stack with
+    | [] -> (None, 0)
+    | fr :: _ -> (Some fr.id, fr.depth + 1)
+  in
+  let fr =
+    {
+      id = !next_id;
+      name;
+      start = Clock.now ();
+      parent;
+      depth;
+      attrs;
+      child_time = 0.0;
+    }
+  in
+  stack := fr :: !stack;
+  fr
+
+let pop fr =
+  let dur = Clock.elapsed_since fr.start in
+  (* close any spans leaked by an exception that skipped their pop *)
+  let rec unwind () =
+    match !stack with
+    | top :: rest ->
+        stack := rest;
+        if top != fr then unwind ()
+    | [] -> ()
+  in
+  unwind ();
+  (match !stack with
+  | parent :: _ -> parent.child_time <- parent.child_time +. dur
+  | [] -> ());
+  emit
+    {
+      r_id = fr.id;
+      r_parent = fr.parent;
+      r_depth = fr.depth;
+      r_name = fr.name;
+      r_start = fr.start;
+      r_dur = dur;
+      r_self = Float.max 0.0 (dur -. fr.child_time);
+      r_attrs = List.rev fr.attrs;
+      r_kind = `Span;
+    }
+
+let span ?(attrs = []) name f =
+  if not !enabled then f ()
+  else begin
+    let fr = push name attrs in
+    match f () with
+    | v ->
+        pop fr;
+        v
+    | exception e ->
+        pop fr;
+        raise e
+  end
+
+let add_attr k v =
+  if !enabled then
+    match !stack with
+    | fr :: _ -> fr.attrs <- (k, v) :: fr.attrs
+    | [] -> ()
+
+let event ?(attrs = []) name =
+  if !enabled then begin
+    incr next_id;
+    let parent, depth =
+      match !stack with
+      | [] -> (None, 0)
+      | fr :: _ -> (Some fr.id, fr.depth + 1)
+    in
+    emit
+      {
+        r_id = !next_id;
+        r_parent = parent;
+        r_depth = depth;
+        r_name = name;
+        r_start = Clock.now ();
+        r_dur = 0.0;
+        r_self = 0.0;
+        r_attrs = attrs;
+        r_kind = `Event;
+      }
+  end
+
+let with_trace_file path f =
+  let oc = open_out path in
+  let prev = !sink in
+  set_sink (jsonl_sink oc);
+  let restore () =
+    set_sink prev;
+    close_out oc
+  in
+  match f () with
+  | v ->
+      restore ();
+      v
+  | exception e ->
+      restore ();
+      raise e

@@ -1,0 +1,27 @@
+(** Offline analysis of JSONL trace files written by {!Obs.jsonl_sink}:
+    the engine behind [step trace FILE.jsonl]. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;  (** Sum of span durations. *)
+  self_s : float;  (** Sum of span self times — the hot-path signal. *)
+  max_s : float;  (** Longest single span. *)
+}
+
+type t = {
+  rows : row list;  (** Per span name, self-time descending. *)
+  wall_s : float;  (** Sum of root-span durations. *)
+  n_records : int;
+  contexts : (string * string * float) list;
+      (** [(ancestor, name, total_s)] for leaf-level [sat.*] spans grouped
+          by their nearest engine ancestor ([qbf.*], [cegar.*], [mg.*],
+          [ljh.*], [pipeline.*]) — answers "verification SAT vs
+          abstraction SAT, per engine". *)
+}
+
+val of_file : string -> t
+(** @raise Failure on unreadable files or malformed lines. *)
+
+val render : t -> string
+(** Aligned-text breakdown. *)

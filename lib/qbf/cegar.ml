@@ -2,6 +2,15 @@ module Aig = Step_aig.Aig
 module Solver = Step_sat.Solver
 module Lit = Step_sat.Lit
 module Tseitin = Step_cnf.Tseitin
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Metrics = Step_obs.Metrics
+
+let m_iterations = Metrics.counter "cegar.iterations"
+
+let m_solves = Metrics.counter "cegar.solves"
+
+let g_abs_nodes = Metrics.gauge "cegar.abstraction_nodes"
 
 type outcome = Valid of (int -> bool) | Invalid | Unknown
 
@@ -13,9 +22,10 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
   let in_blocks v = List.mem v exists_vars || List.mem v forall_vars in
   if not (List.for_all in_blocks support) then
     invalid_arg "Cegar.solve: matrix support outside quantifier blocks";
+  Metrics.inc m_solves;
   let deadline =
     match time_budget with
-    | Some b -> Unix.gettimeofday () +. b
+    | Some b -> Clock.now () +. b
     | None -> infinity
   in
   (* Abstraction: SAT solver over the existential inputs. Instantiations
@@ -33,11 +43,19 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
   let ver_solver = Tseitin.solver ver in
   ignore (Solver.add_clause ver_solver [ Tseitin.lit_of ver (Aig.not_ matrix) ]);
   let nodes0 = Aig.n_nodes aig in
+  let finish iter outcome =
+    let abstraction_nodes = Aig.n_nodes aig - nodes0 in
+    Metrics.set g_abs_nodes (float_of_int abstraction_nodes);
+    Obs.add_attr "iterations" (Step_obs.Json.Int iter);
+    Obs.add_attr "abstraction_nodes" (Step_obs.Json.Int abstraction_nodes);
+    (outcome, { iterations = iter; abstraction_nodes })
+  in
   let rec loop iter =
-    if iter >= max_iterations || Unix.gettimeofday () > deadline then
-      (Unknown, { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 })
-    else if not (Solver.solve abs_solver) then
-      (Invalid, { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 })
+    if iter >= max_iterations || Clock.now () > deadline then
+      finish iter Unknown
+    else if
+      not (Obs.span "sat.abstraction" (fun () -> Solver.solve abs_solver))
+    then finish iter Invalid
     else begin
       (* candidate x° *)
       let xval v = Solver.model_value abs_solver (Hashtbl.find x_lit v) in
@@ -49,18 +67,22 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
             if b then l else Lit.negate l)
           candidate
       in
-      if not (Solver.solve ~assumptions ver_solver) then begin
+      if
+        not
+          (Obs.span "sat.verify" (fun () ->
+               Solver.solve ~assumptions ver_solver))
+      then begin
         (* no universal assignment falsifies φ(x°, Y): witness found *)
         let tbl = Hashtbl.create 16 in
         List.iter (fun (v, b) -> Hashtbl.replace tbl v b) candidate;
         let witness v =
           match Hashtbl.find_opt tbl v with Some b -> b | None -> false
         in
-        ( Valid witness,
-          { iterations = iter; abstraction_nodes = Aig.n_nodes aig - nodes0 } )
+        finish iter (Valid witness)
       end
       else begin
         (* counterexample y°: add φ(X, y°) to the abstraction *)
+        Metrics.inc m_iterations;
         let yval v =
           Solver.model_value ver_solver (Tseitin.lit_of_input ver v)
         in
@@ -69,10 +91,12 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
             Some (if yval v then Aig.t_ else Aig.f)
           else None
         in
-        let inst = Aig.compose aig subst matrix in
+        let inst =
+          Obs.span "cegar.instantiate" (fun () -> Aig.compose aig subst matrix)
+        in
         ignore (Solver.add_clause abs_solver [ Tseitin.lit_of abs inst ]);
         loop (iter + 1)
       end
     end
   in
-  loop 0
+  Obs.span "cegar.solve" (fun () -> loop 0)

@@ -1,4 +1,24 @@
 module Veci = Step_util.Veci
+module Clock = Step_obs.Clock
+module Metrics = Step_obs.Metrics
+
+(* Per-call solver telemetry, aggregated process-wide. The handles are
+   plain mutable cells, cheap enough to update on every solve. *)
+let m_calls = Metrics.counter "sat.calls"
+
+let m_sat = Metrics.counter "sat.result.sat"
+
+let m_unsat = Metrics.counter "sat.result.unsat"
+
+let m_unknown = Metrics.counter "sat.result.unknown"
+
+let m_conflicts = Metrics.counter "sat.conflicts"
+
+let m_decisions = Metrics.counter "sat.decisions"
+
+let m_propagations = Metrics.counter "sat.propagations"
+
+let h_solve = Metrics.histogram "sat.solve_s"
 
 (* CDCL solver. Nomenclature follows MiniSat: [trail] is the assignment
    stack, [trail_lim] marks decision-level boundaries, [reason.(v)] is the
@@ -734,7 +754,7 @@ let search s assumptions nof_conflicts =
         s.core <- [];
         raise (Done Unsat)
       end;
-      if s.conflicts land 1023 = 0 && Unix.gettimeofday () > s.deadline then
+      if s.conflicts land 1023 = 0 && Clock.now () > s.deadline then
         raise (Done Unknown);
       let lits, bt, step = analyze s confl in
       cancel_until s bt;
@@ -792,6 +812,8 @@ let solve_limited ?(assumptions = []) s =
   List.iter (fun l -> ensure_var s (Lit.var l)) assumptions;
   if not s.ok then begin
     s.core <- [];
+    Metrics.inc m_calls;
+    Metrics.inc m_unsat;
     Unsat
   end
   else begin
@@ -799,9 +821,12 @@ let solve_limited ?(assumptions = []) s =
     s.core <- [];
     s.max_learnts <-
       Float.max 4000. (float_of_int (max 1 s.n_problem) /. 3.);
+    let t0 = Clock.now () in
+    let conflicts0 = s.conflicts in
+    let decisions0 = s.decisions in
+    let propagations0 = s.propagations in
     s.deadline <-
-      (if s.time_budget >= 0. then Unix.gettimeofday () +. s.time_budget
-       else infinity);
+      (if s.time_budget >= 0. then t0 +. s.time_budget else infinity);
     s.conflict_limit <-
       (if s.conflict_budget >= 0 then s.conflicts + s.conflict_budget
        else max_int);
@@ -810,7 +835,7 @@ let solve_limited ?(assumptions = []) s =
       try
         let restarts = ref 0 in
         while true do
-          if Unix.gettimeofday () > s.deadline then raise (Done Unknown);
+          if Clock.now () > s.deadline then raise (Done Unknown);
           let bound = int_of_float (luby 2.0 !restarts *. 100.) in
           search s assumptions bound;
           incr restarts;
@@ -820,6 +845,16 @@ let solve_limited ?(assumptions = []) s =
       with Done r -> r
     in
     cancel_until s 0;
+    Metrics.inc m_calls;
+    Metrics.inc
+      (match result with
+      | Sat -> m_sat
+      | Unsat -> m_unsat
+      | Unknown -> m_unknown);
+    Metrics.add m_conflicts (s.conflicts - conflicts0);
+    Metrics.add m_decisions (s.decisions - decisions0);
+    Metrics.add m_propagations (s.propagations - propagations0);
+    Metrics.observe h_solve (Clock.elapsed_since t0);
     result
   end
 

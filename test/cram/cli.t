@@ -74,6 +74,44 @@ so no counterexample partition exists):
   $ step qbf model.qdimacs
   s cnf 1 (TRUE)
 
+Statistics are also available as JSON:
+
+  $ step stats add3.blif --json | grep -oE '"circuit":"add3"|"n_and":21'
+  "circuit":"add3"
+  "n_and":21
+
+A decomposition run can write a JSONL span trace and print the telemetry
+report (counter values and timings vary, so only the shape is checked):
+
+  $ step decompose add3.blif -g xor -m qd -b 5 --trace add3.jsonl --stats > telemetry.out
+  $ grep -E '^(counters|histograms):' telemetry.out
+  counters:
+  histograms:
+  $ grep -oE 'sat\.(conflicts|decisions|propagations)' telemetry.out | sort -u
+  sat.conflicts
+  sat.decisions
+  sat.propagations
+
+The trace is one JSON object per line, with spans nested from the
+pipeline root down to the SAT calls (depth 4 = pipeline.run > pipeline.po
+> qbf.optimize > qbf.query > sat.*):
+
+  $ grep -c '"name":"pipeline.run"' add3.jsonl
+  1
+  $ grep -oE '"name":"(sat.abstraction|sat.verify)"' add3.jsonl | sort -u
+  "name":"sat.abstraction"
+  "name":"sat.verify"
+  $ grep -q '"depth":4' add3.jsonl && echo nested
+  nested
+
+`step trace` summarises a trace into a hot-path breakdown:
+
+  $ step trace add3.jsonl | head -2 | sed -E 's/[0-9]+ records, [0-9.]+s/N records, Xs/'
+  trace: N records, Xs wall (root spans)
+  span               count   total(s)    self(s)   self%     max(s)
+  $ step trace add3.jsonl | grep -c '^pipeline.run '
+  1
+
 The differential fuzzer agrees with itself on a quick run:
 
   $ step-fuzz --rounds 20 --seed 3

@@ -1,0 +1,343 @@
+(* Contract tests for the observability layer: JSON emitter/parser,
+   metrics registry (histogram bucketing and quantiles), span nesting and
+   self-time accounting, and the trace-file round trip. *)
+
+module Json = Step_obs.Json
+module Metrics = Step_obs.Metrics
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Trace_summary = Step_obs.Trace_summary
+
+let feq = Alcotest.float 1e-9
+
+(* Every test that mocks the clock or installs a sink must restore both;
+   run bodies under this wrapper so a failing assertion cannot leak a
+   frozen clock into later tests. *)
+let with_clean_obs f =
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.clear_sink ();
+      Clock.use_wall_clock ())
+    f
+
+(* ---------- Json ---------- *)
+
+let test_json_escape () =
+  let s v = Json.to_string (Json.String v) in
+  Alcotest.(check string) "plain" {|"abc"|} (s "abc");
+  Alcotest.(check string) "quote" {|"a\"b"|} (s "a\"b");
+  Alcotest.(check string) "backslash" {|"a\\b"|} (s "a\\b");
+  Alcotest.(check string) "newline/tab" {|"a\nb\tc"|} (s "a\nb\tc");
+  Alcotest.(check string) "control" {|"\u0001"|} (s "\x01");
+  (* UTF-8 passes through untouched *)
+  Alcotest.(check string) "utf8" "\"\xc3\xa9\"" (s "\xc3\xa9")
+
+let test_json_special_floats () =
+  Alcotest.(check string) "nan" "null" (Json.to_string (Json.Float nan));
+  Alcotest.(check string) "inf" "null" (Json.to_string (Json.Float infinity));
+  Alcotest.(check string) "half" "0.5" (Json.to_string (Json.Float 0.5))
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("name", Json.String "sat.solve\n\"quoted\"");
+        ("count", Json.Int 42);
+        ("ratio", Json.Float 0.5);
+        ("ok", Json.Bool true);
+        ("none", Json.Null);
+        ("xs", Json.List [ Json.Int 1; Json.Int (-2); Json.String "" ]);
+      ]
+  in
+  Alcotest.(check bool)
+    "roundtrip" true
+    (Json.of_string (Json.to_string v) = v)
+
+let test_json_parse () =
+  Alcotest.(check bool)
+    "unicode escape" true
+    (Json.of_string {|"Aé"|} = Json.String "A\xc3\xa9");
+  Alcotest.(check bool)
+    "nested" true
+    (Json.of_string {| { "a" : [ 1 , 2.5 , null , true ] } |}
+    = Json.Obj
+        [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null; Json.Bool true ]) ]);
+  (match Json.of_string "{bad" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure on malformed input");
+  let j = Json.of_string {|{"x": {"y": 7}}|} in
+  Alcotest.(check (option int))
+    "member chain" (Some 7)
+    Json.(to_int_opt (member "y" (member "x" j)));
+  Alcotest.(check (option int))
+    "absent member" None
+    Json.(to_int_opt (member "z" j));
+  Alcotest.(check (option int))
+    "integral float" (Some 3)
+    (Json.to_int_opt (Json.Float 3.0))
+
+(* ---------- Metrics ---------- *)
+
+let test_counter_gauge () =
+  let c = Metrics.counter "test.counter" in
+  Alcotest.(check int) "zero" 0 (Metrics.value c);
+  Metrics.inc c;
+  Metrics.add c 10;
+  Alcotest.(check int) "inc+add" 11 (Metrics.value c);
+  (* same name, same cell *)
+  Metrics.inc (Metrics.counter "test.counter");
+  Alcotest.(check int) "aliased" 12 (Metrics.value c);
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 3.5;
+  Alcotest.(check feq) "gauge" 3.5 (Metrics.gauge_value g);
+  Alcotest.(check bool)
+    "listed" true
+    (List.mem_assoc "test.counter" (Metrics.counters ()))
+
+let test_histogram_point_mass () =
+  let h = Metrics.histogram "test.hist.point" in
+  for _ = 1 to 10 do
+    Metrics.observe h 0.001
+  done;
+  let s = Metrics.stats h in
+  Alcotest.(check int) "count" 10 s.Metrics.count;
+  Alcotest.(check feq) "sum" 0.01 s.Metrics.sum;
+  Alcotest.(check feq) "min" 0.001 s.Metrics.min;
+  Alcotest.(check feq) "max" 0.001 s.Metrics.max;
+  (* all mass in one bucket: every quantile is clamped to [min,max] *)
+  Alcotest.(check feq) "p50" 0.001 s.Metrics.p50;
+  Alcotest.(check feq) "p99" 0.001 s.Metrics.p99
+
+let test_histogram_quantile_order () =
+  let h = Metrics.histogram "test.hist.order" in
+  (* 90 fast observations, 10 slow ones: p50 must sit with the fast
+     cluster and p99 with the slow one, two decades apart *)
+  for _ = 1 to 90 do
+    Metrics.observe h 1e-4
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 1e-2
+  done;
+  let s = Metrics.stats h in
+  Alcotest.(check bool)
+    "p50 in fast bucket" true
+    (s.Metrics.p50 > 5e-5 && s.Metrics.p50 < 2e-4);
+  Alcotest.(check bool)
+    "p99 in slow bucket" true
+    (s.Metrics.p99 > 5e-3 && s.Metrics.p99 <= 1e-2);
+  Alcotest.(check bool)
+    "monotone" true
+    (s.Metrics.p50 <= s.Metrics.p90 && s.Metrics.p90 <= s.Metrics.p99);
+  Alcotest.(check feq) "q=1 is max" 1e-2 (Metrics.quantile h 1.0)
+
+let test_histogram_out_of_range () =
+  let h = Metrics.histogram "test.hist.range" in
+  Metrics.observe h 1e-9;
+  (* underflow bucket *)
+  Metrics.observe h 1e5;
+  (* overflow bucket *)
+  let s = Metrics.stats h in
+  Alcotest.(check feq) "min exact" 1e-9 s.Metrics.min;
+  Alcotest.(check feq) "max exact" 1e5 s.Metrics.max;
+  (* quantiles stay finite and within [min,max] even for the open-ended
+     buckets *)
+  Alcotest.(check bool)
+    "clamped" true
+    (s.Metrics.p50 >= 1e-9 && s.Metrics.p99 <= 1e5)
+
+let test_histogram_empty_and_reset () =
+  let h = Metrics.histogram "test.hist.empty" in
+  let s = Metrics.stats h in
+  Alcotest.(check int) "empty count" 0 s.Metrics.count;
+  Alcotest.(check bool) "empty p50 is nan" true (Float.is_nan s.Metrics.p50);
+  let c = Metrics.counter "test.reset.counter" in
+  Metrics.add c 5;
+  Metrics.observe h 1.0;
+  Metrics.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.stats h).Metrics.count;
+  (* handles survive a reset *)
+  Metrics.inc c;
+  Alcotest.(check int) "handle valid" 1 (Metrics.value c)
+
+(* ---------- Clock ---------- *)
+
+let test_clock_monotone_and_mock () =
+  with_clean_obs @@ fun () ->
+  let t = ref 100.0 in
+  Clock.set_source (fun () -> !t);
+  Alcotest.(check feq) "mocked" 100.0 (Clock.now ());
+  t := 50.0;
+  (* a backwards step must not be visible *)
+  Alcotest.(check feq) "monotone floor" 100.0 (Clock.now ());
+  Alcotest.(check feq) "elapsed clamped" 0.0 (Clock.elapsed_since 150.0);
+  t := 103.5;
+  Alcotest.(check feq) "resumes" 103.5 (Clock.now ());
+  Alcotest.(check feq) "elapsed" 3.5 (Clock.elapsed_since 100.0)
+
+(* ---------- Obs spans ---------- *)
+
+let collect_records f =
+  let records = ref [] in
+  Obs.set_sink (Obs.callback_sink (fun r -> records := r :: !records));
+  f ();
+  Obs.clear_sink ();
+  List.rev !records
+
+let test_span_nesting_self_time () =
+  with_clean_obs @@ fun () ->
+  let t = ref 0.0 in
+  Clock.set_source (fun () -> !t);
+  let records =
+    collect_records (fun () ->
+        Obs.span "outer" (fun () ->
+            t := !t +. 1.0;
+            Obs.span "inner" (fun () -> t := !t +. 2.0);
+            t := !t +. 0.5))
+  in
+  (* children close before parents *)
+  let names = List.map (fun r -> r.Obs.r_name) records in
+  Alcotest.(check (list string)) "close order" [ "inner"; "outer" ] names;
+  let inner = List.nth records 0 and outer = List.nth records 1 in
+  Alcotest.(check feq) "inner dur" 2.0 inner.Obs.r_dur;
+  Alcotest.(check feq) "inner self" 2.0 inner.Obs.r_self;
+  Alcotest.(check int) "inner depth" 1 inner.Obs.r_depth;
+  Alcotest.(check feq) "outer dur" 3.5 outer.Obs.r_dur;
+  (* outer self time excludes the 2 s spent in inner *)
+  Alcotest.(check feq) "outer self" 1.5 outer.Obs.r_self;
+  Alcotest.(check int) "outer depth" 0 outer.Obs.r_depth;
+  Alcotest.(check bool) "outer is root" true (outer.Obs.r_parent = None);
+  Alcotest.(check bool)
+    "inner parent" true
+    (inner.Obs.r_parent = Some outer.Obs.r_id)
+
+let test_span_attrs_and_events () =
+  with_clean_obs @@ fun () ->
+  let records =
+    collect_records (fun () ->
+        Obs.span ~attrs:[ ("k", Json.Int 3) ] "work" (fun () ->
+            Obs.add_attr "status" (Json.String "ok");
+            Obs.event ~attrs:[ ("what", Json.String "tick") ] "beat"))
+  in
+  let event = List.nth records 0 and span = List.nth records 1 in
+  Alcotest.(check bool) "event kind" true (event.Obs.r_kind = `Event);
+  Alcotest.(check feq) "event dur" 0.0 event.Obs.r_dur;
+  Alcotest.(check bool)
+    "event parent" true
+    (event.Obs.r_parent = Some span.Obs.r_id);
+  Alcotest.(check bool) "span kind" true (span.Obs.r_kind = `Span);
+  Alcotest.(check bool)
+    "open attr" true
+    (List.assoc_opt "k" span.Obs.r_attrs = Some (Json.Int 3));
+  Alcotest.(check bool)
+    "added attr" true
+    (List.assoc_opt "status" span.Obs.r_attrs = Some (Json.String "ok"))
+
+let test_span_exception_safety () =
+  with_clean_obs @@ fun () ->
+  let records =
+    ref []
+  in
+  Obs.set_sink (Obs.callback_sink (fun r -> records := r :: !records));
+  (match Obs.span "boom" (fun () -> failwith "inner failure") with
+  | exception Failure m -> Alcotest.(check string) "propagates" "inner failure" m
+  | () -> Alcotest.fail "expected Failure");
+  Obs.clear_sink ();
+  Alcotest.(check int) "span still recorded" 1 (List.length !records);
+  Alcotest.(check string)
+    "named" "boom"
+    (List.hd !records).Obs.r_name;
+  (* the stack unwound: a fresh root span has depth 0 again *)
+  let again = collect_records (fun () -> Obs.span "after" ignore) in
+  Alcotest.(check int) "stack unwound" 0 (List.hd again).Obs.r_depth
+
+let test_null_sink_noop () =
+  with_clean_obs @@ fun () ->
+  Obs.clear_sink ();
+  Alcotest.(check bool) "disabled" false (Obs.tracing ());
+  (* spans still run their body and return its value *)
+  Alcotest.(check int) "passthrough" 7 (Obs.span "ghost" (fun () -> 7));
+  Obs.add_attr "ignored" Json.Null;
+  Obs.event "ignored";
+  (* enabling later must not see ghosts of disabled spans *)
+  let records = collect_records (fun () -> Obs.span "real" ignore) in
+  Alcotest.(check int) "only real span" 1 (List.length records);
+  Alcotest.(check int) "root depth" 0 (List.hd records).Obs.r_depth
+
+(* ---------- trace file round trip ---------- *)
+
+let test_trace_file_roundtrip () =
+  with_clean_obs @@ fun () ->
+  let t = ref 0.0 in
+  Clock.set_source (fun () -> !t);
+  let path = Filename.temp_file "step_obs_test" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.with_trace_file path (fun () ->
+      Obs.span "pipeline.run" (fun () ->
+          Obs.span "qbf.query" (fun () ->
+              Obs.span "sat.verify" (fun () -> t := !t +. 0.25);
+              Obs.span "sat.verify" (fun () -> t := !t +. 0.75));
+          t := !t +. 1.0));
+  Alcotest.(check bool) "sink restored" false (Obs.tracing ());
+  let summary = Trace_summary.of_file path in
+  Alcotest.(check int) "records" 4 summary.Trace_summary.n_records;
+  Alcotest.(check feq) "wall is root dur" 2.0 summary.Trace_summary.wall_s;
+  let row name =
+    List.find (fun r -> r.Trace_summary.name = name) summary.Trace_summary.rows
+  in
+  Alcotest.(check int) "verify count" 2 (row "sat.verify").Trace_summary.count;
+  Alcotest.(check feq)
+    "verify total" 1.0
+    (row "sat.verify").Trace_summary.total_s;
+  Alcotest.(check feq) "verify max" 0.75 (row "sat.verify").Trace_summary.max_s;
+  Alcotest.(check feq)
+    "query self excludes sat" 0.0
+    (row "qbf.query").Trace_summary.self_s;
+  (* the SAT time lands in the qbf.query engine context *)
+  Alcotest.(check bool)
+    "context attribution" true
+    (List.exists
+       (fun (ctx, name, total) ->
+         ctx = "qbf.query" && name = "sat.verify" && Float.abs (total -. 1.0) < 1e-9)
+       summary.Trace_summary.contexts);
+  (* render is total: just make sure it produces the table *)
+  Alcotest.(check bool)
+    "renders" true
+    (String.length (Trace_summary.render summary) > 0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escape" `Quick test_json_escape;
+          Alcotest.test_case "special floats" `Quick test_json_special_floats;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram point mass" `Quick
+            test_histogram_point_mass;
+          Alcotest.test_case "histogram quantile order" `Quick
+            test_histogram_quantile_order;
+          Alcotest.test_case "histogram out of range" `Quick
+            test_histogram_out_of_range;
+          Alcotest.test_case "empty + reset" `Quick
+            test_histogram_empty_and_reset;
+        ] );
+      ("clock", [ Alcotest.test_case "monotone + mock" `Quick test_clock_monotone_and_mock ]);
+      ( "spans",
+        [
+          Alcotest.test_case "nesting/self-time" `Quick
+            test_span_nesting_self_time;
+          Alcotest.test_case "attrs + events" `Quick test_span_attrs_and_events;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_exception_safety;
+          Alcotest.test_case "null sink no-op" `Quick test_null_sink_noop;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip ]
+      );
+    ]
