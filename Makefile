@@ -1,13 +1,24 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all check test smoke bench clean
+.PHONY: all check test smoke bench lint clean
 
 all:
 	dune build @all
 
-# The gate every change must pass: full build + unit/property/cram tests.
+# The gate every change must pass: full build + unit/property/cram tests,
+# plus the artifact linter and the sanitized test run.
 check:
 	dune build && dune runtest
+	$(MAKE) lint
+
+# Static lint of the shipped artifacts + the whole suite under the
+# solver's runtime invariant sanitizer.
+lint:
+	dune build bin/step.exe
+	dune exec --no-build bin/step.exe -- lint \
+	  examples/artifacts/tiny.cnf examples/artifacts/model.qdimacs \
+	  examples/artifacts/add3.blif examples/artifacts/add3.aag
+	STEP_SANITIZE=1 dune runtest --force
 
 test: check
 

@@ -22,6 +22,8 @@ module Generators = Step_circuits.Generators
 module Obs = Step_obs.Obs
 module Metrics = Step_obs.Metrics
 module Json = Step_obs.Json
+module Diag = Step_lint.Diag
+module Lint = Step_lint.Lint
 
 open Cmdliner
 
@@ -146,6 +148,21 @@ let stats_flag =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let sanitize_flag =
+  let doc =
+    "Enable the solver's runtime invariant sanitizer (equivalent to \
+     STEP_SANITIZE=1): audits watch lists, trail/assignment consistency \
+     and clause references at decision boundaries."
+  in
+  Arg.(value & flag & info [ "sanitize" ] ~doc)
+
+(* Solvers read STEP_SANITIZE at creation, so setting it here covers every
+   solver the run creates, however deep in the stack. *)
+let apply_sanitize flag = if flag then Unix.putenv "STEP_SANITIZE" "1"
+
+let print_diags diags =
+  List.iter (fun d -> print_endline (Diag.to_text d)) diags
+
 let print_po_result (r : Pipeline.po_result) =
   let status =
     match r.Pipeline.partition with
@@ -165,11 +182,28 @@ let print_po_result (r : Pipeline.po_result) =
         (Partition.disjointness part)
         (Partition.balancedness part)
 
+let check_artifacts_flag =
+  let doc =
+    "Lint the intermediate artifacts (input AIG, produced partitions) and \
+     print any findings; exits non-zero on lint errors."
+  in
+  Arg.(value & flag & info [ "check-artifacts" ] ~doc)
+
 let decompose_cmd =
-  let run path gate method_ budget po extract verify_ recursive trace stats =
+  let run path gate method_ budget po extract verify_ recursive trace stats
+      sanitize check_artifacts =
+    let all_diags = ref [] in
+    let note_diags diags =
+      if diags <> [] then begin
+        print_diags diags;
+        all_diags := !all_diags @ diags
+      end
+    in
     let body () =
+      apply_sanitize sanitize;
       let method_ = Pipeline.method_of_string method_ in
       let c = load_circuit path in
+      if check_artifacts then note_diags (Pipeline.lint_circuit c);
       if recursive then begin
         let module R = Step_core.Recursive in
         let config =
@@ -193,12 +227,14 @@ let decompose_cmd =
         (* per-output gate selection *)
         for i = 0 to Circuit.n_outputs c - 1 do
           let g, r =
-            Pipeline.decompose_output_auto ~per_po_budget:budget c i method_
+            Pipeline.decompose_output_auto ~per_po_budget:budget
+              ~check_artifacts c i method_
           in
           (match g with
           | Some g -> Printf.printf "[%s] " (Gate.to_string g)
           | None -> Printf.printf "[-]   ");
-          print_po_result r
+          print_po_result r;
+          note_diags r.Pipeline.diags
         done;
         raise Exit
       end;
@@ -214,6 +250,7 @@ let decompose_cmd =
       in
       let handle_po (r : Pipeline.po_result) =
         print_po_result r;
+        note_diags r.Pipeline.diags;
         match (r.Pipeline.partition, engine) with
         | Some part, Some engine ->
             let p =
@@ -233,9 +270,14 @@ let decompose_cmd =
       in
       (match po with
       | Some i ->
-          handle_po (Pipeline.decompose_output ~per_po_budget:budget c i gate method_)
+          handle_po
+            (Pipeline.decompose_output ~per_po_budget:budget ~check_artifacts
+               c i gate method_)
       | None ->
-          let r = Pipeline.run ~per_po_budget:budget c gate method_ in
+          let r =
+            Pipeline.run ~per_po_budget:budget ~check_artifacts c gate method_
+          in
+          (* circuit-level diags were already printed by the upfront lint *)
           Array.iter handle_po r.Pipeline.per_po;
           Printf.printf "== %s %s %s: #Dec=%d/%d CPU=%.2fs\n"
             r.Pipeline.circuit_name
@@ -255,7 +297,10 @@ let decompose_cmd =
     match traced () with
     | () | exception Exit ->
         finish_stats ();
-        `Ok ()
+        if Diag.has_errors !all_diags then exit 1 else `Ok ()
+    | exception Step_sat.Solver.Sanitizer_violation diags ->
+        print_diags diags;
+        `Error (false, "solver sanitizer detected invariant violations")
     | exception Failure msg -> `Error (false, msg)
     | exception Sys_error msg -> `Error (false, msg)
   in
@@ -265,7 +310,8 @@ let decompose_cmd =
     Term.(
       ret
         (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg $ po_arg
-       $ extract_arg $ verify_flag $ recursive_flag $ trace_arg $ stats_flag))
+       $ extract_arg $ verify_flag $ recursive_flag $ trace_arg $ stats_flag
+       $ sanitize_flag $ check_artifacts_flag))
 
 (* ---------- trace ---------- *)
 
@@ -440,8 +486,10 @@ let sat_cmd =
     let doc = "On UNSAT, emit a DRAT certificate and self-check it." in
     Arg.(value & flag & info [ "drat" ] ~doc)
   in
-  let run file drat =
-    let cnf = Step_sat.Dimacs.parse_file file in
+  let run file drat sanitize =
+    apply_sanitize sanitize;
+    let cnf, parse_diags = Step_sat.Dimacs.parse_file_diags file in
+    List.iter (fun d -> prerr_endline (Diag.to_text d)) parse_diags;
     let solver = Step_sat.Solver.create ~proof:drat () in
     ignore (Step_sat.Dimacs.load_into solver cnf);
     if Step_sat.Solver.solve solver then begin
@@ -471,7 +519,8 @@ let sat_cmd =
     `Ok ()
   in
   let doc = "Solve a DIMACS CNF file with the built-in CDCL solver." in
-  Cmd.v (Cmd.info "sat" ~doc) Term.(ret (const run $ file_arg $ drat_flag))
+  Cmd.v (Cmd.info "sat" ~doc)
+    Term.(ret (const run $ file_arg $ drat_flag $ sanitize_flag))
 
 let qbf_cmd =
   let file_arg =
@@ -509,7 +558,14 @@ let export_qbf_cmd =
     let doc = "Output QDIMACS file ('-' for stdout)." in
     Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
   in
-  let run path po k target out =
+  let check_flag =
+    let doc =
+      "Lint the exported QDIMACS before writing it (findings go to stderr; \
+       exits non-zero on lint errors)."
+    in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run path po k target out check =
     match
       let c = load_circuit path in
       let p = Problem.of_edge c.Circuit.aig (Circuit.output c po) in
@@ -521,6 +577,12 @@ let export_qbf_cmd =
         | other -> failwith (Printf.sprintf "unknown target %S" other)
       in
       let text = Step_core.Qbf_export.or_model ?k ~target p in
+      if check then begin
+        let name = if out = "-" then "<export>" else out in
+        let diags = Step_core.Qbf_export.lint ~name text in
+        List.iter (fun d -> prerr_endline (Diag.to_text d)) diags;
+        if Diag.has_errors diags then failwith "exported QDIMACS has lint errors"
+      end;
       if out = "-" then print_string text
       else begin
         let oc = open_out out in
@@ -536,7 +598,71 @@ let export_qbf_cmd =
   in
   Cmd.v (Cmd.info "export-qbf" ~doc)
     Term.(
-      ret (const run $ circuit_arg $ po_arg $ k_arg $ target_arg $ out_arg))
+      ret
+        (const run $ circuit_arg $ po_arg $ k_arg $ target_arg $ out_arg
+       $ check_flag))
+
+(* ---------- lint ---------- *)
+
+let lint_cmd =
+  let files_arg =
+    let doc =
+      "Artifact files to lint: .cnf/.dimacs, .qdimacs/.qdm, .blif, .aag, or \
+       binary .aig."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
+  in
+  let json_flag =
+    let doc = "Emit the findings as JSON instead of text." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let strict_flag =
+    let doc = "Treat warnings as errors for the exit code." in
+    Arg.(value & flag & info [ "strict" ] ~doc)
+  in
+  (* Binary AIGER has no textual scanner: parse it and lint the in-memory
+     AIG instead. Everything else goes through the lint dispatcher. *)
+  let lint_one path =
+    if Filename.check_suffix path ".aig" then
+      match Step_aig.Aig_bin.parse_file path with
+      | c -> List.map (Diag.with_file path) (Pipeline.lint_circuit c)
+      | exception Failure msg -> [ Diag.error ~file:path ~code:"IO001" msg ]
+      | exception Sys_error msg -> [ Diag.error ~file:path ~code:"IO001" msg ]
+    else Lint.lint_file path
+  in
+  let run files json strict =
+    let results = List.map (fun f -> (f, lint_one f)) files in
+    let all = List.concat_map snd results in
+    if json then begin
+      let file_json (f, ds) =
+        Json.Obj
+          [ ("file", Json.String f); ("diagnostics", Diag.list_to_json ds) ]
+      in
+      let j =
+        Json.Obj
+          [
+            ("files", Json.List (List.map file_json results));
+            ("errors", Json.Int (Diag.count_errors all));
+            ("warnings", Json.Int (Diag.count_warnings all));
+          ]
+      in
+      print_endline (Json.to_string j)
+    end
+    else begin
+      List.iter
+        (fun (f, ds) ->
+          if ds = [] then Printf.printf "%s: clean\n" f else print_diags ds)
+        results;
+      if List.length files > 1 || all <> [] then
+        print_endline (Diag.summary all)
+    end;
+    if Diag.has_errors all || (strict && Diag.count_warnings all > 0) then
+      exit 1
+    else `Ok ()
+  in
+  let doc = "Lint artifact files (CNF, QDIMACS, BLIF, AIGER)." in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(ret (const run $ files_arg $ json_flag $ strict_flag))
 
 (* ---------- suite ---------- *)
 
@@ -568,6 +694,7 @@ let main_cmd =
       sat_cmd;
       qbf_cmd;
       export_qbf_cmd;
+      lint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

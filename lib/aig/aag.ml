@@ -102,10 +102,9 @@ let parse_string text =
 
 let parse_file path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse_string text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
 
 let to_string (c : Circuit.t) =
   let aig = c.Circuit.aig in

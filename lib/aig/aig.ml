@@ -89,6 +89,12 @@ let fanins m id =
   if not (is_and_node m id) then invalid_arg "Aig.fanins";
   (Veci.get m.fanin0 id, Veci.get m.fanin1 id)
 
+let node_kind m id =
+  if id < 0 || id >= n_nodes m then invalid_arg "Aig.node_kind";
+  if id = 0 then `Const
+  else if is_input_node m id then `Input (Veci.get m.fanin1 id)
+  else `And (Veci.get m.fanin0 id, Veci.get m.fanin1 id)
+
 let and_ m a b =
   let a, b = if a <= b then (a, b) else (b, a) in
   if a = f then f

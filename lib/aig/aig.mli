@@ -63,6 +63,12 @@ val fanins : t -> int -> lit * lit
 (** Fanin edges of an AND node id.
     @raise Invalid_argument for the constant or input nodes. *)
 
+val node_kind : t -> int -> [ `Const | `Input of int | `And of lit * lit ]
+(** Structural view of a node id: the constant, an input (carrying its
+    input index), or an AND with its fanin edges. This is the hook the
+    artifact linter's AIG checker consumes (see [Step_lint.Lint.aig_view]).
+    @raise Invalid_argument for out-of-range ids. *)
+
 (* Constructors (strashed) *)
 
 val and_ : t -> lit -> lit -> lit

@@ -101,11 +101,13 @@ let parse_bytes data =
 
 let parse_file path =
   let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let data = Bytes.create n in
-  really_input ic data 0 n;
-  close_in ic;
-  parse_bytes data
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = Bytes.create n in
+      really_input ic data 0 n;
+      parse_bytes data)
 
 let to_bytes (c : Circuit.t) =
   let aig = c.Circuit.aig in

@@ -171,10 +171,9 @@ let parse_string text = elaborate (collect (tokenize_lines text))
 
 let parse_file path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse_string text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse_string (really_input_string ic (in_channel_length ic)))
 
 (* ---------- writing ---------- *)
 

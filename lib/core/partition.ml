@@ -52,6 +52,9 @@ let of_alpha_beta ~support ~alpha ~beta =
     !frees;
   make ~xa:!xa ~xb:!xb ~xc:!xc
 
+let lint ?name ~support p =
+  Step_lint.Lint.check_partition ?name ~support ~xa:p.xa ~xb:p.xb ~xc:p.xc ()
+
 let equal p q = p.xa = q.xa && p.xb = q.xb && p.xc = q.xc
 
 let pp fmt p =

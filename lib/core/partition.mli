@@ -47,6 +47,12 @@ val of_alpha_beta :
     [(1,1)] (free in both copies) are assigned greedily to the smaller of
     [XA]/[XB]. *)
 
+val lint : ?name:string -> support:int list -> t -> Step_lint.Diag.t list
+(** Checks the partition against [support]: XA/XB/XC pairwise disjoint
+    (PAR001), exactly covering the support (PAR002), and normalized to
+    [|XA| ≥ |XB|] (PAR003, warning). Empty when clean. [name] labels the
+    diagnostics (e.g. the output being decomposed). *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

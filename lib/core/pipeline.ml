@@ -28,6 +28,7 @@ type po_result = {
   timed_out : bool;
   cpu : float;
   counters : (string * int) list;
+  diags : Step_lint.Diag.t list;
 }
 
 type circuit_result = {
@@ -37,7 +38,25 @@ type circuit_result = {
   per_po : po_result array;
   n_decomposed : int;
   total_cpu : float;
+  diags : Step_lint.Diag.t list;
 }
+
+let lint_circuit (c : Circuit.t) =
+  let aig = c.Circuit.aig in
+  let module Aig = Step_aig.Aig in
+  let view =
+    {
+      Step_lint.Lint.n_nodes = Aig.n_nodes aig;
+      node =
+        (fun id ->
+          match Aig.node_kind aig id with
+          | `Const -> Step_lint.Lint.Const
+          | `Input i -> Step_lint.Lint.Input i
+          | `And (f0, f1) -> Step_lint.Lint.And (f0, f1));
+      roots = Array.to_list (Array.map snd c.Circuit.outputs);
+    }
+  in
+  Step_lint.Lint.check_aig ~name:c.Circuit.name view
 
 let qbf_target = function
   | Qd -> Qbf_model.Disjointness
@@ -45,8 +64,8 @@ let qbf_target = function
   | Qdb -> Qbf_model.Combined
   | Ljh | Mg -> invalid_arg "qbf_target"
 
-let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
-    gate method_ =
+let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2)
+    ?(check_artifacts = false) circuit i gate method_ =
   let name = Circuit.output_name circuit i in
   Obs.span
     ~attrs:
@@ -74,14 +93,23 @@ let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
         let part = Partition.canonical part in
         Obs.add_attr "xc" (Step_obs.Json.Int (List.length part.Partition.xc))
     | None -> ());
+    let partition = Option.map Partition.canonical partition in
+    let diags =
+      if not check_artifacts then []
+      else
+        match partition with
+        | Some part -> Partition.lint ~name ~support:p.Problem.support part
+        | None -> []
+    in
     {
       po_name = name;
       support_size = n;
-      partition = Option.map Partition.canonical partition;
+      partition;
       proven_optimal;
       timed_out;
       cpu = Clock.elapsed_since t0;
       counters;
+      diags;
     }
   in
   if n < max 2 min_support then finish None true false
@@ -145,14 +173,14 @@ let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2) circuit i
         end
   end
 
-let decompose_output_auto ?(per_po_budget = 10.0) ?min_support circuit i
-    method_ =
+let decompose_output_auto ?(per_po_budget = 10.0) ?min_support
+    ?check_artifacts circuit i method_ =
   let budget = per_po_budget /. 3.0 in
   let candidates =
     List.map
       (fun gate ->
-        (gate, decompose_output ~per_po_budget:budget ?min_support circuit i
-                 gate method_))
+        (gate, decompose_output ~per_po_budget:budget ?min_support
+                 ?check_artifacts circuit i gate method_))
       Gate.all
   in
   let score (r : po_result) =
@@ -173,8 +201,8 @@ let decompose_output_auto ?(per_po_budget = 10.0) ?min_support circuit i
   | Some (_, r) -> (None, r)
   | None -> assert false
 
-let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
-    gate method_ =
+let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support
+    ?(check_artifacts = false) circuit gate method_ =
   Obs.span
     ~attrs:
       [
@@ -199,11 +227,12 @@ let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
             timed_out = true;
             cpu = 0.0;
             counters = [];
+            diags = [];
           }
         else
           let budget = Float.min per_po_budget (total_budget -. elapsed) in
-          decompose_output ~per_po_budget:budget ?min_support circuit i gate
-            method_)
+          decompose_output ~per_po_budget:budget ?min_support ~check_artifacts
+            circuit i gate method_)
   in
   let n_decomposed =
     Array.fold_left
@@ -218,4 +247,5 @@ let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?min_support circuit
     per_po;
     n_decomposed;
     total_cpu = Clock.elapsed_since t0;
+    diags = (if check_artifacts then lint_circuit circuit else []);
   }

@@ -31,6 +31,9 @@ type po_result = {
           [seeds_tried] for the SAT methods, [mg_sat_calls] /
           [refinements] / [qbf_queries] for the QBF methods. Keys are
           stable per method; see docs/OBSERVABILITY.md. *)
+  diags : Step_lint.Diag.t list;
+      (** Artifact-lint findings for this output (the partition checked
+          against the support). Empty unless [check_artifacts] was set. *)
 }
 
 type circuit_result = {
@@ -40,23 +43,35 @@ type circuit_result = {
   per_po : po_result array;
   n_decomposed : int; (** The paper's "#Dec". *)
   total_cpu : float; (** The paper's "CPU(s)". *)
+  diags : Step_lint.Diag.t list;
+      (** Circuit-level lint findings (the input AIG). Empty unless
+          [check_artifacts] was set. *)
 }
+
+val lint_circuit : Step_aig.Circuit.t -> Step_lint.Diag.t list
+(** Lints a circuit's AIG manager (rules AIG001–AIG004) through
+    {!Step_lint.Lint.check_aig}, rooting reachability at the primary
+    outputs. *)
 
 val decompose_output :
   ?per_po_budget:float ->
   ?min_support:int ->
+  ?check_artifacts:bool ->
   Step_aig.Circuit.t ->
   int ->
   Gate.t ->
   method_ ->
   po_result
 (** Decomposes a single primary output. Outputs whose support is below
-    [min_support] (default 2) are reported as not decomposable. *)
+    [min_support] (default 2) are reported as not decomposable. With
+    [~check_artifacts:true] (default false) the resulting partition is
+    linted and the findings land in [diags]. *)
 
 val run :
   ?per_po_budget:float ->
   ?total_budget:float ->
   ?min_support:int ->
+  ?check_artifacts:bool ->
   Step_aig.Circuit.t ->
   Gate.t ->
   method_ ->
@@ -64,11 +79,13 @@ val run :
 (** Decomposes every primary output. [per_po_budget] (default 10 s)
     bounds each output; [total_budget] (default 6000 s, the paper's
     circuit timeout) bounds the whole run — outputs not reached are
-    reported as timed out. *)
+    reported as timed out. With [~check_artifacts:true] the input AIG and
+    every produced partition are linted along the way. *)
 
 val decompose_output_auto :
   ?per_po_budget:float ->
   ?min_support:int ->
+  ?check_artifacts:bool ->
   Step_aig.Circuit.t ->
   int ->
   method_ ->

@@ -14,9 +14,17 @@ type t = {
 }
 
 val parse_string : string -> t
-(** @raise Failure on malformed input. *)
+(** @raise Failure on malformed input. Spaces, tabs and carriage returns
+    all separate tokens. *)
+
+val parse_string_diags : ?file:string -> string -> t * Step_lint.Diag.t list
+(** Like {!parse_string}, but also returns the recoverable defects the
+    parser papered over (auto-closed trailing clause CNF006, header
+    clause-count mismatch CNF002). *)
 
 val parse_file : string -> t
+
+val parse_file_diags : string -> t * Step_lint.Diag.t list
 
 val to_string : t -> string
 

@@ -1,47 +1,85 @@
+module Diag = Step_lint.Diag
+
 type cnf = { num_vars : int; clauses : Lit.t list list }
 
-let parse_string text =
+(* Space, tab and carriage return all separate tokens (files written on
+   Windows or with tab-aligned clauses are valid DIMACS). *)
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun s -> s <> "")
+
+let parse_string_diags ?file text =
+  let diags = ref [] in
   let clauses = ref [] in
+  let n_clauses = ref 0 in
   let cur = ref [] in
+  let cur_line = ref 0 in
   let max_var = ref 0 in
-  let header_vars = ref 0 in
-  let lines = String.split_on_char '\n' text in
-  let handle_token tok =
+  let header = ref None in
+  (* (header_vars, header_clauses, line) *)
+  let handle_token lineno tok =
     match int_of_string_opt tok with
     | None -> failwith (Printf.sprintf "Dimacs: bad token %S" tok)
     | Some 0 ->
         clauses := List.rev !cur :: !clauses;
+        incr n_clauses;
         cur := []
     | Some n ->
+        if !cur = [] then cur_line := lineno;
         let l = Lit.of_dimacs n in
         max_var := max !max_var (Lit.var l + 1);
         cur := l :: !cur
   in
-  let handle_line line =
+  let handle_line lineno line =
     let line = String.trim line in
     if line = "" then ()
     else if line.[0] = 'c' then ()
     else if line.[0] = 'p' then begin
-      match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
-      | [ "p"; "cnf"; nv; _nc ] ->
-          header_vars := (try int_of_string nv with Failure _ -> 0)
+      match tokens line with
+      | [ "p"; "cnf"; nv; nc ] ->
+          header :=
+            Some
+              ( (try int_of_string nv with Failure _ -> 0),
+                int_of_string_opt nc,
+                lineno )
       | _ -> failwith "Dimacs: malformed p line"
     end
-    else
-      String.split_on_char ' ' line
-      |> List.filter (fun s -> s <> "")
-      |> List.iter handle_token
+    else List.iter (handle_token lineno) (tokens line)
   in
-  List.iter handle_line lines;
-  if !cur <> [] then clauses := List.rev !cur :: !clauses;
-  { num_vars = max !header_vars !max_var; clauses = List.rev !clauses }
+  List.iteri (fun i l -> handle_line (i + 1) l) (String.split_on_char '\n' text);
+  if !cur <> [] then begin
+    diags :=
+      Diag.warning ?file ~line:!cur_line ~code:"CNF006"
+        "unterminated trailing clause (no final 0); auto-closed"
+      :: !diags;
+    clauses := List.rev !cur :: !clauses;
+    incr n_clauses
+  end;
+  (match !header with
+  | Some (_, Some nc, line) when nc <> !n_clauses ->
+      diags :=
+        Diag.warning ?file ~line ~code:"CNF002"
+          (Printf.sprintf "header declares %d clauses but %d were parsed" nc
+             !n_clauses)
+        :: !diags
+  | Some _ | None -> ());
+  let header_vars = match !header with Some (nv, _, _) -> nv | None -> 0 in
+  ( { num_vars = max header_vars !max_var; clauses = List.rev !clauses },
+    List.rev !diags )
 
-let parse_file path =
+let parse_string text = fst (parse_string_diags text)
+
+let parse_file_diags path =
   let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse_string text
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      parse_string_diags ~file:path
+        (really_input_string ic (in_channel_length ic)))
+
+let parse_file path = fst (parse_file_diags path)
 
 let to_string cnf =
   let buf = Buffer.create 1024 in

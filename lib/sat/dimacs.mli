@@ -7,10 +7,20 @@ type cnf = { num_vars : int; clauses : Lit.t list list }
 
 val parse_string : string -> cnf
 (** Parses DIMACS CNF text. Tolerates missing/undersized [p cnf] headers
-    (the variable count is the maximum variable seen).
+    (the variable count is the maximum variable seen). Spaces, tabs and
+    carriage returns all separate tokens.
     @raise Failure on malformed input. *)
 
+val parse_string_diags : ?file:string -> string -> cnf * Step_lint.Diag.t list
+(** Like {!parse_string}, but also returns the recoverable defects the
+    parser papered over: an unterminated trailing clause that was
+    auto-closed (CNF006) and a [p cnf] header whose clause count does not
+    match the clause list (CNF002). [file] seeds the diagnostic
+    locations. *)
+
 val parse_file : string -> cnf
+
+val parse_file_diags : string -> cnf * Step_lint.Diag.t list
 
 val to_string : cnf -> string
 

@@ -1,6 +1,7 @@
 module Veci = Step_util.Veci
 module Clock = Step_obs.Clock
 module Metrics = Step_obs.Metrics
+module Diag = Step_lint.Diag
 
 (* Per-call solver telemetry, aggregated process-wide. The handles are
    plain mutable cells, cheap enough to update on every solve. *)
@@ -40,6 +41,8 @@ type clause = {
 
 type result = Sat | Unsat | Unknown
 
+exception Sanitizer_violation of Diag.t list
+
 type t = {
   mutable clauses : clause array; (* id -> clause; dense prefix *)
   mutable n_cls : int; (* total records, problem + learned *)
@@ -61,6 +64,7 @@ type t = {
   mutable var_inc : float;
   mutable cla_inc : float;
   mutable ok : bool;
+  mutable sanitize : bool;
   mutable model : Bytes.t;
   mutable core : int list;
   (* statistics *)
@@ -106,6 +110,10 @@ let create ?(proof = false) () =
       var_inc = 1.0;
       cla_inc = 1.0;
       ok = true;
+      sanitize =
+        (match Sys.getenv_opt "STEP_SANITIZE" with
+        | Some ("1" | "true" | "yes" | "on") -> true
+        | Some _ | None -> false);
       model = Bytes.make 0 '\000';
       core = [];
       conflicts = 0;
@@ -704,6 +712,165 @@ let reduce_db s =
   Veci.clear s.learnts;
   Veci.iter (fun id -> Veci.push s.learnts id) keep
 
+(* ---------- runtime sanitizer ---------- *)
+
+(* Opt-in invariant audits (STEP_SANITIZE=1 or [set_sanitize]), reporting
+   through the shared Step_lint diagnostics type. The cheap trail audit
+   runs at every decision; the full watch/clause audit is throttled to
+   every 64th decision plus the solve boundaries. With [sanitize] off the
+   hot path pays a single predictable branch per decision. *)
+
+let set_sanitize s b = s.sanitize <- b
+
+let sanitize_enabled s = s.sanitize
+
+(* Trail/assignment consistency: every trail literal true under [assign],
+   recorded at the decision level its position implies, with a
+   well-formed reason clause; assigned-variable count matches the trail. *)
+let audit_trail s add =
+  let n = Veci.length s.trail in
+  let n_lim = Veci.length s.trail_lim in
+  if s.qhead > n then
+    add "SAN002" (Printf.sprintf "qhead %d beyond trail length %d" s.qhead n);
+  for k = 0 to n_lim - 1 do
+    let b = Veci.get s.trail_lim k in
+    if b > n || (k > 0 && b < Veci.get s.trail_lim (k - 1)) then
+      add "SAN002"
+        (Printf.sprintf "trail_lim.(%d)=%d is not a monotone trail offset" k b)
+  done;
+  let lvl = ref 0 in
+  for i = 0 to n - 1 do
+    while !lvl < n_lim && Veci.get s.trail_lim !lvl <= i do
+      incr lvl
+    done;
+    let l = Veci.get s.trail i in
+    let v = Lit.var l in
+    if v < 0 || v >= s.nvars then
+      add "SAN002" (Printf.sprintf "trail literal %d over unallocated var" l)
+    else begin
+      if not (lit_true s l) then
+        add "SAN002"
+          (Printf.sprintf "trail literal %d (position %d) not true in assign" l
+             i);
+      if s.level.(v) <> !lvl then
+        add "SAN002"
+          (Printf.sprintf
+             "var %d recorded at level %d but sits in level-%d trail segment" v
+             s.level.(v) !lvl);
+      let r = s.reason.(v) in
+      if r >= 0 then
+        if r >= s.n_cls then
+          add "SAN003" (Printf.sprintf "reason of var %d is bad clause id %d" v r)
+        else begin
+          let c = s.clauses.(r) in
+          if c.removed then
+            add "SAN003"
+              (Printf.sprintf "reason of var %d is removed clause %d" v r)
+          else if Array.length c.lits = 0 || c.lits.(0) <> l then
+            add "SAN003"
+              (Printf.sprintf
+                 "reason clause %d of var %d does not assert its literal first"
+                 r v)
+          else
+            for j = 1 to Array.length c.lits - 1 do
+              if not (lit_false s c.lits.(j)) then
+                add "SAN003"
+                  (Printf.sprintf
+                     "reason clause %d of var %d has non-false literal %d" r v
+                     c.lits.(j))
+            done
+        end
+    end
+  done;
+  let assigned = ref 0 in
+  for v = 0 to s.nvars - 1 do
+    if Bytes.get s.assign v <> '\000' then incr assigned
+  done;
+  if !assigned <> n then
+    add "SAN002"
+      (Printf.sprintf "%d vars assigned but trail holds %d literals" !assigned n)
+
+(* Watch-list and clause-store integrity: every watch entry references a
+   valid clause through one of its first two literals, every live clause
+   of width >= 2 is watched exactly once per watched literal, the learnt
+   index only lists learnt clauses, and clause literals are in range. *)
+let audit_clauses s add =
+  let expected = Hashtbl.create 256 in
+  for id = 0 to s.n_cls - 1 do
+    let c = s.clauses.(id) in
+    if not c.removed then begin
+      Array.iter
+        (fun l ->
+          if l < 0 || Lit.var l >= s.nvars then
+            add "SAN003"
+              (Printf.sprintf "clause %d holds out-of-range literal %d" id l))
+        c.lits;
+      if Array.length c.lits >= 2 then begin
+        Hashtbl.replace expected (id, c.lits.(0)) 0;
+        Hashtbl.replace expected (id, c.lits.(1)) 0
+      end
+    end
+  done;
+  for l = 0 to (2 * s.nvars) - 1 do
+    Veci.iter
+      (fun id ->
+        if id < 0 || id >= s.n_cls then
+          add "SAN001"
+            (Printf.sprintf
+               "watch list of literal %d references clause id %d out of range"
+               l id)
+        else if not s.clauses.(id).removed then
+          (* removed clauses are dropped lazily; live ones must be watched
+             through their first two slots *)
+          match Hashtbl.find_opt expected (id, l) with
+          | Some k -> Hashtbl.replace expected (id, l) (k + 1)
+          | None ->
+              add "SAN001"
+                (Printf.sprintf
+                   "clause %d watched under literal %d, not one of its first \
+                    two literals"
+                   id l))
+      s.watches.(l)
+  done;
+  Hashtbl.iter
+    (fun (id, l) k ->
+      if k = 0 then
+        add "SAN001"
+          (Printf.sprintf "clause %d missing from watch list of literal %d" id l)
+      else if k > 1 then
+        add "SAN001"
+          (Printf.sprintf "clause %d watched %d times under literal %d" id k l))
+    expected;
+  Veci.iter
+    (fun id ->
+      if id < 0 || id >= s.n_cls then
+        add "SAN003" (Printf.sprintf "learnt index holds bad clause id %d" id)
+      else if not s.clauses.(id).learnt then
+        add "SAN003"
+          (Printf.sprintf "learnt index references problem clause %d" id))
+    s.learnts
+
+let audit s =
+  let diags = ref [] in
+  let add code msg = diags := Diag.error ~item:"solver" ~code msg :: !diags in
+  audit_trail s add;
+  audit_clauses s add;
+  List.rev !diags
+
+let sanitize_fail diags = raise (Sanitizer_violation diags)
+
+(* Decision-boundary hook: trail audit every time, full audit every 64
+   decisions. *)
+let sanitize_checkpoint s =
+  let diags = ref [] in
+  let add code msg = diags := Diag.error ~item:"solver" ~code msg :: !diags in
+  audit_trail s add;
+  if s.decisions land 63 = 0 then audit_clauses s add;
+  if !diags <> [] then sanitize_fail (List.rev !diags)
+
+let sanitize_boundary s =
+  match audit s with [] -> () | diags -> sanitize_fail diags
+
 (* ---------- search ---------- *)
 
 let pick_branch s =
@@ -786,6 +953,7 @@ let search s assumptions nof_conflicts =
             s.core <- analyze_final s p;
             raise (Done Unsat)
         | _ ->
+            if s.sanitize then sanitize_checkpoint s;
             s.decisions <- s.decisions + 1;
             new_decision_level s;
             enqueue s p (-1);
@@ -798,6 +966,7 @@ let search s assumptions nof_conflicts =
           s.model <- Bytes.sub s.assign 0 s.nvars;
           raise (Done Sat)
         end;
+        if s.sanitize then sanitize_checkpoint s;
         s.decisions <- s.decisions + 1;
         new_decision_level s;
         let phase = Bytes.get s.polarity v = '\001' in
@@ -818,6 +987,7 @@ let solve_limited ?(assumptions = []) s =
   end
   else begin
     cancel_until s 0;
+    if s.sanitize then sanitize_boundary s;
     s.core <- [];
     s.max_learnts <-
       Float.max 4000. (float_of_int (max 1 s.n_problem) /. 3.);
@@ -845,6 +1015,7 @@ let solve_limited ?(assumptions = []) s =
       with Done r -> r
     in
     cancel_until s 0;
+    if s.sanitize then sanitize_boundary s;
     Metrics.inc m_calls;
     Metrics.inc
       (match result with

@@ -16,10 +16,30 @@ type result = Sat | Unsat | Unknown
 (** [Unknown] is only returned by {!solve_limited} when a conflict or time
     budget expires. *)
 
+exception Sanitizer_violation of Step_lint.Diag.t list
+(** Raised mid-search by the runtime sanitizer when a solver invariant is
+    broken (see {!set_sanitize}). *)
+
 val create : ?proof:bool -> unit -> t
 (** Fresh solver. With [~proof:true] every learned clause records its
     resolution chain so {!proof_of_unsat} can reconstruct a refutation;
-    conflict-clause minimization is disabled in that mode. *)
+    conflict-clause minimization is disabled in that mode. Sanitizing
+    defaults to on when the [STEP_SANITIZE] environment variable is set to
+    [1]/[true]/[yes]/[on]. *)
+
+val set_sanitize : t -> bool -> unit
+(** Toggles the runtime invariant sanitizer. When on, the solver audits
+    trail/assignment consistency at every decision boundary and
+    watch-list/clause-store integrity every 64 decisions and at
+    [solve] entry/exit, raising {!Sanitizer_violation} on a broken
+    invariant. When off, all checks are skipped. *)
+
+val sanitize_enabled : t -> bool
+
+val audit : t -> Step_lint.Diag.t list
+(** Runs all invariant audits immediately and returns the violations
+    found (codes SAN001 watch-list, SAN002 trail/assignment, SAN003
+    clause references) without raising. Empty on a healthy solver. *)
 
 val proof_logging : t -> bool
 

@@ -1,0 +1,92 @@
+A clean DIMACS file lints clean and exits 0:
+
+  $ printf 'c tiny\np cnf 3 4\n1 2 0\n-1 3 0\n-2 -3 0\n1 3 0\n' > ok.cnf
+  $ step lint ok.cnf
+  ok.cnf: clean
+
+Seeded defects are reported with stable codes; warnings alone keep exit 0:
+
+  $ printf 'p cnf 2 3\n1 2 0\n1 2 0\n1 -1\n' > warn.cnf
+  $ step lint warn.cnf
+  warn.cnf:3: warning CNF005: duplicate of the clause at line 2
+  warn.cnf:4: warning CNF006: unterminated trailing clause (no final 0); parsers auto-close it
+  warn.cnf:4: warning CNF004: tautological clause (contains a literal and its negation)
+  3 warnings
+
+Errors flip the exit status to 1:
+
+  $ printf 'p cnf 2 3\n1 0\n2 0\n' > cnt.cnf
+  $ step lint cnt.cnf
+  cnt.cnf:1: error CNF002: header declares 3 clauses but 2 were found
+  1 error
+  [1]
+
+A warning-only file exits 0 by default and 1 under --strict:
+
+  $ printf 'p cnf 2 1\n1 1 2 0\n' > dup.cnf
+  $ step lint dup.cnf
+  dup.cnf:2: warning CNF003: duplicate literal in clause [1]
+  1 warning
+  $ step lint --strict dup.cnf
+  dup.cnf:2: warning CNF003: duplicate literal in clause [1]
+  1 warning
+  [1]
+
+QDIMACS prefix rules:
+
+  $ printf 'p cnf 3 1\ne 1 0\ne 2 0\n1 2 3 0\n' > pre.qdimacs
+  $ step lint pre.qdimacs
+  pre.qdimacs:3: warning QDM004: adjacent 'e' quantifier blocks (mergeable)
+  pre.qdimacs:4: error QDM001: free variable 3 (not bound by any quantifier block) [3]
+  1 error, 1 warning
+  [1]
+
+BLIF connectivity rules:
+
+  $ printf '.model m\n.inputs a\n.outputs y\n.names a b y\n11 1\n.end\n' > und.blif
+  $ step lint und.blif
+  und.blif:4: error BLF001: signal b is used but never driven (no .names/.latch/.inputs) [b]
+  1 error
+  [1]
+
+ASCII AIGER structural rules:
+
+  $ printf 'aag 2 1 0 1 0\n2\n4\n' > bad.aag
+  $ step lint bad.aag
+  bad.aag:3: error AAG003: literal 4 references an undefined variable [4]
+  1 error
+  [1]
+
+Multiple files aggregate into one summary and one exit status:
+
+  $ step lint ok.cnf dup.cnf
+  ok.cnf: clean
+  dup.cnf:2: warning CNF003: duplicate literal in clause [1]
+  1 warning
+
+JSON output is machine-readable and carries the same counts:
+
+  $ step lint --json cnt.cnf
+  {"files":[{"file":"cnt.cnf","diagnostics":[{"code":"CNF002","severity":"error","message":"header declares 3 clauses but 2 were found","file":"cnt.cnf","line":1}]}],"errors":1,"warnings":0}
+  [1]
+
+Unreadable paths are an IO001 error, not a crash:
+
+  $ step lint missing.cnf
+  missing.cnf: error IO001: cannot read file: missing.cnf: No such file or directory
+  1 error
+  [1]
+
+Pipeline artifacts produced by the toolchain itself lint clean:
+
+  $ step generate -k adder -n 2 -o a2.blif
+  $ step convert a2.blif a2.aag
+  $ step lint a2.blif a2.aag
+  a2.blif: clean
+  a2.aag: clean
+  clean
+
+The decompose pipeline accepts --check-artifacts and --sanitize together:
+
+  $ step decompose a2.blif --check-artifacts --sanitize 2>/dev/null | tail -1 | sed 's/CPU=.*/CPU=ok/'
+  == add2 STEP-QD OR: #Dec=0/3 CPU=ok

@@ -205,6 +205,58 @@ let test_dimacs_multiline_clause () =
   let cnf = Dimacs.parse_string "1 2\n-3 0 3 0" in
   Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses)
 
+let test_dimacs_tabs_crlf () =
+  (* tabs and carriage returns count as whitespace *)
+  let cnf, diags = Dimacs.parse_string_diags "p cnf 2 2\r\n1\t2 0\r\n-1\t-2 0\r\n" in
+  Alcotest.(check int) "vars" 2 cnf.Dimacs.num_vars;
+  Alcotest.(check int) "clauses" 2 (List.length cnf.Dimacs.clauses);
+  Alcotest.(check int) "no diagnostics" 0 (List.length diags)
+
+let test_dimacs_parse_diags () =
+  let has code ds = List.exists (fun d -> d.Step_lint.Diag.code = code) ds in
+  (* unterminated trailing clause: auto-closed, flagged CNF006 *)
+  let cnf, diags = Dimacs.parse_string_diags "p cnf 2 1\n1 2\n" in
+  Alcotest.(check int) "auto-closed clause" 1 (List.length cnf.Dimacs.clauses);
+  Alcotest.(check bool) "CNF006" true (has "CNF006" diags);
+  (* header clause-count mismatch: flagged CNF002 *)
+  let _, diags = Dimacs.parse_string_diags "p cnf 2 3\n1 0\n2 0\n" in
+  Alcotest.(check bool) "CNF002" true (has "CNF002" diags);
+  (* clean input carries no diagnostics *)
+  let _, diags = Dimacs.parse_string_diags "p cnf 1 1\n1 0\n" in
+  Alcotest.(check int) "clean" 0 (List.length diags)
+
+let test_sanitizer_solve () =
+  (* a sanitized solve must reach the same verdicts and keep all audited
+     invariants intact (audit raises via sanitize_checkpoint on violation) *)
+  let n_p = 4 and n_h = 3 in
+  let v i h = (i * n_h) + h in
+  let s = Solver.create () in
+  Solver.set_sanitize s true;
+  Alcotest.(check bool) "enabled" true (Solver.sanitize_enabled s);
+  for i = 0 to n_p - 1 do
+    ignore (Solver.add_clause s (List.init n_h (fun h -> pos (v i h))))
+  done;
+  for h = 0 to n_h - 1 do
+    for i = 0 to n_p - 1 do
+      for j = i + 1 to n_p - 1 do
+        ignore (Solver.add_clause s [ neg (v i h); neg (v j h) ])
+      done
+    done
+  done;
+  Alcotest.(check bool) "unsat under sanitizer" false (Solver.solve s);
+  let s2 = solver_of [ [ pos 0; pos 1 ]; [ neg 0; pos 2 ]; [ neg 1; neg 2 ] ] in
+  Solver.set_sanitize s2 true;
+  Alcotest.(check bool) "sat under sanitizer" true (Solver.solve s2);
+  Alcotest.(check int) "audit clean" 0 (List.length (Solver.audit s2))
+
+let test_sanitizer_audit_fresh () =
+  let s = Solver.create () in
+  ignore (Solver.new_var s);
+  ignore (Solver.new_var s);
+  ignore (Solver.add_clause s [ pos 0; pos 1 ]);
+  Alcotest.(check int) "fresh solver audits clean" 0
+    (List.length (Solver.audit s))
+
 let test_large_random_sat () =
   (* a satisfiable planted instance with 300 vars *)
   let n = 300 in
@@ -421,6 +473,15 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_dimacs_roundtrip;
           Alcotest.test_case "multiline clause" `Quick
             test_dimacs_multiline_clause;
+          Alcotest.test_case "tabs and CRLF" `Quick test_dimacs_tabs_crlf;
+          Alcotest.test_case "parse diagnostics" `Quick
+            test_dimacs_parse_diags;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "sanitized solve" `Quick test_sanitizer_solve;
+          Alcotest.test_case "fresh audit clean" `Quick
+            test_sanitizer_audit_fresh;
         ] );
       ("drat", [ Alcotest.test_case "pigeonhole" `Quick test_drat_pigeonhole ]);
       ( "enum",
