@@ -1,15 +1,17 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all check test smoke bench lint clean
+.PHONY: all check test smoke psmoke bench lint clean
 
 all:
 	dune build @all
 
 # The gate every change must pass: full build + unit/property/cram tests,
-# plus the artifact linter and the sanitized test run.
+# plus the artifact linter, the sanitized test run, and the parallel
+# determinism smoke.
 check:
 	dune build && dune runtest
 	$(MAKE) lint
+	$(MAKE) psmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -31,9 +33,20 @@ smoke:
 	dune exec --no-build bench/main.exe -- --quick --budget 0.2 --table 1
 	rm -f smoke_trace.jsonl
 
+# Parallel determinism smoke: a -j 4 run must match -j 1 byte for byte
+# once CPU timings are stripped.
+psmoke:
+	dune build bin/step.exe
+	dune exec --no-build bin/step.exe -- decompose examples/artifacts/add3.blif \
+	  -m qd -g auto -j 1 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > psmoke_j1.txt
+	dune exec --no-build bin/step.exe -- decompose examples/artifacts/add3.blif \
+	  -m qd -g auto -j 4 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > psmoke_j4.txt
+	diff psmoke_j1.txt psmoke_j4.txt
+	rm -f psmoke_j1.txt psmoke_j4.txt
+
 bench:
 	dune exec bench/main.exe
 
 clean:
 	dune clean
-	rm -rf bench_out smoke_trace.jsonl
+	rm -rf bench_out smoke_trace.jsonl psmoke_j1.txt psmoke_j4.txt

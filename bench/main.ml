@@ -15,13 +15,13 @@
      dune exec bench/main.exe -- --bechamel   # Bechamel micro-suite
 *)
 
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 module Gate = Step_core.Gate
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--budget SECONDS] [--scale S] [--table \
-     1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] [--bechamel]";
+    "usage: main.exe [--quick] [--budget SECONDS] [--scale S] [--jobs N] \
+     [--table 1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] [--bechamel]";
   exit 2
 
 type selection =
@@ -42,6 +42,9 @@ let () =
         parse rest
     | "--scale" :: v :: rest ->
         config := { !config with Runs.scale = float_of_string v };
+        parse rest
+    | ("--jobs" | "-j") :: v :: rest ->
+        config := { !config with Runs.jobs = int_of_string v };
         parse rest
     | "--table" :: v :: rest ->
         selection := One (String.lowercase_ascii v);

@@ -5,18 +5,19 @@
 module Circuit = Step_aig.Circuit
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 
 type config = {
   per_po_budget : float;
   scale : float;
   quick : bool; (* restrict circuit list for smoke runs *)
+  jobs : int; (* worker domains per circuit run *)
 }
 
 (* 0.5 s per output keeps a full regeneration of all tables, the figure
    and the ablations in the ten-minute range; pass --budget to push the
    solved-percentages of Table IV toward saturation. *)
-let default_config = { per_po_budget = 0.5; scale = 1.0; quick = false }
+let default_config = { per_po_budget = 0.5; scale = 1.0; quick = false; jobs = 1 }
 
 let all_methods =
   [ Pipeline.Ljh; Pipeline.Mg; Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
@@ -66,8 +67,18 @@ let run config circuit gate method_ =
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
+      let engine_config =
+        {
+          Step_engine.Config.default with
+          Step_engine.Config.gate;
+          method_;
+          per_po_budget = config.per_po_budget;
+          jobs = config.jobs;
+        }
+      in
       let r =
-        Pipeline.run ~per_po_budget:config.per_po_budget circuit gate method_
+        Step_engine.Engine.run
+          (Step_engine.Engine.create ~config:engine_config circuit)
       in
       Hashtbl.replace cache key r;
       r
@@ -97,8 +108,9 @@ let dump_json config ~dir ~artifact =
               ("per_po_budget_s", J.Float config.per_po_budget);
               ("scale", J.Float config.scale);
               ("quick", J.Bool config.quick);
+              ("jobs", J.Int config.jobs);
             ] );
-        ("runs", J.List (List.map Step_core.Report.to_json results));
+        ("runs", J.List (List.map Step_engine.Report.to_json results));
       ]
   in
   (try Unix.mkdir dir 0o755

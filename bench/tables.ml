@@ -5,7 +5,7 @@
 module Circuit = Step_aig.Circuit
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 module Problem = Step_core.Problem
 module Copies = Step_core.Copies
 module Mg = Step_core.Mg

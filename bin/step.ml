@@ -14,7 +14,10 @@ module Aag = Step_aig.Aag
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
 module Problem = Step_core.Problem
-module Pipeline = Step_core.Pipeline
+module Method = Step_core.Method
+module Pipeline = Step_engine.Pipeline
+module Engine = Step_engine.Engine
+module Config = Step_engine.Config
 module Extract = Step_core.Extract
 module Verify = Step_core.Verify
 module Suite = Step_circuits.Suite
@@ -114,6 +117,13 @@ let budget_arg =
   let doc = "Per-output time budget in seconds." in
   Arg.(value & opt float 10.0 & info [ "budget"; "b" ] ~docv:"SECONDS" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Decompose primary outputs on $(docv) worker domains in parallel. \
+     Results are identical to a sequential run, in the same order."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let po_arg =
   let doc = "Decompose only the output with this index." in
   Arg.(value & opt (some int) None & info [ "po" ] ~docv:"INDEX" ~doc)
@@ -190,8 +200,8 @@ let check_artifacts_flag =
   Arg.(value & flag & info [ "check-artifacts" ] ~doc)
 
 let decompose_cmd =
-  let run path gate method_ budget po extract verify_ recursive trace stats
-      sanitize check_artifacts =
+  let run path gate method_ budget jobs po extract verify_ recursive trace
+      stats sanitize check_artifacts =
     let all_diags = ref [] in
     let note_diags diags =
       if diags <> [] then begin
@@ -201,9 +211,26 @@ let decompose_cmd =
     in
     let body () =
       apply_sanitize sanitize;
-      let method_ = Pipeline.method_of_string method_ in
+      let method_ = Method.of_string method_ in
+      let mk_config gate =
+        let config =
+          {
+            Config.default with
+            Config.gate;
+            method_;
+            per_po_budget = budget;
+            check_artifacts;
+            jobs;
+          }
+        in
+        match Config.validate config with
+        | Ok config -> config
+        | Error msg -> failwith msg
+      in
+      (* validate budgets/jobs up front so every path reports bad flags *)
+      let base_config = mk_config Config.default.Config.gate in
       let c = load_circuit path in
-      if check_artifacts then note_diags (Pipeline.lint_circuit c);
+      if check_artifacts then note_diags (Engine.lint_circuit c);
       if recursive then begin
         let module R = Step_core.Recursive in
         let config =
@@ -223,22 +250,21 @@ let decompose_cmd =
         done;
         raise Exit
       end;
-      if String.lowercase_ascii gate = "auto" then begin
+      if String.lowercase_ascii (String.trim gate) = "auto" then begin
         (* per-output gate selection *)
-        for i = 0 to Circuit.n_outputs c - 1 do
-          let g, r =
-            Pipeline.decompose_output_auto ~per_po_budget:budget
-              ~check_artifacts c i method_
-          in
-          (match g with
-          | Some g -> Printf.printf "[%s] " (Gate.to_string g)
-          | None -> Printf.printf "[-]   ");
-          print_po_result r;
-          note_diags r.Pipeline.diags
-        done;
+        let eng = Engine.create ~config:base_config c in
+        Array.iter
+          (fun (g, r) ->
+            (match g with
+            | Some g -> Printf.printf "[%s] " (Gate.to_string g)
+            | None -> Printf.printf "[-]   ");
+            print_po_result r;
+            note_diags r.Pipeline.diags)
+          (Engine.run_auto eng);
         raise Exit
       end;
       let gate = Gate.of_string gate in
+      let eng = Engine.create ~config:(mk_config gate) c in
       let engine =
         Option.map
           (fun e ->
@@ -269,14 +295,9 @@ let decompose_cmd =
         | _, _ -> ()
       in
       (match po with
-      | Some i ->
-          handle_po
-            (Pipeline.decompose_output ~per_po_budget:budget ~check_artifacts
-               c i gate method_)
+      | Some i -> handle_po (Engine.decompose_po eng i)
       | None ->
-          let r =
-            Pipeline.run ~per_po_budget:budget ~check_artifacts c gate method_
-          in
+          let r = Engine.run eng in
           (* circuit-level diags were already printed by the upfront lint *)
           Array.iter handle_po r.Pipeline.per_po;
           Printf.printf "== %s %s %s: #Dec=%d/%d CPU=%.2fs\n"
@@ -309,9 +330,9 @@ let decompose_cmd =
     (Cmd.info "decompose" ~doc)
     Term.(
       ret
-        (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg $ po_arg
-       $ extract_arg $ verify_flag $ recursive_flag $ trace_arg $ stats_flag
-       $ sanitize_flag $ check_artifacts_flag))
+        (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
+       $ jobs_arg $ po_arg $ extract_arg $ verify_flag $ recursive_flag
+       $ trace_arg $ stats_flag $ sanitize_flag $ check_artifacts_flag))
 
 (* ---------- trace ---------- *)
 
@@ -336,17 +357,31 @@ let report_cmd =
     let doc = "Output format: text, csv, markdown." in
     Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
   in
-  let run path gate method_ budget format =
+  let run path gate method_ budget jobs format =
     match
       let gate = Gate.of_string gate in
-      let method_ = Pipeline.method_of_string method_ in
+      let method_ = Method.of_string method_ in
       let c = load_circuit path in
-      let r = Pipeline.run ~per_po_budget:budget c gate method_ in
+      let config =
+        match
+          Config.validate
+            {
+              Config.default with
+              Config.gate;
+              method_;
+              per_po_budget = budget;
+              jobs;
+            }
+        with
+        | Ok config -> config
+        | Error msg -> failwith msg
+      in
+      let r = Engine.run (Engine.create ~config c) in
       let text =
         match String.lowercase_ascii format with
-        | "text" -> Step_core.Report.to_text r
-        | "csv" -> Step_core.Report.to_csv r
-        | "markdown" | "md" -> Step_core.Report.to_markdown r
+        | "text" -> Step_engine.Report.to_text r
+        | "csv" -> Step_engine.Report.to_csv r
+        | "markdown" | "md" -> Step_engine.Report.to_markdown r
         | other -> failwith (Printf.sprintf "unknown format %S" other)
       in
       print_string text
@@ -358,7 +393,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
-         $ format_arg))
+         $ jobs_arg $ format_arg))
 
 let compare_cmd =
   let baseline_arg =
@@ -369,18 +404,29 @@ let compare_cmd =
     let doc = "Metric: disjointness, balancedness, cost." in
     Arg.(value & opt string "disjointness" & info [ "metric" ] ~docv:"M" ~doc)
   in
-  let run path gate method_ budget baseline metric =
+  let run path gate method_ budget jobs baseline metric =
     match
       let gate = Gate.of_string gate in
       let c = load_circuit path in
-      let challenger =
-        Pipeline.run ~per_po_budget:budget c gate
-          (Pipeline.method_of_string method_)
+      let run_method m =
+        let config =
+          match
+            Config.validate
+              {
+                Config.default with
+                Config.gate;
+                method_ = Method.of_string m;
+                per_po_budget = budget;
+                jobs;
+              }
+          with
+          | Ok config -> config
+          | Error msg -> failwith msg
+        in
+        Engine.run (Engine.create ~config c)
       in
-      let baseline =
-        Pipeline.run ~per_po_budget:budget c gate
-          (Pipeline.method_of_string baseline)
-      in
+      let challenger = run_method method_ in
+      let baseline = run_method baseline in
       let metric =
         match String.lowercase_ascii metric with
         | "disjointness" | "ed" -> Partition.disjointness
@@ -388,7 +434,7 @@ let compare_cmd =
         | "cost" | "sum" -> fun p -> Partition.cost p
         | other -> failwith (Printf.sprintf "unknown metric %S" other)
       in
-      print_string (Step_core.Report.compare_table ~baseline ~challenger ~metric)
+      print_string (Step_engine.Report.compare_table ~baseline ~challenger ~metric)
     with
     | () -> `Ok ()
     | exception Failure msg -> `Error (false, msg)
@@ -397,7 +443,7 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
-         $ baseline_arg $ metric_arg))
+         $ jobs_arg $ baseline_arg $ metric_arg))
 
 let convert_cmd =
   let out_arg =

@@ -9,7 +9,7 @@
 module Aig = Step_aig.Aig
 module Gate = Step_core.Gate
 module Problem = Step_core.Problem
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 module Recursive = Step_core.Recursive
 module Verify = Step_core.Verify
 

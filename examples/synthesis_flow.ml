@@ -12,7 +12,7 @@ module Blif = Step_aig.Blif
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
 module Problem = Step_core.Problem
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 module Extract = Step_core.Extract
 module Verify = Step_core.Verify
 

@@ -7,12 +7,17 @@ let to_string = function
   | And_gate -> "AND"
   | Xor_gate -> "XOR"
 
+let of_string_opt s =
+  match String.lowercase_ascii (String.trim s) with
+  | "or" | "or_gate" | "or-gate" -> Some Or_gate
+  | "and" | "and_gate" | "and-gate" -> Some And_gate
+  | "xor" | "xor_gate" | "xor-gate" -> Some Xor_gate
+  | _ -> None
+
 let of_string s =
-  match String.lowercase_ascii s with
-  | "or" -> Or_gate
-  | "and" -> And_gate
-  | "xor" -> Xor_gate
-  | other -> failwith (Printf.sprintf "Gate.of_string: %S" other)
+  match of_string_opt s with
+  | Some g -> g
+  | None -> failwith (Printf.sprintf "Gate.of_string: %S" s)
 
 let pp fmt g = Format.pp_print_string fmt (to_string g)
 

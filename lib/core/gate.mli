@@ -5,9 +5,16 @@ type t = Or_gate | And_gate | Xor_gate
 val all : t list
 
 val to_string : t -> string
+(** Display name: ["OR"], ["AND"], ["XOR"] — exactly what the CLI and the
+    reports print. *)
+
+val of_string_opt : string -> t option
+(** Total parser: accepts every {!to_string} output case-insensitively
+    (plus the ["or_gate"]/["or-gate"] spellings), ignoring surrounding
+    whitespace — the same naming scheme everywhere. *)
 
 val of_string : string -> t
-(** Accepts ["or"], ["and"], ["xor"] (any case). @raise Failure otherwise. *)
+(** @raise Failure on unknown names; see {!of_string_opt}. *)
 
 val pp : Format.formatter -> t -> unit
 

@@ -39,16 +39,16 @@ let apply m g a b =
   | Nand -> Aig.not_ (Aig.and_ m a b)
   | Xnor -> Aig.iff_ m a b
 
-let find_partition ?(method_ = Pipeline.Qd) ?time_budget p gate =
+let find_partition ?(method_ = Method.Qd) ?time_budget p gate =
   match method_ with
-  | Pipeline.Ljh -> (Ljh.find ?time_budget p gate).Ljh.partition
-  | Pipeline.Mg -> (Mg.find ?time_budget p gate).Mg.partition
-  | Pipeline.Qd | Pipeline.Qb | Pipeline.Qdb ->
+  | Method.Ljh -> (Ljh.find ?time_budget p gate).Ljh.partition
+  | Method.Mg -> (Mg.find ?time_budget p gate).Mg.partition
+  | Method.Qd | Method.Qb | Method.Qdb ->
       let target =
         match method_ with
-        | Pipeline.Qd -> Qbf_model.Disjointness
-        | Pipeline.Qb -> Qbf_model.Balancedness
-        | Pipeline.Qdb | Pipeline.Ljh | Pipeline.Mg -> Qbf_model.Combined
+        | Method.Qd -> Qbf_model.Disjointness
+        | Method.Qb -> Qbf_model.Balancedness
+        | Method.Qdb | Method.Ljh | Method.Mg -> Qbf_model.Combined
       in
       (Qbf_model.optimize ?time_budget p gate target).Qbf_model.partition
 

@@ -24,7 +24,7 @@ val base : t -> Gate.t * bool
     [f' = fA <base> fB] where [f' = ¬f] when the flag is set. *)
 
 val decompose :
-  ?method_:Pipeline.method_ ->
+  ?method_:Method.t ->
   ?time_budget:float ->
   Problem.t ->
   t ->

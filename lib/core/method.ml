@@ -1,0 +1,26 @@
+type t = Ljh | Mg | Qd | Qb | Qdb
+
+let all = [ Ljh; Mg; Qd; Qb; Qdb ]
+
+let to_string = function
+  | Ljh -> "LJH"
+  | Mg -> "STEP-MG"
+  | Qd -> "STEP-QD"
+  | Qb -> "STEP-QB"
+  | Qdb -> "STEP-QDB"
+
+let of_string_opt s =
+  match String.lowercase_ascii (String.trim s) with
+  | "ljh" | "bi-dec" | "bidec" -> Some Ljh
+  | "mg" | "step-mg" -> Some Mg
+  | "qd" | "step-qd" -> Some Qd
+  | "qb" | "step-qb" -> Some Qb
+  | "qdb" | "step-qdb" -> Some Qdb
+  | _ -> None
+
+let of_string s =
+  match of_string_opt s with
+  | Some m -> m
+  | None -> failwith (Printf.sprintf "Method.of_string: %S" s)
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

@@ -1,0 +1,31 @@
+(** The partitioning methods of the paper's comparison, as a first-class
+    enumeration shared by every layer (core heuristics, engine, CLI,
+    bench).
+
+    Naming is one scheme everywhere: {!to_string} prints the display
+    names used in reports and the paper's tables ([LJH], [STEP-MG],
+    [STEP-QD], [STEP-QB], [STEP-QDB]), and {!of_string} accepts exactly
+    those (case-insensitively) plus the CLI short forms ([ljh]/[bi-dec],
+    [mg], [qd], [qb], [qdb]) — so the round trip
+    [of_string (to_string m) = m] holds for every [m]. *)
+
+type t =
+  | Ljh (** SAT-based enumeration baseline (the Bi-dec tool). *)
+  | Mg (** Group-oriented MUS (STEP-MG). *)
+  | Qd (** QBF, optimum disjointness (STEP-QD). *)
+  | Qb (** QBF, optimum balancedness (STEP-QB). *)
+  | Qdb (** QBF, optimum combined cost (STEP-QDB). *)
+
+val all : t list
+
+val to_string : t -> string
+(** Display name ([LJH], [STEP-MG], ...). *)
+
+val of_string_opt : string -> t option
+(** Total parser: accepts every {!to_string} output and the CLI short
+    forms, case-insensitively, ignoring surrounding whitespace. *)
+
+val of_string : string -> t
+(** @raise Failure on unknown names; see {!of_string_opt}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -13,7 +13,7 @@ type stats = {
 }
 
 type config = {
-  method_ : Pipeline.method_;
+  method_ : Method.t;
   gates : Gate.t list;
   stop_support : int;
   per_step_budget : float;
@@ -22,7 +22,7 @@ type config = {
 
 let default_config =
   {
-    method_ = Pipeline.Qd;
+    method_ = Method.Qd;
     gates = Gate.all;
     stop_support = 4;
     per_step_budget = 5.0;
@@ -31,16 +31,16 @@ let default_config =
 
 let find_partition config p gate =
   match config.method_ with
-  | Pipeline.Ljh ->
+  | Method.Ljh ->
       (Ljh.find ~time_budget:config.per_step_budget p gate).Ljh.partition
-  | Pipeline.Mg ->
+  | Method.Mg ->
       (Mg.find ~time_budget:config.per_step_budget p gate).Mg.partition
-  | Pipeline.Qd | Pipeline.Qb | Pipeline.Qdb ->
+  | Method.Qd | Method.Qb | Method.Qdb ->
       let target =
         match config.method_ with
-        | Pipeline.Qd -> Qbf_model.Disjointness
-        | Pipeline.Qb -> Qbf_model.Balancedness
-        | Pipeline.Qdb | Pipeline.Ljh | Pipeline.Mg -> Qbf_model.Combined
+        | Method.Qd -> Qbf_model.Disjointness
+        | Method.Qb -> Qbf_model.Balancedness
+        | Method.Qdb | Method.Ljh | Method.Mg -> Qbf_model.Combined
       in
       (Qbf_model.optimize ~time_budget:config.per_step_budget p gate target)
         .Qbf_model.partition

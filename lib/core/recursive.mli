@@ -25,7 +25,7 @@ type stats = {
 }
 
 type config = {
-  method_ : Pipeline.method_; (** Partitioning engine (default [Qd]). *)
+  method_ : Method.t; (** Partitioning engine (default [Qd]). *)
   gates : Gate.t list; (** Gate types tried, in order (default all). *)
   stop_support : int; (** Leave functions at or below this support
                           (default 4). *)

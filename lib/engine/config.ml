@@ -1,0 +1,56 @@
+module Gate = Step_core.Gate
+module Method = Step_core.Method
+
+type t = {
+  gate : Gate.t;
+  method_ : Method.t;
+  per_po_budget : float;
+  total_budget : float;
+  min_support : int;
+  check_artifacts : bool;
+  jobs : int;
+  trace : Step_obs.Obs.sink option;
+  stats : (string -> unit) option;
+}
+
+let default =
+  {
+    gate = Gate.Or_gate;
+    method_ = Method.Qd;
+    per_po_budget = 10.0;
+    total_budget = 6000.0;
+    min_support = 2;
+    check_artifacts = false;
+    jobs = 1;
+    trace = None;
+    stats = None;
+  }
+
+let validate c =
+  if c.jobs < 1 then
+    Error (Printf.sprintf "jobs must be >= 1 (got %d)" c.jobs)
+  else if Float.is_nan c.per_po_budget || c.per_po_budget < 0.0 then
+    Error "per_po_budget must be non-negative"
+  else if Float.is_nan c.total_budget || c.total_budget < 0.0 then
+    Error "total_budget must be non-negative"
+  else if c.min_support < 0 then
+    Error (Printf.sprintf "min_support must be >= 0 (got %d)" c.min_support)
+  else Ok c
+
+let with_gate gate c = { c with gate }
+
+let with_method method_ c = { c with method_ }
+
+let with_per_po_budget per_po_budget c = { c with per_po_budget }
+
+let with_total_budget total_budget c = { c with total_budget }
+
+let with_min_support min_support c = { c with min_support }
+
+let with_check_artifacts check_artifacts c = { c with check_artifacts }
+
+let with_jobs jobs c = { c with jobs }
+
+let with_trace trace c = { c with trace }
+
+let with_stats stats c = { c with stats }

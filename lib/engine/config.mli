@@ -1,0 +1,68 @@
+(** Engine run configuration — the record that replaces [Pipeline]'s
+    optional-argument sprawl.
+
+    Build one with record update syntax or the [with_*] builders
+    (pipeline-friendly argument order):
+
+    {[
+      let config =
+        Config.default
+        |> Config.with_method Step_core.Method.Qd
+        |> Config.with_jobs 4
+    ]}
+
+    [Engine.create] validates the configuration and rejects invalid ones
+    ([jobs < 1], negative budgets); call {!validate} yourself for a
+    non-raising check (the CLI does, to render a clean error). *)
+
+type t = {
+  gate : Step_core.Gate.t;  (** Gate of the decomposition (default OR). *)
+  method_ : Step_core.Method.t;  (** Partitioning method (default QD). *)
+  per_po_budget : float;  (** Seconds per primary output (default 10). *)
+  total_budget : float;
+      (** Seconds for the whole run (default 6000, the paper's circuit
+          timeout). Outputs not reached before it expires are reported
+          as timed out; running jobs are cancelled cooperatively. *)
+  min_support : int;
+      (** Outputs with fewer support variables are reported as not
+          decomposable without solving (default 2; values below 2 are
+          clamped to 2 at decomposition time). *)
+  check_artifacts : bool;
+      (** Lint the input AIG and every produced partition (default off). *)
+  jobs : int;
+      (** Worker domains decomposing primary outputs in parallel
+          (default 1 = sequential, in the calling domain). Results are
+          deterministic and identically ordered regardless of [jobs]. *)
+  trace : Step_obs.Obs.sink option;
+      (** When set, installed for the duration of the run (and restored
+          afterwards); span records from all worker domains are delivered
+          to it, serialized. *)
+  stats : (string -> unit) option;
+      (** When set, receives the rendered process-wide telemetry
+          ({!Step_obs.Metrics.render}) after the run. *)
+}
+
+val default : t
+
+val validate : t -> (t, string) result
+(** [Ok] with the config itself, or [Error msg] naming the offending
+    field. Rejects [jobs < 1], NaN/negative budgets, and negative
+    [min_support]. *)
+
+val with_gate : Step_core.Gate.t -> t -> t
+
+val with_method : Step_core.Method.t -> t -> t
+
+val with_per_po_budget : float -> t -> t
+
+val with_total_budget : float -> t -> t
+
+val with_min_support : int -> t -> t
+
+val with_check_artifacts : bool -> t -> t
+
+val with_jobs : int -> t -> t
+
+val with_trace : Step_obs.Obs.sink option -> t -> t
+
+val with_stats : (string -> unit) option -> t -> t

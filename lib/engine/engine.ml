@@ -1,0 +1,344 @@
+module Circuit = Step_aig.Circuit
+module Obs = Step_obs.Obs
+module Clock = Step_obs.Clock
+module Json = Step_obs.Json
+module Metrics = Step_obs.Metrics
+module Method = Step_core.Method
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Problem = Step_core.Problem
+module Copies = Step_core.Copies
+module Ljh = Step_core.Ljh
+module Mg = Step_core.Mg
+module Qbf_model = Step_core.Qbf_model
+
+let method_to_string = Method.to_string
+
+let method_of_string = Method.of_string
+
+let method_of_string_opt = Method.of_string_opt
+
+type po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Partition.t option;
+  proven_optimal : bool;
+  timed_out : bool;
+  cpu : float;
+  counters : (string * int) list;
+  diags : Step_lint.Diag.t list;
+}
+
+type circuit_result = {
+  circuit_name : string;
+  method_used : Method.t;
+  gate_used : Gate.t;
+  per_po : po_result array;
+  n_decomposed : int;
+  total_cpu : float;
+  diags : Step_lint.Diag.t list;
+}
+
+let lint_circuit (c : Circuit.t) =
+  let aig = c.Circuit.aig in
+  let module Aig = Step_aig.Aig in
+  let view =
+    {
+      Step_lint.Lint.n_nodes = Aig.n_nodes aig;
+      node =
+        (fun id ->
+          match Aig.node_kind aig id with
+          | `Const -> Step_lint.Lint.Const
+          | `Input i -> Step_lint.Lint.Input i
+          | `And (f0, f1) -> Step_lint.Lint.And (f0, f1));
+      roots = Array.to_list (Array.map snd c.Circuit.outputs);
+    }
+  in
+  Step_lint.Lint.check_aig ~name:c.Circuit.name view
+
+let qbf_target = function
+  | Method.Qd -> Qbf_model.Disjointness
+  | Method.Qb -> Qbf_model.Balancedness
+  | Method.Qdb -> Qbf_model.Combined
+  | Method.Ljh | Method.Mg -> invalid_arg "qbf_target"
+
+(* The single-output kernel. Works in place on [circuit]'s manager: the
+   QBF methods add copy inputs and scratch nodes to it (the session API
+   hands every job a private compacted copy instead). *)
+let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
+    method_ =
+  let name = Circuit.output_name circuit i in
+  Obs.span
+    ~attrs:
+      [
+        ("po", Json.String name);
+        ("method", Json.String (Method.to_string method_));
+        ("gate", Json.String (Gate.to_string gate));
+      ]
+    "pipeline.po"
+  @@ fun () ->
+  let t0 = Clock.now () in
+  let p = Problem.of_output circuit i in
+  let n = Problem.n_vars p in
+  let finish ?(counters = []) partition proven_optimal timed_out =
+    let status =
+      match partition with
+      | Some _ when proven_optimal -> "optimal"
+      | Some _ -> "decomposed"
+      | None -> if timed_out then "timeout" else "indecomposable"
+    in
+    Obs.add_attr "n" (Json.Int n);
+    Obs.add_attr "status" (Json.String status);
+    (match partition with
+    | Some part ->
+        let part = Partition.canonical part in
+        Obs.add_attr "xc" (Json.Int (List.length part.Partition.xc))
+    | None -> ());
+    let partition = Option.map Partition.canonical partition in
+    let diags =
+      if not check_artifacts then []
+      else
+        match partition with
+        | Some part -> Partition.lint ~name ~support:p.Problem.support part
+        | None -> []
+    in
+    {
+      po_name = name;
+      support_size = n;
+      partition;
+      proven_optimal;
+      timed_out;
+      cpu = Clock.elapsed_since t0;
+      counters;
+      diags;
+    }
+  in
+  if n < max 2 min_support then finish None true false
+  else begin
+    match method_ with
+    | Method.Ljh ->
+        let r = Ljh.find ~time_budget:per_po_budget p gate in
+        finish
+          ~counters:[ ("sat_calls", r.Ljh.sat_calls) ]
+          r.Ljh.partition false
+          (r.Ljh.partition = None && r.Ljh.cpu >= per_po_budget)
+    | Method.Mg ->
+        let r = Mg.find ~time_budget:per_po_budget p gate in
+        finish
+          ~counters:
+            [
+              ("seeds_tried", r.Mg.seeds_tried); ("sat_calls", r.Mg.sat_calls);
+            ]
+          r.Mg.partition false
+          (r.Mg.partition = None && r.Mg.cpu >= per_po_budget)
+    | Method.Qd | Method.Qb | Method.Qdb ->
+        (* bootstrap with STEP-MG on a shared scaffold, as the paper does *)
+        let copies = Copies.create p gate in
+        let mg_budget = per_po_budget /. 4.0 in
+        let mg = Mg.find ~copies ~time_budget:mg_budget p gate in
+        let mg_counters =
+          [
+            ("mg_seeds_tried", mg.Mg.seeds_tried);
+            ("mg_sat_calls", mg.Mg.sat_calls);
+          ]
+        in
+        let qbf_counters (o : Qbf_model.outcome) =
+          mg_counters
+          @ [
+              ("refinements", o.Qbf_model.refinements);
+              ("qbf_queries", o.Qbf_model.qbf_queries);
+            ]
+        in
+        let remaining = per_po_budget -. Clock.elapsed_since t0 in
+        if remaining <= 0.0 then
+          finish ~counters:mg_counters mg.Mg.partition false
+            (mg.Mg.partition = None)
+        else begin
+          match mg.Mg.partition with
+          | None ->
+              (* MG found nothing: let the QBF model decide feasibility *)
+              let o =
+                Qbf_model.optimize ~copies ~time_budget:remaining p gate
+                  (qbf_target method_)
+              in
+              finish ~counters:(qbf_counters o) o.Qbf_model.partition
+                o.Qbf_model.optimal
+                ((not o.Qbf_model.optimal) && o.Qbf_model.partition = None)
+          | Some bootstrap ->
+              let o =
+                Qbf_model.optimize ~copies ~bootstrap ~time_budget:remaining p
+                  gate (qbf_target method_)
+              in
+              finish ~counters:(qbf_counters o) o.Qbf_model.partition
+                o.Qbf_model.optimal false
+        end
+  end
+
+let score (r : po_result) =
+  match r.partition with
+  | None -> (infinity, infinity)
+  | Some p -> (Partition.disjointness p, Partition.balancedness p)
+
+(* Auto-gate kernel: tries the three gates on one output. Each gate's
+   slice is an even share of the budget *still unspent*, so a gate that
+   finishes early (tiny support, fast UNSAT) hands its slack to the
+   remaining gates instead of wasting it. *)
+let decompose_auto_on ~per_po_budget ~min_support ~check_artifacts circuit i
+    method_ =
+  let _, rev_candidates =
+    List.fold_left
+      (fun (remaining, acc) gate ->
+        let gates_left = List.length Gate.all - List.length acc in
+        let slice = remaining /. float_of_int gates_left in
+        let r =
+          decompose_on ~per_po_budget:slice ~min_support ~check_artifacts
+            circuit i gate method_
+        in
+        (Float.max 0.0 (remaining -. r.cpu), (gate, r) :: acc))
+      (per_po_budget, []) Gate.all
+  in
+  let candidates = List.rev rev_candidates in
+  let best =
+    List.fold_left
+      (fun acc (gate, r) ->
+        match acc with
+        | None -> Some (gate, r)
+        | Some (_, br) -> if score r < score br then Some (gate, r) else acc)
+      None candidates
+  in
+  match best with
+  | Some (gate, r) when r.partition <> None -> (Some gate, r)
+  | Some (_, r) -> (None, r)
+  | None -> assert false
+
+type t = { circuit : Circuit.t; config : Config.t }
+
+let create ?(config = Config.default) circuit =
+  match Config.validate config with
+  | Ok config -> { circuit; config }
+  | Error msg -> invalid_arg ("Step_engine.Engine.create: " ^ msg)
+
+let circuit t = t.circuit
+
+let config t = t.config
+
+let timeout_stub name =
+  {
+    po_name = name;
+    support_size = 0;
+    partition = None;
+    proven_optimal = false;
+    timed_out = true;
+    cpu = 0.0;
+    counters = [];
+    diags = [];
+  }
+
+(* Each job gets a private compacted copy of the session circuit: solver
+   work pollutes the copy's manager, never the session's, so every job —
+   on any domain, in any order — sees the same input. That is what makes
+   results independent of [jobs]. *)
+let job_circuit eng = Circuit.compact eng.circuit
+
+let run_job eng ~deadline i =
+  let cfg = eng.config in
+  let remaining = deadline -. Clock.now () in
+  if remaining <= 0.0 then timeout_stub (Circuit.output_name eng.circuit i)
+  else
+    decompose_on
+      ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
+      ~min_support:cfg.Config.min_support
+      ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
+      cfg.Config.gate cfg.Config.method_
+
+let run_auto_job eng ~deadline i =
+  let cfg = eng.config in
+  let remaining = deadline -. Clock.now () in
+  if remaining <= 0.0 then
+    (None, timeout_stub (Circuit.output_name eng.circuit i))
+  else
+    decompose_auto_on
+      ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
+      ~min_support:cfg.Config.min_support
+      ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
+      cfg.Config.method_
+
+let decompose_po eng i = run_job eng ~deadline:infinity i
+
+let decompose_po_auto eng i = run_auto_job eng ~deadline:infinity i
+
+(* Install the config's sinks around [body], then fan the per-output jobs
+   over the pool. The span wraps the whole run; with [jobs = 1] the jobs
+   execute inline in the calling domain, so their "pipeline.po" spans nest
+   under "pipeline.run" exactly as the sequential pipeline's did. Worker
+   domains have their own span stacks, so under [jobs > 1] the per-output
+   spans are delivered as roots (still serialized through the sink). *)
+let with_run_obs eng span_name body =
+  let cfg = eng.config in
+  let traced () =
+    let go () =
+      Obs.span
+        ~attrs:
+          [
+            ("circuit", Json.String eng.circuit.Circuit.name);
+            ("method", Json.String (Method.to_string cfg.Config.method_));
+            ("gate", Json.String (Gate.to_string cfg.Config.gate));
+            ("n_outputs", Json.Int (Circuit.n_outputs eng.circuit));
+            ("jobs", Json.Int cfg.Config.jobs);
+          ]
+        span_name body
+    in
+    match cfg.Config.trace with
+    | None -> go ()
+    | Some sink -> Obs.with_sink sink go
+  in
+  let result = traced () in
+  (match cfg.Config.stats with
+  | None -> ()
+  | Some deliver -> deliver (Metrics.render ()));
+  result
+
+let run eng =
+  let cfg = eng.config in
+  with_run_obs eng "pipeline.run" @@ fun () ->
+  let t0 = Clock.now () in
+  let deadline = t0 +. cfg.Config.total_budget in
+  let per_po =
+    Pool.map ~jobs:cfg.Config.jobs
+      (Circuit.n_outputs eng.circuit)
+      (run_job eng ~deadline)
+  in
+  let n_decomposed =
+    Array.fold_left
+      (fun acc r -> if r.partition <> None then acc + 1 else acc)
+      0 per_po
+  in
+  Obs.add_attr "n_decomposed" (Json.Int n_decomposed);
+  {
+    circuit_name = eng.circuit.Circuit.name;
+    method_used = cfg.Config.method_;
+    gate_used = cfg.Config.gate;
+    per_po;
+    n_decomposed;
+    total_cpu = Clock.elapsed_since t0;
+    diags =
+      (if cfg.Config.check_artifacts then lint_circuit eng.circuit else []);
+  }
+
+let run_auto eng =
+  let cfg = eng.config in
+  with_run_obs eng "pipeline.auto" @@ fun () ->
+  let t0 = Clock.now () in
+  let deadline = t0 +. cfg.Config.total_budget in
+  let results =
+    Pool.map ~jobs:cfg.Config.jobs
+      (Circuit.n_outputs eng.circuit)
+      (run_auto_job eng ~deadline)
+  in
+  let n_decomposed =
+    Array.fold_left
+      (fun acc (_, r) -> if r.partition <> None then acc + 1 else acc)
+      0 results
+  in
+  Obs.add_attr "n_decomposed" (Json.Int n_decomposed);
+  results

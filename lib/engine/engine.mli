@@ -1,0 +1,135 @@
+(** Session-based decomposition engine.
+
+    An {!t} is a decomposition session: a circuit plus a validated
+    {!Config.t}. {!run} decomposes every primary output, fanning the
+    per-output jobs over [config.jobs] OCaml domains through a work
+    queue; each job solves on a private compacted copy of the circuit
+    (solver scaffolding never touches the session circuit), so the
+    result array is deterministic and identically ordered for any
+    [jobs] value. The sequential [Pipeline] module is a thin shim over
+    this API.
+
+    {[
+      let eng =
+        Engine.create
+          ~config:(Config.default |> Config.with_jobs 4)
+          circuit
+      in
+      let result = Engine.run eng in
+      Printf.printf "#Dec = %d\n" result.n_decomposed
+    ]} *)
+
+(** {1 Methods}
+
+    The canonical method type lives in {!Step_core.Method}; these
+    re-exports keep CLI round-trips total: for every method [m],
+    [method_of_string (method_to_string m) = m]. *)
+
+val method_to_string : Step_core.Method.t -> string
+
+val method_of_string : string -> Step_core.Method.t
+(** @raise Failure on unknown names; see {!Step_core.Method.of_string}. *)
+
+val method_of_string_opt : string -> Step_core.Method.t option
+
+(** {1 Results} *)
+
+type po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Step_core.Partition.t option;
+      (** [None]: not decomposable / timeout. *)
+  proven_optimal : bool;  (** Only ever [true] for QBF methods. *)
+  timed_out : bool;
+  cpu : float;
+  counters : (string * int) list;
+      (** Engine statistics for this output — e.g. [sat_calls] /
+          [seeds_tried] for the SAT methods, [mg_sat_calls] /
+          [refinements] / [qbf_queries] for the QBF methods. Keys are
+          stable per method; see docs/OBSERVABILITY.md. *)
+  diags : Step_lint.Diag.t list;
+      (** Artifact-lint findings for this output (the partition checked
+          against the support). Empty unless [check_artifacts] was set. *)
+}
+
+type circuit_result = {
+  circuit_name : string;
+  method_used : Step_core.Method.t;
+  gate_used : Step_core.Gate.t;
+  per_po : po_result array;
+  n_decomposed : int;  (** The paper's "#Dec". *)
+  total_cpu : float;  (** The paper's "CPU(s)". *)
+  diags : Step_lint.Diag.t list;
+      (** Circuit-level lint findings (the input AIG). Empty unless
+          [check_artifacts] was set. *)
+}
+
+(** {1 Sessions} *)
+
+type t
+(** A decomposition session: circuit + validated configuration. Cheap to
+    create; owns no solver state (each job builds its own). *)
+
+val create : ?config:Config.t -> Step_aig.Circuit.t -> t
+(** [create ?config circuit] validates [config] (default
+    {!Config.default}) and opens a session on [circuit]. The session
+    never mutates [circuit].
+
+    @raise Invalid_argument when {!Config.validate} rejects the config. *)
+
+val circuit : t -> Step_aig.Circuit.t
+
+val config : t -> Config.t
+
+val run : t -> circuit_result
+(** Decomposes every primary output under the session config. Jobs are
+    fanned over [config.jobs] domains ({!Pool.map}); output [i] of the
+    result is always output [i] of the circuit. When [total_budget]
+    expires, jobs not yet started are cancelled cooperatively and
+    reported as timed out ([cpu = 0.], [support_size = 0]). Installs
+    [config.trace] for the duration of the run and delivers rendered
+    telemetry to [config.stats] afterwards, when set. *)
+
+val run_auto : t -> (Step_core.Gate.t option * po_result) array
+(** Like {!run} but tries all three gates per output (sharing the
+    per-output budget, carrying any unspent slack forward) and keeps the
+    best partition — lowest disjointness, ties broken by balancedness.
+    The gate is [None] for outputs where nothing decomposed. *)
+
+val decompose_po : t -> int -> po_result
+(** One output, same per-job isolation as {!run}, no total-budget
+    deadline. *)
+
+val decompose_po_auto : t -> int -> Step_core.Gate.t option * po_result
+(** One output, all three gates; see {!run_auto}. *)
+
+(** {1 Low-level kernels}
+
+    In-place entry points used by the [Pipeline] compatibility shims;
+    they solve directly on the given circuit, whose manager accumulates
+    solver scaffolding (copy inputs, scratch nodes). Prefer the session
+    API, which isolates jobs on compacted copies. *)
+
+val decompose_on :
+  per_po_budget:float ->
+  min_support:int ->
+  check_artifacts:bool ->
+  Step_aig.Circuit.t ->
+  int ->
+  Step_core.Gate.t ->
+  Step_core.Method.t ->
+  po_result
+
+val decompose_auto_on :
+  per_po_budget:float ->
+  min_support:int ->
+  check_artifacts:bool ->
+  Step_aig.Circuit.t ->
+  int ->
+  Step_core.Method.t ->
+  Step_core.Gate.t option * po_result
+
+val lint_circuit : Step_aig.Circuit.t -> Step_lint.Diag.t list
+(** Lints a circuit's AIG manager (rules AIG001–AIG004) through
+    {!Step_lint.Lint.check_aig}, rooting reachability at the primary
+    outputs. *)

@@ -1,0 +1,58 @@
+(* Compatibility shims over the session engine — see engine.mli. Kept so
+   the original experimental-harness API (and its optional-argument
+   signatures) continues to work unchanged. *)
+
+type method_ = Step_core.Method.t = Ljh | Mg | Qd | Qb | Qdb
+
+let method_name = Step_core.Method.to_string
+
+let method_of_string = Step_core.Method.of_string
+
+type po_result = Engine.po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Step_core.Partition.t option;
+  proven_optimal : bool;
+  timed_out : bool;
+  cpu : float;
+  counters : (string * int) list;
+  diags : Step_lint.Diag.t list;
+}
+
+type circuit_result = Engine.circuit_result = {
+  circuit_name : string;
+  method_used : method_;
+  gate_used : Step_core.Gate.t;
+  per_po : po_result array;
+  n_decomposed : int;
+  total_cpu : float;
+  diags : Step_lint.Diag.t list;
+}
+
+let lint_circuit = Engine.lint_circuit
+
+let decompose_output ?(per_po_budget = 10.0) ?(min_support = 2)
+    ?(check_artifacts = false) circuit i gate method_ =
+  Engine.decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i
+    gate method_
+
+let decompose_output_auto ?(per_po_budget = 10.0) ?(min_support = 2)
+    ?(check_artifacts = false) circuit i method_ =
+  Engine.decompose_auto_on ~per_po_budget ~min_support ~check_artifacts
+    circuit i method_
+
+let run ?(per_po_budget = 10.0) ?(total_budget = 6000.0) ?(min_support = 2)
+    ?(check_artifacts = false) circuit gate method_ =
+  let config =
+    {
+      Config.default with
+      gate;
+      method_;
+      per_po_budget;
+      total_budget;
+      min_support;
+      check_artifacts;
+      jobs = 1;
+    }
+  in
+  Engine.run (Engine.create ~config circuit)

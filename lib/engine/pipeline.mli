@@ -1,0 +1,105 @@
+(** Whole-circuit bi-decomposition runs — the original sequential API,
+    now a thin compatibility shim over {!Engine}.
+
+    Mirrors the paper's experimental protocol: every primary-output
+    function of a circuit is decomposed independently with the selected
+    method, under a per-output time budget and a circuit-wide timeout, and
+    per-output metrics/timings are collected. The QBF methods are
+    bootstrapped with the STEP-MG partition, so (as in the paper) they can
+    never report a worse partition than STEP-MG.
+
+    New code should use {!Engine.create} / {!Engine.run} directly — the
+    session API adds a validated configuration record and a multi-domain
+    parallel runner ([jobs > 1]). [Pipeline.run circuit gate m] is exactly
+    [Engine.run] at [jobs = 1]. *)
+
+type method_ = Step_core.Method.t =
+  | Ljh  (** SAT-based enumeration baseline (the Bi-dec tool). *)
+  | Mg  (** Group-oriented MUS (STEP-MG). *)
+  | Qd  (** QBF, optimum disjointness (STEP-QD). *)
+  | Qb  (** QBF, optimum balancedness (STEP-QB). *)
+  | Qdb  (** QBF, optimum combined cost (STEP-QDB). *)
+
+val method_name : method_ -> string
+
+val method_of_string : string -> method_
+(** Accepts ["ljh"], ["mg"], ["qd"], ["qb"], ["qdb"] and the printed
+    ["STEP-*"] names, case-insensitively. @raise Failure. *)
+
+type po_result = Engine.po_result = {
+  po_name : string;
+  support_size : int;
+  partition : Step_core.Partition.t option;
+      (** [None]: not decomposable / timeout. *)
+  proven_optimal : bool;  (** Only ever [true] for QBF methods. *)
+  timed_out : bool;
+  cpu : float;
+  counters : (string * int) list;
+      (** Engine statistics for this output — e.g. [sat_calls] /
+          [seeds_tried] for the SAT methods, [mg_sat_calls] /
+          [refinements] / [qbf_queries] for the QBF methods. Keys are
+          stable per method; see docs/OBSERVABILITY.md. *)
+  diags : Step_lint.Diag.t list;
+      (** Artifact-lint findings for this output (the partition checked
+          against the support). Empty unless [check_artifacts] was set. *)
+}
+
+type circuit_result = Engine.circuit_result = {
+  circuit_name : string;
+  method_used : method_;
+  gate_used : Step_core.Gate.t;
+  per_po : po_result array;
+  n_decomposed : int;  (** The paper's "#Dec". *)
+  total_cpu : float;  (** The paper's "CPU(s)". *)
+  diags : Step_lint.Diag.t list;
+      (** Circuit-level lint findings (the input AIG). Empty unless
+          [check_artifacts] was set. *)
+}
+
+val lint_circuit : Step_aig.Circuit.t -> Step_lint.Diag.t list
+(** Alias of {!Engine.lint_circuit}. *)
+
+val decompose_output :
+  ?per_po_budget:float ->
+  ?min_support:int ->
+  ?check_artifacts:bool ->
+  Step_aig.Circuit.t ->
+  int ->
+  Step_core.Gate.t ->
+  method_ ->
+  po_result
+(** Decomposes a single primary output, in place on the given circuit's
+    manager ({!Engine.decompose_on}). Outputs whose support is below
+    [min_support] (default 2) are reported as not decomposable. With
+    [~check_artifacts:true] (default false) the resulting partition is
+    linted and the findings land in [diags]. *)
+
+val run :
+  ?per_po_budget:float ->
+  ?total_budget:float ->
+  ?min_support:int ->
+  ?check_artifacts:bool ->
+  Step_aig.Circuit.t ->
+  Step_core.Gate.t ->
+  method_ ->
+  circuit_result
+(** Decomposes every primary output — {!Engine.run} at [jobs = 1].
+    [per_po_budget] (default 10 s) bounds each output; [total_budget]
+    (default 6000 s, the paper's circuit timeout) bounds the whole run —
+    outputs not reached are reported as timed out. With
+    [~check_artifacts:true] the input AIG and every produced partition
+    are linted along the way. *)
+
+val decompose_output_auto :
+  ?per_po_budget:float ->
+  ?min_support:int ->
+  ?check_artifacts:bool ->
+  Step_aig.Circuit.t ->
+  int ->
+  method_ ->
+  Step_core.Gate.t option * po_result
+(** Tries all three gates on one output and keeps the decomposition with
+    the lowest disjointness, breaking ties by balancedness; the returned
+    gate is [None] when nothing decomposed. The budget is shared across
+    the gates: each gate gets an even split of what is still unspent, so
+    slack left by a fast gate flows to the later ones. *)

@@ -1,0 +1,76 @@
+type queue = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  items : int Queue.t;
+  mutable closed : bool;
+}
+
+let make () =
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    closed = false;
+  }
+
+let push q i =
+  Mutex.protect q.mu (fun () ->
+      Queue.push i q.items;
+      Condition.signal q.nonempty)
+
+let close q =
+  Mutex.protect q.mu (fun () ->
+      q.closed <- true;
+      Condition.broadcast q.nonempty)
+
+let pop q =
+  Mutex.protect q.mu (fun () ->
+      let rec wait () =
+        match Queue.take_opt q.items with
+        | Some i -> Some i
+        | None ->
+            if q.closed then None
+            else begin
+              Condition.wait q.nonempty q.mu;
+              wait ()
+            end
+      in
+      wait ())
+
+type 'a slot = Empty | Value of 'a | Raised of exn * Printexc.raw_backtrace
+
+let map ~jobs n f =
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n f
+  else begin
+    let q = make () in
+    let slots = Array.make n Empty in
+    let worker () =
+      let rec loop () =
+        match pop q with
+        | None -> ()
+        | Some i ->
+            (slots.(i) <-
+              (match f i with
+              | v -> Value v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+            loop ()
+      in
+      loop ()
+    in
+    for i = 0 to n - 1 do
+      push q i
+    done;
+    close q;
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Value v -> v
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Empty -> assert false)
+      slots
+  end

@@ -1,0 +1,19 @@
+(** Fixed-size domain pool over a closeable work queue.
+
+    The engine's scheduling primitive: a mutex/condition-protected index
+    queue drained by worker domains. Kept separate from {!Engine} so the
+    fan-out logic is testable on its own. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map ~jobs n f] evaluates [f i] for every [i] in [0..n-1] and returns
+    the results in index order (slot [i] always holds [f i], regardless of
+    which domain computed it or when).
+
+    With [jobs <= 1] (or [n <= 1]) everything runs inline in the calling
+    domain — no domains are spawned, so per-domain state (e.g. the tracing
+    span stack) is the caller's. Otherwise [min jobs n - 1] extra domains
+    are spawned and the calling domain works alongside them.
+
+    [f] must be safe to call from multiple domains concurrently. If any
+    call raises, the first exception in index order is re-raised (with its
+    backtrace) after all work finishes; later slots are still computed. *)

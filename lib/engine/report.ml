@@ -32,8 +32,8 @@ let aggregate_of (r : Pipeline.circuit_result) =
       Array.fold_left
         (fun acc po -> if po.Pipeline.timed_out then acc + 1 else acc)
         0 r.Pipeline.per_po;
-    mean_disjointness = mean Partition.disjointness;
-    mean_balancedness = mean Partition.balancedness;
+    mean_disjointness = mean Step_core.Partition.disjointness;
+    mean_balancedness = mean Step_core.Partition.balancedness;
     total_cpu = r.Pipeline.total_cpu;
   }
 
@@ -62,11 +62,11 @@ let po_fields (po : Pipeline.po_result) =
   match po.Pipeline.partition with
   | None -> (0, 0, 0, nan, nan)
   | Some p ->
-      ( List.length p.Partition.xa,
-        List.length p.Partition.xb,
-        List.length p.Partition.xc,
-        Partition.disjointness p,
-        Partition.balancedness p )
+      ( List.length p.Step_core.Partition.xa,
+        List.length p.Step_core.Partition.xb,
+        List.length p.Step_core.Partition.xc,
+        Step_core.Partition.disjointness p,
+        Step_core.Partition.balancedness p )
 
 let summary_line (r : Pipeline.circuit_result) =
   let a = aggregate_of r in
@@ -75,7 +75,7 @@ let summary_line (r : Pipeline.circuit_result) =
      CPU=%.2fs"
     r.Pipeline.circuit_name
     (Pipeline.method_name r.Pipeline.method_used)
-    (Gate.to_string r.Pipeline.gate_used)
+    (Step_core.Gate.to_string r.Pipeline.gate_used)
     a.n_decomposed a.n_outputs a.n_optimal a.n_timed_out a.mean_disjointness
     a.mean_balancedness a.total_cpu
 
@@ -123,7 +123,7 @@ let to_markdown r =
   Buffer.add_string buf
     (Printf.sprintf "### %s — %s, %s\n\n" r.Pipeline.circuit_name
        (Pipeline.method_name r.Pipeline.method_used)
-       (Gate.to_string r.Pipeline.gate_used));
+       (Step_core.Gate.to_string r.Pipeline.gate_used));
   Buffer.add_string buf
     "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) | counters |\n";
   Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|\n";
@@ -171,7 +171,7 @@ let to_json (r : Pipeline.circuit_result) =
     [
       ("circuit", J.String r.Pipeline.circuit_name);
       ("method", J.String (Pipeline.method_name r.Pipeline.method_used));
-      ("gate", J.String (Gate.to_string r.Pipeline.gate_used));
+      ("gate", J.String (Step_core.Gate.to_string r.Pipeline.gate_used));
       ("n_outputs", J.Int (Array.length r.Pipeline.per_po));
       ("n_decomposed", J.Int r.Pipeline.n_decomposed);
       ("total_cpu_s", J.Float r.Pipeline.total_cpu);

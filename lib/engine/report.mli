@@ -37,7 +37,7 @@ val to_json : Pipeline.circuit_result -> Step_obs.Json.t
 val compare_table :
   baseline:Pipeline.circuit_result ->
   challenger:Pipeline.circuit_result ->
-  metric:(Partition.t -> float) ->
+  metric:(Step_core.Partition.t -> float) ->
   string
 (** Per-PO metric comparison of two runs over the same circuit (the
     Table I cell computation), rendered as text. *)

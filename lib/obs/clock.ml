@@ -1,16 +1,23 @@
+(* The monotonic floor is shared by every domain: a CAS loop publishes the
+   largest time observed so far, so [now] is monotone process-wide even
+   when worker domains race on it. *)
+
 let source = ref Unix.gettimeofday
 
-let floor_ = ref neg_infinity
+let floor_ = Atomic.make neg_infinity
 
-let now () =
-  let t = !source () in
-  if t > !floor_ then floor_ := t;
-  !floor_
+let rec raise_floor t =
+  let cur = Atomic.get floor_ in
+  if t <= cur then cur
+  else if Atomic.compare_and_set floor_ cur t then t
+  else raise_floor t
+
+let now () = raise_floor (!source ())
 
 let elapsed_since t0 = Float.max 0.0 (now () -. t0)
 
 let set_source f =
   source := f;
-  floor_ := neg_infinity
+  Atomic.set floor_ neg_infinity
 
 let use_wall_clock () = set_source Unix.gettimeofday

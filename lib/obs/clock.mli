@@ -5,7 +5,13 @@
     already returned, so deadlines computed as [now () +. budget] are
     immune to system clock steps (NTP adjustments, VM suspends) that made
     raw [Unix.gettimeofday] deltas occasionally negative or skewed. The
-    source is swappable for tests. *)
+    source is swappable for tests.
+
+    Domain-safe: the monotonic floor is an atomic shared by all domains,
+    so [now] is monotone process-wide, not merely per domain. [set_source]
+    / [use_wall_clock] must only be called while no other domain is
+    reading the clock (in practice: from the main domain, outside
+    [Step_engine.Engine.run]). *)
 
 val now : unit -> float
 (** Current time in seconds. Monotone non-decreasing within the process. *)

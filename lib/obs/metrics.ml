@@ -1,7 +1,12 @@
 (* Log-scale bucket layout: [buckets_per_decade] buckets per power of ten
    between 10^lo_exp and 10^hi_exp, plus an underflow bucket (index 0) and
    an overflow bucket (last index). Bucket [1 + i] covers
-   [10^(lo_exp + i/bpd), 10^(lo_exp + (i+1)/bpd)). *)
+   [10^(lo_exp + i/bpd), 10^(lo_exp + (i+1)/bpd)).
+
+   Domain-safety: counters and gauges are atomics, histograms carry their
+   own mutex, and the find-or-create registries are guarded by a global
+   mutex. Hot-path updates ([inc]/[add]/[observe]) never touch the
+   registry lock. *)
 
 let lo_exp = -7.0
 
@@ -13,12 +18,13 @@ let n_core = int_of_float ((hi_exp -. lo_exp) *. float_of_int buckets_per_decade
 
 let n_buckets = n_core + 2
 
-type counter = { c_name : string; mutable c_val : int }
+type counter = { c_name : string; c_val : int Atomic.t }
 
-type gauge = { g_name : string; mutable g_val : float }
+type gauge = { g_name : string; g_val : float Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mu : Mutex.t;
   buckets : int array;
   mutable h_count : int;
   mutable h_sum : float;
@@ -26,54 +32,52 @@ type histogram = {
   mutable h_max : float;
 }
 
+let registry_mu = Mutex.create ()
+
 let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 32
 
 let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
 
 let histograms_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+let find_or_create tbl name make =
+  Mutex.protect registry_mu (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some v -> v
+      | None ->
+          let v = make () in
+          Hashtbl.replace tbl name v;
+          v)
+
 let counter name =
-  match Hashtbl.find_opt counters_tbl name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; c_val = 0 } in
-      Hashtbl.replace counters_tbl name c;
-      c
+  find_or_create counters_tbl name (fun () ->
+      { c_name = name; c_val = Atomic.make 0 })
 
-let inc c = c.c_val <- c.c_val + 1
+let inc c = Atomic.incr c.c_val
 
-let add c n = c.c_val <- c.c_val + n
+let add c n = ignore (Atomic.fetch_and_add c.c_val n)
 
-let value c = c.c_val
+let value c = Atomic.get c.c_val
 
 let gauge name =
-  match Hashtbl.find_opt gauges_tbl name with
-  | Some g -> g
-  | None ->
-      let g = { g_name = name; g_val = 0.0 } in
-      Hashtbl.replace gauges_tbl name g;
-      g
+  find_or_create gauges_tbl name (fun () ->
+      { g_name = name; g_val = Atomic.make 0.0 })
 
-let set g v = g.g_val <- v
+let set g v = Atomic.set g.g_val v
 
-let gauge_value g = g.g_val
+let gauge_value g = Atomic.get g.g_val
 
 let histogram name =
-  match Hashtbl.find_opt histograms_tbl name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          buckets = Array.make n_buckets 0;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = infinity;
-          h_max = neg_infinity;
-        }
-      in
-      Hashtbl.replace histograms_tbl name h;
-      h
+  find_or_create histograms_tbl name (fun () ->
+      {
+        h_name = name;
+        h_mu = Mutex.create ();
+        buckets = Array.make n_buckets 0;
+        h_count = 0;
+        h_sum = 0.0;
+        h_min = infinity;
+        h_max = neg_infinity;
+      })
 
 let bucket_index v =
   if v <= 0.0 then 0
@@ -92,12 +96,13 @@ let bucket_mid idx =
     +. ((float_of_int (idx - 1) +. 0.5) /. float_of_int buckets_per_decade))
 
 let observe h v =
-  let i = bucket_index v in
-  h.buckets.(i) <- h.buckets.(i) + 1;
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v
+  Mutex.protect h.h_mu (fun () ->
+      let i = bucket_index v in
+      h.buckets.(i) <- h.buckets.(i) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v)
 
 type histogram_stats = {
   count : int;
@@ -109,7 +114,8 @@ type histogram_stats = {
   p99 : float;
 }
 
-let quantile h q =
+(* callers hold [h.h_mu] *)
+let quantile_locked h q =
   if h.h_count = 0 then nan
   else begin
     let rank = Float.max 1.0 (Float.round (q *. float_of_int h.h_count)) in
@@ -133,41 +139,58 @@ let quantile h q =
     Float.min h.h_max (Float.max h.h_min rep)
   end
 
+let quantile h q = Mutex.protect h.h_mu (fun () -> quantile_locked h q)
+
 let stats h =
-  if h.h_count = 0 then
-    { count = 0; sum = 0.0; min = nan; max = nan; p50 = nan; p90 = nan; p99 = nan }
-  else
-    {
-      count = h.h_count;
-      sum = h.h_sum;
-      min = h.h_min;
-      max = h.h_max;
-      p50 = quantile h 0.50;
-      p90 = quantile h 0.90;
-      p99 = quantile h 0.99;
-    }
+  Mutex.protect h.h_mu (fun () ->
+      if h.h_count = 0 then
+        {
+          count = 0;
+          sum = 0.0;
+          min = nan;
+          max = nan;
+          p50 = nan;
+          p90 = nan;
+          p99 = nan;
+        }
+      else
+        {
+          count = h.h_count;
+          sum = h.h_sum;
+          min = h.h_min;
+          max = h.h_max;
+          p50 = quantile_locked h 0.50;
+          p90 = quantile_locked h 0.90;
+          p99 = quantile_locked h 0.99;
+        })
+
+let snapshot tbl =
+  Mutex.protect registry_mu (fun () ->
+      Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl [])
 
 let sorted_of_tbl tbl f =
-  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+  snapshot tbl
+  |> List.map (fun (name, v) -> (name, f v))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let counters () = sorted_of_tbl counters_tbl (fun c -> c.c_val)
+let counters () = sorted_of_tbl counters_tbl value
 
-let gauges () = sorted_of_tbl gauges_tbl (fun g -> g.g_val)
+let gauges () = sorted_of_tbl gauges_tbl gauge_value
 
 let histograms () = sorted_of_tbl histograms_tbl stats
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.c_val <- 0) counters_tbl;
-  Hashtbl.iter (fun _ g -> g.g_val <- 0.0) gauges_tbl;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.buckets 0 n_buckets 0;
-      h.h_count <- 0;
-      h.h_sum <- 0.0;
-      h.h_min <- infinity;
-      h.h_max <- neg_infinity)
-    histograms_tbl
+  List.iter (fun (_, c) -> Atomic.set c.c_val 0) (snapshot counters_tbl);
+  List.iter (fun (_, g) -> Atomic.set g.g_val 0.0) (snapshot gauges_tbl);
+  List.iter
+    (fun (_, h) ->
+      Mutex.protect h.h_mu (fun () ->
+          Array.fill h.buckets 0 n_buckets 0;
+          h.h_count <- 0;
+          h.h_sum <- 0.0;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity))
+    (snapshot histograms_tbl)
 
 let render () =
   let buf = Buffer.create 512 in

@@ -3,11 +3,14 @@
 
     Handles are created once (module-level, by name; creating the same
     name twice returns the same underlying cell) and updated from hot
-    paths with plain integer/float mutations — no hashing or allocation
-    per update, so instrumentation can stay on even in tight solver
-    loops. Rendering and JSON export walk the registry.
+    paths without hashing per update, so instrumentation can stay on even
+    in tight solver loops. Rendering and JSON export walk the registry.
 
-    The registry is global and single-threaded, like the solver stack. *)
+    The registry is global and {e domain-safe}: counters and gauges are
+    atomics, histograms are mutex-protected, and find-or-create is
+    serialized — so the parallel engine's worker domains update the same
+    process-wide metrics the sequential pipeline does, and their
+    contributions merge for free. *)
 
 type counter
 

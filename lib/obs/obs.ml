@@ -62,23 +62,36 @@ type frame = {
   mutable child_time : float;
 }
 
-let next_id = ref 0
+(* Ids are process-wide (atomic); the span stack is per domain, so worker
+   domains keep their own nesting (their spans root at depth 0) without
+   racing on a shared stack. Sink delivery is serialized by a mutex so a
+   JSONL sink never interleaves lines. *)
 
-let stack : frame list ref = ref []
+let next_id = Atomic.make 0
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let emit_mu = Mutex.create ()
 
 let set_sink s =
   sink := s;
-  stack := [];
+  stack () := [];
   enabled := (match s with Null -> false | Emit _ -> true)
 
 let clear_sink () = set_sink Null
 
 let tracing () = !enabled
 
-let emit r = match !sink with Null -> () | Emit f -> f r
+let emit r =
+  match !sink with
+  | Null -> ()
+  | Emit f -> Mutex.protect emit_mu (fun () -> f r)
 
 let push name attrs =
-  incr next_id;
+  let stack = stack () in
   let parent, depth =
     match !stack with
     | [] -> (None, 0)
@@ -86,7 +99,7 @@ let push name attrs =
   in
   let fr =
     {
-      id = !next_id;
+      id = 1 + Atomic.fetch_and_add next_id 1;
       name;
       start = Clock.now ();
       parent;
@@ -99,6 +112,7 @@ let push name attrs =
   fr
 
 let pop fr =
+  let stack = stack () in
   let dur = Clock.elapsed_since fr.start in
   (* close any spans leaked by an exception that skipped their pop *)
   let rec unwind () =
@@ -140,21 +154,20 @@ let span ?(attrs = []) name f =
 
 let add_attr k v =
   if !enabled then
-    match !stack with
+    match !(stack ()) with
     | fr :: _ -> fr.attrs <- (k, v) :: fr.attrs
     | [] -> ()
 
 let event ?(attrs = []) name =
   if !enabled then begin
-    incr next_id;
     let parent, depth =
-      match !stack with
+      match !(stack ()) with
       | [] -> (None, 0)
       | fr :: _ -> (Some fr.id, fr.depth + 1)
     in
     emit
       {
-        r_id = !next_id;
+        r_id = 1 + Atomic.fetch_and_add next_id 1;
         r_parent = parent;
         r_depth = depth;
         r_name = name;
@@ -166,18 +179,25 @@ let event ?(attrs = []) name =
       }
   end
 
-let with_trace_file path f =
-  let oc = open_out path in
+let with_sink s f =
   let prev = !sink in
-  set_sink (jsonl_sink oc);
-  let restore () =
-    set_sink prev;
-    close_out oc
-  in
+  set_sink s;
+  let restore () = set_sink prev in
   match f () with
   | v ->
       restore ();
       v
   | exception e ->
       restore ();
+      raise e
+
+let with_trace_file path f =
+  let oc = open_out path in
+  let finish () = close_out oc in
+  match with_sink (jsonl_sink oc) f with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
       raise e

@@ -9,7 +9,14 @@
 
     Tracing is opt-in: with the default {!null_sink}, {!span} reduces to
     one mutable-flag read plus the call to the wrapped function, so
-    instrumentation can stay in hot paths permanently. *)
+    instrumentation can stay in hot paths permanently.
+
+    Domain-safety: span ids are process-wide (atomic), the span stack is
+    {e per domain} (spans opened on a worker domain nest among themselves
+    and root at depth 0), and sink delivery is serialized by a mutex, so
+    a JSONL sink receives whole lines even under the parallel engine.
+    Installing/clearing a sink is a main-domain operation: do it outside
+    [Step_engine.Engine.run]. *)
 
 type attr = string * Json.t
 
@@ -56,6 +63,11 @@ val add_attr : string -> Json.t -> unit
 
 val event : ?attrs:attr list -> string -> unit
 (** A point-in-time record under the current span. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** [with_sink s f]: install [s], run [f], then restore the previous sink
+    — also on exceptions. The engine uses this to scope a per-run trace
+    sink from [Config.trace]. *)
 
 val with_trace_file : string -> (unit -> 'a) -> 'a
 (** [with_trace_file path f]: open [path], install a {!jsonl_sink}, run

@@ -1,0 +1,35 @@
+The parallel runner produces byte-identical results for any -j, modulo
+CPU timings (stripped here). First a sequential reference run:
+
+  $ step generate -k adder -n 3 -o add3.blif
+  $ step decompose add3.blif -m qd -g auto -j 1 | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g' > j1.txt
+  $ cat j1.txt
+  [XOR] s0               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  [XOR] s1               n=5   optimal           TIMEs  |XA|=3 |XB|=2 |XC|=0 eD=0.000 eB=0.200
+  [XOR] s2               n=7   optimal           TIMEs  |XA|=5 |XB|=2 |XC|=0 eD=0.000 eB=0.429
+  [-]   cout             n=7   not-decomposable  TIMEs
+  $ step decompose add3.blif -m qd -g auto -j 4 | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g' > j4.txt
+  $ diff j1.txt j4.txt
+
+Fixed-gate runs are identical too, including the summary line:
+
+  $ step decompose add3.blif -m mg -g xor -j 1 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > x1.txt
+  $ step decompose add3.blif -m mg -g xor -j 4 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > x4.txt
+  $ diff x1.txt x4.txt
+  $ tail -1 x1.txt
+  == add3 STEP-MG XOR: #Dec=3/4 CPU=TIME
+
+Method and gate names parse case-insensitively, exactly as printed:
+
+  $ step decompose add3.blif -m STEP-QD -g XOR -j 2 | tail -1 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g'
+  == add3 STEP-QD XOR: #Dec=3/4 CPU=TIME
+
+Invalid job counts are rejected up front:
+
+  $ step decompose add3.blif -j 0
+  step: jobs must be >= 1 (got 0)
+  [124]
+
+  $ step report add3.blif --jobs=-2 -f csv
+  step: jobs must be >= 1 (got -2)
+  [124]

@@ -15,7 +15,7 @@ module Ljh = Step_core.Ljh
 module Qbf_model = Step_core.Qbf_model
 module Extract = Step_core.Extract
 module Verify = Step_core.Verify
-module Pipeline = Step_core.Pipeline
+module Pipeline = Step_engine.Pipeline
 
 (* ---------- generators ---------- *)
 

@@ -1,0 +1,260 @@
+(* Tests for the session engine: config validation, the domain pool, and
+   the determinism contract — a parallel run must produce exactly the
+   same results, in the same order, as a sequential one. *)
+
+module Aig = Step_aig.Aig
+module Circuit = Step_aig.Circuit
+module Gate = Step_core.Gate
+module Method = Step_core.Method
+module Partition = Step_core.Partition
+module Config = Step_engine.Config
+module Engine = Step_engine.Engine
+module Pool = Step_engine.Pool
+
+(* same profile as test_pipeline's toy circuit: one OR-, one AND-, one
+   XOR-decomposable output plus a parity function *)
+let toy_circuit () =
+  let m = Aig.create () in
+  let xs = Array.init 6 (fun _ -> Aig.fresh_input m) in
+  let or_dec = Aig.or_ m (Aig.and_ m xs.(0) xs.(1)) (Aig.and_ m xs.(2) xs.(3)) in
+  let and_dec =
+    Aig.and_ m (Aig.or_ m xs.(0) xs.(1)) (Aig.or_ m xs.(4) xs.(5))
+  in
+  let xor_dec = Aig.xor_ m (Aig.and_ m xs.(0) xs.(1)) (Aig.xor_ m xs.(2) xs.(3)) in
+  let parity = Aig.xor_list m (Array.to_list xs) in
+  Circuit.make ~name:"toy" m
+    [ ("ord", or_dec); ("andd", and_dec); ("xord", xor_dec); ("par", parity) ]
+
+(* everything except the cpu timings, which legitimately vary *)
+let essence (r : Engine.po_result) =
+  ( r.Engine.po_name,
+    r.Engine.support_size,
+    r.Engine.partition,
+    r.Engine.proven_optimal,
+    r.Engine.timed_out,
+    r.Engine.counters )
+
+(* ---------- Pool ---------- *)
+
+let test_pool_map_order () =
+  List.iter
+    (fun jobs ->
+      let r = Pool.map ~jobs 17 (fun i -> i * i) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        (Array.init 17 (fun i -> i * i))
+        r)
+    [ 1; 2; 4; 32 ];
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 0 (fun i -> i))
+
+let test_pool_map_exception () =
+  Alcotest.check_raises "first failing index wins" (Failure "boom3")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:4 8 (fun i ->
+             if i >= 3 then failwith (Printf.sprintf "boom%d" i) else i)))
+
+(* ---------- Config ---------- *)
+
+let test_config_validation () =
+  let ok c = Result.is_ok (Config.validate c) in
+  Alcotest.(check bool) "default valid" true (ok Config.default);
+  Alcotest.(check bool)
+    "jobs=0 rejected" false
+    (ok (Config.default |> Config.with_jobs 0));
+  Alcotest.(check bool)
+    "jobs=-3 rejected" false
+    (ok (Config.default |> Config.with_jobs (-3)));
+  Alcotest.(check bool)
+    "negative per-PO budget rejected" false
+    (ok (Config.default |> Config.with_per_po_budget (-1.0)));
+  Alcotest.(check bool)
+    "negative total budget rejected" false
+    (ok (Config.default |> Config.with_total_budget (-0.5)));
+  Alcotest.(check bool)
+    "NaN budget rejected" false
+    (ok (Config.default |> Config.with_per_po_budget nan));
+  Alcotest.(check bool)
+    "negative min_support rejected" false
+    (ok (Config.default |> Config.with_min_support (-1)));
+  Alcotest.(check bool)
+    "unbounded total budget allowed" true
+    (ok (Config.default |> Config.with_total_budget infinity));
+  (* Engine.create enforces validation *)
+  match
+    Engine.create
+      ~config:(Config.default |> Config.with_jobs 0)
+      (toy_circuit ())
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "create accepted jobs=0"
+
+(* ---------- naming round-trips ---------- *)
+
+let test_method_roundtrip () =
+  List.iter
+    (fun m ->
+      Alcotest.(check bool)
+        (Engine.method_to_string m ^ " round-trips")
+        true
+        (Engine.method_of_string (Engine.method_to_string m) = m);
+      (* the CLI-printed names parse too, case-insensitively *)
+      Alcotest.(check bool)
+        (Engine.method_to_string m ^ " lowercase parses")
+        true
+        (Engine.method_of_string
+           (String.lowercase_ascii (Engine.method_to_string m))
+        = m))
+    Method.all;
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Engine.method_of_string_opt "qdx" = None)
+
+let test_gate_roundtrip () =
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (Gate.to_string g ^ " round-trips")
+        true
+        (Gate.of_string (Gate.to_string g) = g);
+      Alcotest.(check bool)
+        (Gate.to_string g ^ " lowercase parses")
+        true
+        (Gate.of_string_opt (String.lowercase_ascii (Gate.to_string g))
+        = Some g))
+    Gate.all;
+  Alcotest.(check bool) "padded name" true (Gate.of_string_opt " XOR " = Some Gate.Xor_gate);
+  Alcotest.(check bool) "garbage rejected" true (Gate.of_string_opt "nand" = None)
+
+(* ---------- determinism ---------- *)
+
+let run_with_jobs c method_ gate jobs =
+  let config =
+    Config.default
+    |> Config.with_method method_
+    |> Config.with_gate gate
+    |> Config.with_jobs jobs
+  in
+  Engine.run (Engine.create ~config c)
+
+let test_parallel_matches_sequential () =
+  let c = toy_circuit () in
+  List.iter
+    (fun method_ ->
+      let seq = run_with_jobs c method_ Gate.Or_gate 1 in
+      let par = run_with_jobs c method_ Gate.Or_gate 4 in
+      Alcotest.(check int)
+        (Method.to_string method_ ^ " #Dec identical")
+        seq.Engine.n_decomposed par.Engine.n_decomposed;
+      Array.iteri
+        (fun i sr ->
+          let pr = par.Engine.per_po.(i) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s po %d identical" (Method.to_string method_) i)
+            true
+            (essence sr = essence pr))
+        seq.Engine.per_po)
+    Method.all
+
+let test_auto_parallel_matches_sequential () =
+  let c = toy_circuit () in
+  let auto jobs =
+    let config = Config.default |> Config.with_jobs jobs in
+    Engine.run_auto (Engine.create ~config c)
+  in
+  let seq = auto 1 and par = auto 4 in
+  Array.iteri
+    (fun i (sg, sr) ->
+      let pg, pr = par.(i) in
+      Alcotest.(check bool)
+        (Printf.sprintf "auto po %d same gate" i)
+        true (sg = pg);
+      Alcotest.(check bool)
+        (Printf.sprintf "auto po %d identical" i)
+        true
+        (essence sr = essence pr))
+    seq;
+  (* parity decomposes under XOR only — auto must find that *)
+  let g_par, r_par = seq.(3) in
+  Alcotest.(check bool) "parity gate is XOR" true (g_par = Some Gate.Xor_gate);
+  Alcotest.(check bool) "parity decomposed" true (r_par.Engine.partition <> None)
+
+let test_session_does_not_pollute () =
+  let c = toy_circuit () in
+  let before = Aig.n_nodes c.Circuit.aig in
+  List.iter
+    (fun jobs -> ignore (run_with_jobs c Method.Qd Gate.Or_gate jobs))
+    [ 1; 4 ];
+  ignore (Engine.decompose_po (Engine.create c) 0);
+  Alcotest.(check int)
+    "session circuit manager untouched" before
+    (Aig.n_nodes c.Circuit.aig)
+
+let test_total_budget_cancellation () =
+  let c = toy_circuit () in
+  List.iter
+    (fun jobs ->
+      let config =
+        Config.default |> Config.with_total_budget 0.0 |> Config.with_jobs jobs
+      in
+      let r = Engine.run (Engine.create ~config c) in
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d nothing decomposed" jobs)
+        0 r.Engine.n_decomposed;
+      Array.iter
+        (fun (po : Engine.po_result) ->
+          Alcotest.(check bool)
+            (po.Engine.po_name ^ " timed out")
+            true po.Engine.timed_out)
+        r.Engine.per_po)
+    [ 1; 4 ]
+
+(* ---------- sinks ---------- *)
+
+let test_run_sinks () =
+  let records = ref [] in
+  let mu = Mutex.create () in
+  let sink r = Mutex.protect mu (fun () -> records := r :: !records) in
+  let stats = ref "" in
+  let config =
+    Config.default
+    |> Config.with_jobs 4
+    |> Config.with_trace (Some (Step_obs.Obs.callback_sink sink))
+    |> Config.with_stats (Some (fun s -> stats := s))
+  in
+  ignore (Engine.run (Engine.create ~config (toy_circuit ())));
+  let names = List.map (fun r -> r.Step_obs.Obs.r_name) !records in
+  Alcotest.(check int) "one run span" 1
+    (List.length (List.filter (( = ) "pipeline.run") names));
+  Alcotest.(check int) "one po span per output" 4
+    (List.length (List.filter (( = ) "pipeline.po") names));
+  Alcotest.(check bool) "stats delivered" true (!stats <> "")
+
+let () =
+  Alcotest.run "step_engine"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map order" `Quick test_pool_map_order;
+          Alcotest.test_case "map exception" `Quick test_pool_map_exception;
+        ] );
+      ( "config",
+        [ Alcotest.test_case "validation" `Quick test_config_validation ] );
+      ( "naming",
+        [
+          Alcotest.test_case "method round-trip" `Quick test_method_roundtrip;
+          Alcotest.test_case "gate round-trip" `Quick test_gate_roundtrip;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "parallel = sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "auto parallel = sequential" `Quick
+            test_auto_parallel_matches_sequential;
+          Alcotest.test_case "session circuit untouched" `Quick
+            test_session_does_not_pollute;
+          Alcotest.test_case "total budget cancels" `Quick
+            test_total_budget_cancellation;
+        ] );
+      ("sinks", [ Alcotest.test_case "trace + stats" `Quick test_run_sinks ]);
+    ]

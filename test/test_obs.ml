@@ -305,6 +305,58 @@ let test_trace_file_roundtrip () =
     "renders" true
     (String.length (Trace_summary.render summary) > 0)
 
+(* ---------- domain safety ---------- *)
+
+let test_metrics_parallel_increments () =
+  Metrics.reset ();
+  Fun.protect ~finally:Metrics.reset @@ fun () ->
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            (* find-or-create raced on purpose: every domain must get the
+               same underlying cell *)
+            let c = Metrics.counter "obs_test.par_counter" in
+            let h = Metrics.histogram "obs_test.par_hist" in
+            for _ = 1 to 1000 do
+              Metrics.inc c
+            done;
+            for _ = 1 to 100 do
+              Metrics.observe h 1.0
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int)
+    "4x1000 increments survive" 4000
+    (Metrics.value (Metrics.counter "obs_test.par_counter"));
+  let stats = Metrics.stats (Metrics.histogram "obs_test.par_hist") in
+  Alcotest.(check int) "4x100 observations survive" 400 stats.Metrics.count
+
+let test_spans_parallel_delivery () =
+  with_clean_obs @@ fun () ->
+  let mu = Mutex.create () in
+  let records = ref [] in
+  Obs.set_sink
+    (Obs.callback_sink (fun r ->
+         Mutex.protect mu (fun () -> records := r :: !records)));
+  let domains =
+    Array.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to 25 do
+              Obs.span (Printf.sprintf "par.%d.%d" d i) (fun () -> ())
+            done))
+  in
+  Array.iter Domain.join domains;
+  Alcotest.(check int) "all spans delivered" 100 (List.length !records);
+  let ids = List.map (fun r -> r.Obs.r_id) !records in
+  Alcotest.(check int)
+    "span ids unique" 100
+    (List.length (List.sort_uniq compare ids));
+  (* each domain has its own stack: spans from different domains never
+     nest into each other *)
+  List.iter
+    (fun r -> Alcotest.(check int) (r.Obs.r_name ^ " is a root") 0 r.Obs.r_depth)
+    !records
+
 let () =
   Alcotest.run "obs"
     [
@@ -340,4 +392,11 @@ let () =
       ( "trace",
         [ Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip ]
       );
+      ( "domains",
+        [
+          Alcotest.test_case "parallel metrics" `Quick
+            test_metrics_parallel_increments;
+          Alcotest.test_case "parallel spans" `Quick
+            test_spans_parallel_delivery;
+        ] );
     ]

@@ -6,8 +6,8 @@ module Circuit = Step_aig.Circuit
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
 module Problem = Step_core.Problem
-module Pipeline = Step_core.Pipeline
-module Report = Step_core.Report
+module Pipeline = Step_engine.Pipeline
+module Report = Step_engine.Report
 module Check = Step_core.Check
 module Suite = Step_circuits.Suite
 module Generators = Step_circuits.Generators
