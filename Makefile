@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all check test smoke psmoke bench lint clean
+.PHONY: all check test smoke psmoke cachesmoke bench lint clean
 
 all:
 	dune build @all
@@ -12,6 +12,7 @@ check:
 	dune build && dune runtest
 	$(MAKE) lint
 	$(MAKE) psmoke
+	$(MAKE) cachesmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -44,9 +45,32 @@ psmoke:
 	diff psmoke_j1.txt psmoke_j4.txt
 	rm -f psmoke_j1.txt psmoke_j4.txt
 
+# Decomposition-cache smoke: a warm run against a persisted cache dir
+# must report hits and stay byte-identical to the cold run (modulo CPU
+# timings and the cache hit counts).
+cachesmoke:
+	dune build bin/step.exe
+	rm -rf cachesmoke_dir
+	dune exec --no-build bin/step.exe -- generate -k decoder -n 3 \
+	  -o cachesmoke.blif
+	dune exec --no-build bin/step.exe -- decompose cachesmoke.blif -g and \
+	  -m qd --cache-dir cachesmoke_dir \
+	  | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > cachesmoke_cold.txt
+	dune exec --no-build bin/step.exe -- decompose cachesmoke.blif -g and \
+	  -m qd --cache-dir cachesmoke_dir \
+	  | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > cachesmoke_warm.txt
+	grep -E '^cache: hits=[1-9]' cachesmoke_warm.txt
+	grep -v '^cache:' cachesmoke_cold.txt > cachesmoke_cold.body
+	grep -v '^cache:' cachesmoke_warm.txt > cachesmoke_warm.body
+	diff cachesmoke_cold.body cachesmoke_warm.body
+	rm -rf cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt \
+	  cachesmoke_warm.txt cachesmoke_cold.body cachesmoke_warm.body
+
 bench:
 	dune exec bench/main.exe
 
 clean:
 	dune clean
-	rm -rf bench_out smoke_trace.jsonl psmoke_j1.txt psmoke_j4.txt
+	rm -rf bench_out smoke_trace.jsonl psmoke_j1.txt psmoke_j4.txt \
+	  cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt cachesmoke_warm.txt \
+	  cachesmoke_cold.body cachesmoke_warm.body

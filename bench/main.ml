@@ -21,7 +21,8 @@ module Gate = Step_core.Gate
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--budget SECONDS] [--scale S] [--jobs N] \
-     [--table 1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] [--bechamel]";
+     [--cache] [--cache-dir DIR] [--table 1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] \
+     [--bechamel]";
   exit 2
 
 type selection =
@@ -45,6 +46,12 @@ let () =
         parse rest
     | ("--jobs" | "-j") :: v :: rest ->
         config := { !config with Runs.jobs = int_of_string v };
+        parse rest
+    | "--cache" :: rest ->
+        config := { !config with Runs.cache = true };
+        parse rest
+    | "--cache-dir" :: v :: rest ->
+        config := { !config with Runs.cache_dir = Some v };
         parse rest
     | "--table" :: v :: rest ->
         selection := One (String.lowercase_ascii v);

@@ -12,12 +12,22 @@ type config = {
   scale : float;
   quick : bool; (* restrict circuit list for smoke runs *)
   jobs : int; (* worker domains per circuit run *)
+  cache : bool; (* memoize per-PO decompositions by canonical cone *)
+  cache_dir : string option; (* persist cache entries across bench runs *)
 }
 
 (* 0.5 s per output keeps a full regeneration of all tables, the figure
    and the ablations in the ten-minute range; pass --budget to push the
    solved-percentages of Table IV toward saturation. *)
-let default_config = { per_po_budget = 0.5; scale = 1.0; quick = false; jobs = 1 }
+let default_config =
+  {
+    per_po_budget = 0.5;
+    scale = 1.0;
+    quick = false;
+    jobs = 1;
+    cache = false;
+    cache_dir = None;
+  }
 
 let all_methods =
   [ Pipeline.Ljh; Pipeline.Mg; Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
@@ -27,6 +37,23 @@ let qbf_methods = [ Pipeline.Qd; Pipeline.Qb; Pipeline.Qdb ]
 type key = { circuit : string; gate : Gate.t; method_ : Pipeline.method_ }
 
 let cache : (key, Pipeline.circuit_result) Hashtbl.t = Hashtbl.create 64
+
+(* The engine-level decomposition cache (canonical cone memoization) is
+   distinct from the result cache above: one instance shared by every run
+   of a bench invocation, created lazily on first --cache use. *)
+module Dcache = Step_cache.Cache
+
+let deco_cache : Dcache.t option ref = ref None
+
+let deco_cache_of config =
+  if not (config.cache || config.cache_dir <> None) then None
+  else
+    match !deco_cache with
+    | Some c -> Some c
+    | None ->
+        let c = Dcache.create ?dir:config.cache_dir () in
+        deco_cache := Some c;
+        Some c
 
 type stats = { n_in : int; inm : int; n_out : int }
 
@@ -74,6 +101,7 @@ let run config circuit gate method_ =
           method_;
           per_po_budget = config.per_po_budget;
           jobs = config.jobs;
+          cache = deco_cache_of config;
         }
       in
       let r =
@@ -98,6 +126,13 @@ let dump_json config ~dir ~artifact =
                Pipeline.method_name b.Pipeline.method_used,
                Gate.to_string b.Pipeline.gate_used ))
   in
+  let cache_hits, cache_misses, cache_entries =
+    match !deco_cache with
+    | Some c ->
+        let s = Dcache.stats c in
+        (s.Dcache.hits, s.Dcache.misses, s.Dcache.entries)
+    | None -> (0, 0, 0)
+  in
   let j =
     J.Obj
       [
@@ -109,7 +144,11 @@ let dump_json config ~dir ~artifact =
               ("scale", J.Float config.scale);
               ("quick", J.Bool config.quick);
               ("jobs", J.Int config.jobs);
+              ("cache", J.Bool (config.cache || config.cache_dir <> None));
             ] );
+        ("cache_hits", J.Int cache_hits);
+        ("cache_misses", J.Int cache_misses);
+        ("cache_entries", J.Int cache_entries);
         ("runs", J.List (List.map Step_engine.Report.to_json results));
       ]
   in

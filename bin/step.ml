@@ -27,6 +27,7 @@ module Metrics = Step_obs.Metrics
 module Json = Step_obs.Json
 module Diag = Step_lint.Diag
 module Lint = Step_lint.Lint
+module Cache = Step_cache.Cache
 
 open Cmdliner
 
@@ -170,6 +171,42 @@ let sanitize_flag =
    solver the run creates, however deep in the stack. *)
 let apply_sanitize flag = if flag then Unix.putenv "STEP_SANITIZE" "1"
 
+let cache_flag =
+  let doc =
+    "Memoize per-output decompositions by canonical cone structure. \
+     Outputs whose cones are structurally identical up to input renaming \
+     are solved once and replayed."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let no_cache_flag =
+  let doc = "Disable the decomposition cache (overrides $(b,--cache) and $(b,--cache-dir))." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist cache entries as versioned JSON files under $(docv), shared \
+     across runs (implies $(b,--cache)). Corrupt or stale entries are \
+     skipped with a diagnostic, never fatal."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let make_cache ~cache ~no_cache ~cache_dir =
+  if no_cache then None
+  else if cache || cache_dir <> None then Some (Cache.create ?dir:cache_dir ())
+  else None
+
+(* Summary goes to stdout (it is part of the run's result); disk-layer
+   diagnostics go to stderr so machine-readable formats stay parseable. *)
+let print_cache_diags c =
+  List.iter (fun d -> prerr_endline (Diag.to_text d)) (Cache.diags c)
+
+let print_cache_summary c =
+  print_cache_diags c;
+  let s = Cache.stats c in
+  Printf.printf "cache: hits=%d misses=%d entries=%d\n" s.Cache.hits
+    s.Cache.misses s.Cache.entries
+
 let print_diags diags =
   List.iter (fun d -> print_endline (Diag.to_text d)) diags
 
@@ -201,7 +238,7 @@ let check_artifacts_flag =
 
 let decompose_cmd =
   let run path gate method_ budget jobs po extract verify_ recursive trace
-      stats sanitize check_artifacts =
+      stats sanitize check_artifacts cache no_cache cache_dir =
     let all_diags = ref [] in
     let note_diags diags =
       if diags <> [] then begin
@@ -209,6 +246,8 @@ let decompose_cmd =
         all_diags := !all_diags @ diags
       end
     in
+    let cache_opt = make_cache ~cache ~no_cache ~cache_dir in
+    let finish_cache () = Option.iter print_cache_summary cache_opt in
     let body () =
       apply_sanitize sanitize;
       let method_ = Method.of_string method_ in
@@ -221,6 +260,7 @@ let decompose_cmd =
             per_po_budget = budget;
             check_artifacts;
             jobs;
+            cache = cache_opt;
           }
         in
         match Config.validate config with
@@ -261,6 +301,7 @@ let decompose_cmd =
             print_po_result r;
             note_diags r.Pipeline.diags)
           (Engine.run_auto eng);
+        finish_cache ();
         raise Exit
       end;
       let gate = Gate.of_string gate in
@@ -307,7 +348,7 @@ let decompose_cmd =
             r.Pipeline.n_decomposed
             (Array.length r.Pipeline.per_po)
             r.Pipeline.total_cpu);
-      ()
+      finish_cache ()
     in
     let traced () =
       match trace with
@@ -332,7 +373,8 @@ let decompose_cmd =
       ret
         (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
        $ jobs_arg $ po_arg $ extract_arg $ verify_flag $ recursive_flag
-       $ trace_arg $ stats_flag $ sanitize_flag $ check_artifacts_flag))
+       $ trace_arg $ stats_flag $ sanitize_flag $ check_artifacts_flag
+       $ cache_flag $ no_cache_flag $ cache_dir_arg))
 
 (* ---------- trace ---------- *)
 
@@ -357,11 +399,12 @@ let report_cmd =
     let doc = "Output format: text, csv, markdown." in
     Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
   in
-  let run path gate method_ budget jobs format =
+  let run path gate method_ budget jobs format cache no_cache cache_dir =
     match
       let gate = Gate.of_string gate in
       let method_ = Method.of_string method_ in
       let c = load_circuit path in
+      let cache_opt = make_cache ~cache ~no_cache ~cache_dir in
       let config =
         match
           Config.validate
@@ -371,6 +414,7 @@ let report_cmd =
               method_;
               per_po_budget = budget;
               jobs;
+              cache = cache_opt;
             }
         with
         | Ok config -> config
@@ -384,7 +428,10 @@ let report_cmd =
         | "markdown" | "md" -> Step_engine.Report.to_markdown r
         | other -> failwith (Printf.sprintf "unknown format %S" other)
       in
-      print_string text
+      print_string text;
+      (* the report body carries the hit/miss columns; only the disk-layer
+         diagnostics are emitted here, to stderr, so csv stays parseable *)
+      Option.iter print_cache_diags cache_opt
     with
     | () -> `Ok ()
     | exception Failure msg -> `Error (false, msg)
@@ -393,7 +440,7 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
-         $ jobs_arg $ format_arg))
+         $ jobs_arg $ format_arg $ cache_flag $ no_cache_flag $ cache_dir_arg))
 
 let compare_cmd =
   let baseline_arg =
@@ -404,10 +451,15 @@ let compare_cmd =
     let doc = "Metric: disjointness, balancedness, cost." in
     Arg.(value & opt string "disjointness" & info [ "metric" ] ~docv:"M" ~doc)
   in
-  let run path gate method_ budget jobs baseline metric =
+  let run path gate method_ budget jobs baseline metric cache no_cache
+      cache_dir =
     match
       let gate = Gate.of_string gate in
       let c = load_circuit path in
+      (* one cache shared by challenger and baseline: the method is part of
+         the key, so they never cross-contaminate, but repeated cones within
+         each run still hit *)
+      let cache_opt = make_cache ~cache ~no_cache ~cache_dir in
       let run_method m =
         let config =
           match
@@ -418,6 +470,7 @@ let compare_cmd =
                 method_ = Method.of_string m;
                 per_po_budget = budget;
                 jobs;
+                cache = cache_opt;
               }
           with
           | Ok config -> config
@@ -434,7 +487,8 @@ let compare_cmd =
         | "cost" | "sum" -> fun p -> Partition.cost p
         | other -> failwith (Printf.sprintf "unknown metric %S" other)
       in
-      print_string (Step_engine.Report.compare_table ~baseline ~challenger ~metric)
+      print_string (Step_engine.Report.compare_table ~baseline ~challenger ~metric);
+      Option.iter print_cache_diags cache_opt
     with
     | () -> `Ok ()
     | exception Failure msg -> `Error (false, msg)
@@ -443,7 +497,8 @@ let compare_cmd =
   Cmd.v (Cmd.info "compare" ~doc)
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
-         $ jobs_arg $ baseline_arg $ metric_arg))
+         $ jobs_arg $ baseline_arg $ metric_arg $ cache_flag $ no_cache_flag
+         $ cache_dir_arg))
 
 let convert_cmd =
   let out_arg =

@@ -1,0 +1,146 @@
+(* Canonical structural form of an output cone. See cone.mli for the
+   contract; the invariant that carries all the soundness weight is that
+   [key] is a faithful serialization of the canonical graph, so equal keys
+   imply isomorphic cones no matter how good the canonical ordering
+   heuristic is. *)
+
+type node = Input | And of int * int
+
+type t = {
+  nodes : node array;
+  root : int;
+  inputs : int array;
+  flips : bool array;
+  key : string;
+}
+
+let n_inputs t = Array.length t.inputs
+
+let n_ands t =
+  Array.fold_left
+    (fun acc n -> match n with And _ -> acc + 1 | Input -> acc)
+    0 t.nodes
+
+(* FNV-1a-style mixing; OCaml's wrapping int arithmetic is fine here,
+   hash quality only affects the tie-break rate, never correctness. *)
+let mix h x = (h lxor x) * 0x100000001b3
+
+let extract m e_root =
+  let root_node = Aig.node_of e_root in
+  (* cone membership: fanins precede their node, so one descending sweep
+     from the root marks the whole transitive fan-in cone *)
+  let in_cone = Bytes.make (root_node + 1) '\000' in
+  Bytes.set in_cone root_node '\001';
+  for id = root_node downto 1 do
+    if Bytes.get in_cone id = '\001' then
+      match Aig.node_kind m id with
+      | `And (f0, f1) ->
+          Bytes.set in_cone (Aig.node_of f0) '\001';
+          Bytes.set in_cone (Aig.node_of f1) '\001'
+      | `Const | `Input _ -> ()
+  done;
+  (* bottom-up structural shape hashes, blind to input identity and to
+     the polarity of edges into inputs (those are normalized later) *)
+  let shape = Array.make (root_node + 1) 0 in
+  let desc e =
+    let n = Aig.node_of e in
+    let pol =
+      match Aig.node_kind m n with
+      | `Input _ | `Const -> 0
+      | `And _ -> if Aig.is_complement e then 1 else 0
+    in
+    (shape.(n) * 2) + pol
+  in
+  for id = 0 to root_node do
+    if Bytes.get in_cone id = '\001' then
+      shape.(id) <-
+        (match Aig.node_kind m id with
+        | `Const -> 3
+        | `Input _ -> 5
+        | `And (f0, f1) ->
+            let a = desc f0 and b = desc f1 in
+            mix (mix 7 (min a b)) (max a b))
+  done;
+  (* Deterministic DFS from the root. Children are visited smaller shape
+     first (manager order as tie-break), canonical ids are assigned in
+     postorder, inputs are numbered by first visit with the polarity of
+     that first visit normalized away. *)
+  let canon = Array.make (root_node + 1) (-1) in
+  let flip = Array.make (root_node + 1) false in
+  canon.(0) <- 0;
+  let next = ref 0 in
+  let rev_nodes = ref [] in
+  let rev_inputs = ref [] in
+  let rev_flips = ref [] in
+  let cedge e =
+    let n = Aig.node_of e in
+    let c =
+      match Aig.node_kind m n with
+      | `Input _ -> Aig.is_complement e <> flip.(n)
+      | `Const | `And _ -> Aig.is_complement e
+    in
+    (2 * canon.(n)) + if c then 1 else 0
+  in
+  let stack = ref [ `Enter e_root ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> assert false
+    | frame :: rest -> (
+        stack := rest;
+        match frame with
+        | `Enter e -> (
+            let id = Aig.node_of e in
+            if canon.(id) < 0 then
+              match Aig.node_kind m id with
+              | `Const -> ()
+              | `Input idx ->
+                  incr next;
+                  canon.(id) <- !next;
+                  flip.(id) <- Aig.is_complement e;
+                  rev_nodes := Input :: !rev_nodes;
+                  rev_inputs := idx :: !rev_inputs;
+                  rev_flips := Aig.is_complement e :: !rev_flips
+              | `And (f0, f1) ->
+                  let fa, fb = if desc f0 <= desc f1 then (f0, f1) else (f1, f0) in
+                  stack := `Enter fa :: `Enter fb :: `Exit (id, fa, fb) :: !stack)
+        | `Exit (id, fa, fb) ->
+            let ca = cedge fa and cb = cedge fb in
+            incr next;
+            canon.(id) <- !next;
+            rev_nodes := And (ca, cb) :: !rev_nodes)
+  done;
+  let nodes = Array.of_list (List.rev !rev_nodes) in
+  let inputs = Array.of_list (List.rev !rev_inputs) in
+  let flips = Array.of_list (List.rev !rev_flips) in
+  let root = cedge e_root in
+  let buf = Buffer.create (12 * Array.length nodes + 16) in
+  Array.iter
+    (function
+      | Input -> Buffer.add_string buf "i;"
+      | And (a, b) ->
+          Buffer.add_char buf 'a';
+          Buffer.add_string buf (string_of_int a);
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int b);
+          Buffer.add_char buf ';')
+    nodes;
+  Buffer.add_char buf 'r';
+  Buffer.add_string buf (string_of_int root);
+  { nodes; root; inputs; flips; key = Buffer.contents buf }
+
+let build t =
+  let m = Aig.create () in
+  let n = Array.length t.nodes in
+  let edge_of = Array.make (n + 1) Aig.f in
+  let dec c =
+    let e = edge_of.(c / 2) in
+    if c land 1 = 1 then Aig.not_ e else e
+  in
+  Array.iteri
+    (fun i node ->
+      edge_of.(i + 1) <-
+        (match node with
+        | Input -> Aig.fresh_input m
+        | And (ca, cb) -> Aig.and_ m (dec ca) (dec cb)))
+    t.nodes;
+  (m, dec t.root)

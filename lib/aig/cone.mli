@@ -1,0 +1,60 @@
+(** Canonical structural form of an output cone.
+
+    [extract] walks the transitive fan-in cone of an edge and produces a
+    canonical description of it: nodes renumbered into a deterministic
+    topological order, inputs renumbered by first visit and
+    polarity-normalized (the first occurrence of every input is positive),
+    node ids and input indices of the source manager erased. Two cones
+    with the same {!t.key} are structurally isomorphic up to input
+    renaming and input negation — exactly the class of transformations
+    under which a variable partition of a bi-decomposition is invariant —
+    and {!t.inputs} records the witnessing mapping back into the source
+    manager.
+
+    The canonicalization is {e sound but not complete}: ties in the
+    child-ordering heuristic are broken by the source manager's node
+    order, so a pair of isomorphic cones can (rarely) receive different
+    keys. That costs a cache miss, never a wrong hit: equal keys always
+    denote isomorphic cones, because the key is a faithful serialization
+    of the canonical graph, not a lossy hash.
+
+    Limitation: a cone that is a bare input collapses [x] and [¬x] onto
+    one key (the root polarity is absorbed by the input normalization).
+    Such cones have support 1 and are below every decomposition
+    threshold, so the engine never caches them. *)
+
+type node =
+  | Input  (** Canonical input; its position among the [Input] nodes (in
+               canonical id order) is its canonical input index. *)
+  | And of int * int
+      (** Canonical fanin edges [2 * canonical_id + complement_bit],
+          referring to earlier canonical nodes (the constant is canonical
+          id 0). *)
+
+type t = {
+  nodes : node array;  (** Canonical ids [1..n], topological order. *)
+  root : int;  (** Canonical root edge. *)
+  inputs : int array;
+      (** Canonical input index -> input index in the source manager. *)
+  flips : bool array;
+      (** Canonical input index -> whether the polarity was flipped
+          during normalization ([f_source(x) = f_canon(x XOR flips)]). *)
+  key : string;
+      (** Faithful serialization of the canonical graph; equal keys imply
+          isomorphic cones. *)
+}
+
+val extract : Aig.t -> Aig.lit -> t
+(** [extract m e] canonicalizes the cone of [e]. Linear in the cone (one
+    bottom-up shape-hash pass plus one DFS). *)
+
+val build : t -> Aig.t * Aig.lit
+(** Materialize the canonical cone in a fresh manager: inputs are created
+    in canonical order (so input index [k] of the new manager is
+    canonical input [k]), and the returned edge computes the canonical
+    function. Solving on this manager and mapping variable sets through
+    {!t.inputs} yields results valid for the source cone. *)
+
+val n_inputs : t -> int
+
+val n_ands : t -> int

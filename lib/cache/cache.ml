@@ -1,0 +1,271 @@
+module Diag = Step_lint.Diag
+module Json = Step_obs.Json
+module Metrics = Step_obs.Metrics
+module Partition = Step_core.Partition
+
+(* process-wide counters, merged across every cache and worker domain *)
+let m_hits = Metrics.counter "cache.hits"
+let m_misses = Metrics.counter "cache.misses"
+let g_entries = Metrics.gauge "cache.entries"
+
+let version = 1
+
+type entry = {
+  partition : Partition.t option;
+  proven_optimal : bool;
+  timed_out : bool;
+  counters : (string * int) list;
+}
+
+type slot = Ready of entry | Pending
+
+type t = {
+  mu : Mutex.t;
+  changed : Condition.t;
+  tbl : (string, slot) Hashtbl.t;
+  dir : string option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable entries : int;
+  mutable rev_diags : Diag.t list;
+}
+
+type stats = { hits : int; misses : int; entries : int }
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?dir () : t =
+  Option.iter mkdir_p dir;
+  {
+    mu = Mutex.create ();
+    changed = Condition.create ();
+    tbl = Hashtbl.create 64;
+    dir;
+    hits = 0;
+    misses = 0;
+    entries = 0;
+    rev_diags = [];
+  }
+
+let dir t = t.dir
+
+let stats t : stats =
+  Mutex.protect t.mu (fun () ->
+      { hits = t.hits; misses = t.misses; entries = t.entries })
+
+let diags t = Mutex.protect t.mu (fun () -> List.rev t.rev_diags)
+
+let entry_file dir key =
+  Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".json")
+
+(* ---------- disk entries ---------- *)
+
+let entry_to_json ~key e =
+  let ints l = Json.List (List.map (fun i -> Json.Int i) l) in
+  let partition =
+    match e.partition with
+    | None -> Json.Null
+    | Some p ->
+        Json.Obj
+          [
+            ("xa", ints p.Partition.xa);
+            ("xb", ints p.Partition.xb);
+            ("xc", ints p.Partition.xc);
+          ]
+  in
+  Json.Obj
+    [
+      ("version", Json.Int version);
+      ("key", Json.String key);
+      ("partition", partition);
+      ("optimal", Json.Bool e.proven_optimal);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
+    ]
+
+let decode_ints j =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | v :: rest -> (
+        match Json.to_int_opt v with
+        | Some i -> go (i :: acc) rest
+        | None -> None)
+  in
+  match j with Json.List l -> go [] l | _ -> None
+
+(* A partition read back from disk is untrusted input: beyond parsing it
+   must be a genuine partition of the cone's canonical inputs
+   [0 .. n_inputs-1], or downstream rehydration would index out of the
+   cone's input mapping. *)
+let decode_partition ~n_inputs j =
+  match j with
+  | Json.Null -> Ok None
+  | _ -> (
+      match
+        ( decode_ints (Json.member "xa" j),
+          decode_ints (Json.member "xb" j),
+          decode_ints (Json.member "xc" j) )
+      with
+      | Some xa, Some xb, Some xc -> (
+          match Partition.make ~xa ~xb ~xc with
+          | exception Invalid_argument msg -> Error msg
+          | p ->
+              let all = List.sort_uniq compare (xa @ xb @ xc) in
+              if all <> List.init n_inputs (fun i -> i) then
+                Error
+                  (Printf.sprintf
+                     "partition does not cover inputs 0..%d exactly"
+                     (n_inputs - 1))
+              else Ok (Some p))
+      | _ -> Error "xa/xb/xc must be integer lists")
+
+let decode_counters j =
+  match j with
+  | Json.Obj kvs ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int_opt v))
+        kvs
+  | _ -> []
+
+(* Called with [t.mu] held (appends diagnostics). *)
+let load_disk t ~key ~n_inputs =
+  match t.dir with
+  | None -> None
+  | Some dir ->
+      let file = entry_file dir key in
+      if not (Sys.file_exists file) then None
+      else begin
+        let skip ?(severity = Diag.warning) code msg =
+          t.rev_diags <- severity ~file ~code msg :: t.rev_diags;
+          None
+        in
+        let read () =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match read () with
+        | exception Sys_error msg -> skip "CSH001" ("unreadable cache entry skipped: " ^ msg)
+        | text -> (
+            match Json.of_string text with
+            | exception Failure msg ->
+                skip "CSH001" ("corrupt cache entry skipped: " ^ msg)
+            | j ->
+                if Json.to_int_opt (Json.member "version" j) <> Some version
+                then
+                  skip ~severity:Diag.info "CSH002"
+                    "cache entry from another format version skipped"
+                else if Json.to_string_opt (Json.member "key" j) <> Some key
+                then
+                  skip "CSH003"
+                    "cache entry key mismatch (hash collision or stale file) \
+                     skipped"
+                else
+                  match decode_partition ~n_inputs (Json.member "partition" j) with
+                  | Error msg ->
+                      skip "CSH004" ("invalid cached partition skipped: " ^ msg)
+                  | Ok partition ->
+                      Some
+                        {
+                          partition;
+                          proven_optimal =
+                            Json.member "optimal" j = Json.Bool true;
+                          timed_out = false;
+                          counters = decode_counters (Json.member "counters" j);
+                        })
+      end
+
+(* Atomic publish: write to a temp file in the same directory, rename
+   over the target. An existing file (e.g. one that failed validation)
+   is replaced by the fresh result. Failures degrade to a diagnostic. *)
+let store_disk t ~key e =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+      let file = entry_file dir key in
+      let publish () =
+        let tmp =
+          Filename.temp_file ~temp_dir:dir "cache-" ".tmp"
+        in
+        let oc = open_out_bin tmp in
+        (try
+           output_string oc (Json.to_string (entry_to_json ~key e));
+           output_char oc '\n';
+           close_out oc
+         with ex ->
+           close_out_noerr oc;
+           (try Sys.remove tmp with Sys_error _ -> ());
+           raise ex);
+        Sys.rename tmp file
+      in
+      try publish ()
+      with Sys_error msg | Unix.Unix_error (_, _, msg) ->
+        Mutex.protect t.mu (fun () ->
+            t.rev_diags <-
+              Diag.warning ~file ~code:"CSH005"
+                ("cache entry not persisted: " ^ msg)
+              :: t.rev_diags))
+
+(* ---------- lookup ---------- *)
+
+let find_or_compute t ~key ~n_inputs compute =
+  let decision =
+    Mutex.protect t.mu (fun () ->
+        let rec go () =
+          match Hashtbl.find_opt t.tbl key with
+          | Some (Ready e) ->
+              t.hits <- t.hits + 1;
+              `Hit e
+          | Some Pending ->
+              Condition.wait t.changed t.mu;
+              go ()
+          | None -> (
+              match load_disk t ~key ~n_inputs with
+              | Some e ->
+                  Hashtbl.replace t.tbl key (Ready e);
+                  t.entries <- t.entries + 1;
+                  t.hits <- t.hits + 1;
+                  `Hit e
+              | None ->
+                  Hashtbl.replace t.tbl key Pending;
+                  t.misses <- t.misses + 1;
+                  `Compute)
+        in
+        go ())
+  in
+  match decision with
+  | `Hit e ->
+      Metrics.inc m_hits;
+      (e, true)
+  | `Compute ->
+      Metrics.inc m_misses;
+      let drop_pending () =
+        Mutex.protect t.mu (fun () ->
+            Hashtbl.remove t.tbl key;
+            Condition.broadcast t.changed)
+      in
+      let e =
+        try compute ()
+        with ex ->
+          drop_pending ();
+          raise ex
+      in
+      if e.timed_out then begin
+        (* budget-dependent, not cone-dependent: waiters get a fresh try *)
+        drop_pending ();
+        (e, false)
+      end
+      else begin
+        Mutex.protect t.mu (fun () ->
+            Hashtbl.replace t.tbl key (Ready e);
+            t.entries <- t.entries + 1;
+            Condition.broadcast t.changed);
+        Metrics.set g_entries (float_of_int (stats t).entries);
+        store_disk t ~key e;
+        (e, false)
+      end

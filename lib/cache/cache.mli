@@ -1,0 +1,51 @@
+(** Decomposition memoization keyed by canonical cone structure.
+
+    A cache maps a canonical key (built by the engine from
+    {!Step_aig.Cone.extract} plus the solve parameters) to the result of
+    decomposing that cone — a partition expressed in {e canonical input
+    indices}, which the engine rehydrates through the cone's recorded
+    input mapping. One cache is shared by every worker domain of a run
+    ({!find_or_compute} is mutex-protected, and a key being computed is
+    held as pending so concurrent workers wait instead of duplicating the
+    solve).
+
+    With a [dir], entries are additionally persisted as versioned JSON
+    files, one per key, written atomically (temp file + rename). On load
+    every entry is validated ({!Step_lint.Diag}-style diagnostics, codes
+    [CSH001]–[CSH005]); corrupt, stale or mismatched entries are skipped
+    with a warning — never fatal — and are overwritten by the fresh
+    result. Timed-out results are never stored: they depend on the
+    budget that was left when the solve started, not on the cone. *)
+
+type entry = {
+  partition : Step_core.Partition.t option;
+      (** In canonical input indices; [None] = proven indecomposable. *)
+  proven_optimal : bool;
+  timed_out : bool;  (** Never [true] for a stored entry. *)
+  counters : (string * int) list;
+}
+
+type t
+
+val create : ?dir:string -> unit -> t
+(** [create ~dir ()] also creates [dir] (and parents) if missing. *)
+
+val dir : t -> string option
+
+val find_or_compute : t -> key:string -> n_inputs:int -> (unit -> entry) -> entry * bool
+(** [find_or_compute t ~key ~n_inputs compute] returns the cached entry
+    for [key] (memory first, then disk) and [true]; on a miss it runs
+    [compute], stores the result (unless it timed out) and returns it
+    with [false]. [n_inputs] bounds the indices a disk-loaded partition
+    may mention. Concurrent callers with the same key block until the
+    first one finishes; if it fails or times out, one of them recomputes. *)
+
+type stats = { hits : int; misses : int; entries : int }
+(** [entries] counts distinct keys resident in memory. *)
+
+val stats : t -> stats
+
+val diags : t -> Step_lint.Diag.t list
+(** Diagnostics accumulated while loading/storing disk entries, oldest
+    first. Severities are [Warning]/[Info] only: a broken cache degrades
+    to recomputation, it never fails a run. *)

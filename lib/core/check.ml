@@ -5,7 +5,14 @@ let decomposable ?copies ?time_budget p g partition =
   let c =
     match copies with
     | Some c ->
-        assert (Copies.problem c == p && Copies.gate c = g);
+        if Copies.problem c != p then
+          invalid_arg "Check.decomposable: copies built for a different problem";
+        if Copies.gate c <> g then
+          invalid_arg
+            (Printf.sprintf
+               "Check.decomposable: copies built for gate %s, not %s"
+               (Gate.to_string (Copies.gate c))
+               (Gate.to_string g));
         c
     | None -> Copies.create p g
   in

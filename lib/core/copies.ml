@@ -122,12 +122,20 @@ let assumptions c (p : Partition.t) =
   in
   if covered <> support then
     invalid_arg "Copies.assumptions: partition does not match support";
+  (* hash sets instead of List.mem per support variable: [assumptions]
+     sits on the hot path of every Copies.check *)
+  let set_of l =
+    let s = Hashtbl.create (2 * List.length l + 1) in
+    List.iter (fun i -> Hashtbl.replace s i ()) l;
+    s
+  in
+  let in_xa = set_of p.Partition.xa and in_xb = set_of p.Partition.xb in
   let asm = ref [] in
   List.iter
     (fun i ->
-      if not (List.mem i p.Partition.xa) then
+      if not (Hashtbl.mem in_xa i) then
         asm := alpha_selector c i :: !asm;
-      if not (List.mem i p.Partition.xb) then
+      if not (Hashtbl.mem in_xb i) then
         asm := beta_selector c i :: !asm)
     support;
   !asm

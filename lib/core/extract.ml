@@ -47,7 +47,9 @@ let interpolate_once aig ~f_a1 ~f_a2_neg ~f_b_neg ~support ~b_copy_vars =
   Tseitin.add_clause enc_a [ Tseitin.lit_of enc_a f_a2_neg ];
   (* B part: share the SAT variables of the non-copied inputs *)
   let shared_vars =
-    List.filter (fun i -> not (List.mem i b_copy_vars)) support
+    let copied = Hashtbl.create (2 * List.length b_copy_vars + 1) in
+    List.iter (fun i -> Hashtbl.replace copied i ()) b_copy_vars;
+    List.filter (fun i -> not (Hashtbl.mem copied i)) support
   in
   List.iter
     (fun i -> Tseitin.bind_input enc_b i (Tseitin.lit_of_input enc_a i))

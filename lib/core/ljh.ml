@@ -76,19 +76,19 @@ let find ?seed_limit ?time_budget (p : Problem.t) g =
         (* greedy growth: move each shared variable into XA if possible,
            else into XB, else keep it shared *)
         let xa = ref [ u ] and xb = ref [ v ] and xc = ref [] in
+        (* mirror of xa/xb/xc membership, so the [unplaced] filter below
+           is a hash probe per variable instead of three list scans *)
+        let placed = Hashtbl.create 16 in
+        Hashtbl.replace placed u ();
+        Hashtbl.replace placed v ();
         let rest = List.filter (fun i -> i <> u && i <> v) p.Problem.support in
         let try_move i =
+          Hashtbl.replace placed i ();
           if Clock.now () > deadline then xc := i :: !xc
           else begin
             (* variables not yet decided stay shared for this probe *)
             let unplaced =
-              List.filter
-                (fun j ->
-                  j <> i
-                  && (not (List.mem j !xa))
-                  && (not (List.mem j !xb))
-                  && not (List.mem j !xc))
-                rest
+              List.filter (fun j -> not (Hashtbl.mem placed j)) rest
             in
             let part_with xa' xb' =
               Partition.make ~xa:xa' ~xb:xb' ~xc:(unplaced @ !xc)

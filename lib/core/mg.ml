@@ -85,7 +85,9 @@ let signature_pairs (p : Problem.t) =
   List.sort compare !scored |> List.map snd
 
 let partition_of_selectors (p : Problem.t) ~u ~v ~mus ~alpha_sel ~beta_sel =
-  let in_mus l = List.mem l mus in
+  let mus_set = Hashtbl.create (2 * List.length mus + 1) in
+  List.iter (fun l -> Hashtbl.replace mus_set l ()) mus;
+  let in_mus l = Hashtbl.mem mus_set l in
   let xa = ref [ u ] and xb = ref [ v ] and xc = ref [] in
   List.iter
     (fun i ->

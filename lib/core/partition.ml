@@ -4,7 +4,16 @@ let make ~xa ~xb ~xc =
   let xa = List.sort_uniq compare xa
   and xb = List.sort_uniq compare xb
   and xc = List.sort_uniq compare xc in
-  let disjoint l1 l2 = List.for_all (fun x -> not (List.mem x l2)) l1 in
+  (* the three lists are sorted: a merge walk checks disjointness in
+     linear time (the old List.mem scan was quadratic) *)
+  let rec disjoint l1 l2 =
+    match (l1, l2) with
+    | [], _ | _, [] -> true
+    | x :: xs, y :: ys ->
+        if x < y then disjoint xs l2
+        else if y < x then disjoint l1 ys
+        else false
+  in
   if not (disjoint xa xb && disjoint xa xc && disjoint xb xc) then
     invalid_arg "Partition.make: overlapping sets";
   { xa; xb; xc }

@@ -44,7 +44,9 @@ let semantic_support ?time_budget p =
 
 let reduce ?time_budget p =
   let semantic = semantic_support ?time_budget p in
-  let vacuous = List.filter (fun v -> not (List.mem v semantic)) p.support in
+  let keep = Hashtbl.create (2 * List.length semantic + 1) in
+  List.iter (fun v -> Hashtbl.replace keep v ()) semantic;
+  let vacuous = List.filter (fun v -> not (Hashtbl.mem keep v)) p.support in
   (* cofactor vacuous variables away so the structural support matches *)
   let f =
     List.fold_left (fun f v -> Aig.cofactor p.aig v false f) p.f vacuous

@@ -211,6 +211,22 @@ type query_answer =
   | Q_invalid
   | Q_unknown
 
+(* Arm [solver]'s wall-clock budget with the time left until [deadline]
+   (cleared when there is none), so a single hard SAT call cannot
+   overshoot the query deadline. False means the deadline already passed. *)
+let arm_budget ~deadline solver =
+  if deadline = infinity then begin
+    Solver.set_time_budget solver (-1.0);
+    true
+  end
+  else
+    let remaining = deadline -. Clock.now () in
+    if remaining <= 0.0 then false
+    else begin
+      Solver.set_time_budget solver remaining;
+      true
+    end
+
 let query abs copies target k ~deadline ~refinement_cap ~refinements
     ~qbf_queries =
   incr qbf_queries;
@@ -220,6 +236,7 @@ let query abs copies target k ~deadline ~refinement_cap ~refinements
   let rec loop () =
     if Clock.now () > deadline || !refinements >= refinement_cap then
       Q_unknown
+    else if not (arm_budget ~deadline abs.solver) then Q_unknown
     else
       match
         Obs.span "sat.abstraction" (fun () ->
@@ -236,6 +253,10 @@ let query abs copies target k ~deadline ~refinement_cap ~refinements
               ~alpha:(fun i -> alpha_val (Hashtbl.find abs.pos_of i))
               ~beta:(fun i -> beta_val (Hashtbl.find abs.pos_of i))
           in
+          (* re-check between abstraction and verification: the candidate
+             extraction is free, the verification solve is not *)
+          if not (arm_budget ~deadline (Copies.solver copies)) then Q_unknown
+          else
           (match Obs.span "sat.verify" (fun () -> Copies.check copies partition) with
           | Solver.Unsat -> Q_valid partition
           | Solver.Unknown -> Q_unknown
@@ -300,7 +321,18 @@ let optimize ?copies ?(symmetry_breaking = true) ?strategy ?bootstrap
     let copies =
       match copies with
       | Some c ->
-          assert (Copies.problem c == p && Copies.gate c = g);
+          (* a caller-supplied scaffold must be the one built for this
+             very problem/gate — an assert would vanish under -noassert
+             and let a mismatched scaffold verify the wrong formula *)
+          if Copies.problem c != p then
+            invalid_arg
+              "Qbf_model.optimize: copies built for a different problem";
+          if Copies.gate c <> g then
+            invalid_arg
+              (Printf.sprintf
+                 "Qbf_model.optimize: copies built for gate %s, not %s"
+                 (Gate.to_string (Copies.gate c))
+                 (Gate.to_string g));
           c
       | None -> Copies.create p g
     in

@@ -2,7 +2,10 @@ module Aig = Step_aig.Aig
 module Solver = Step_sat.Solver
 module Tseitin = Step_cnf.Tseitin
 
-let subset l1 l2 = List.for_all (fun x -> List.mem x l2) l1
+let subset l1 l2 =
+  let s = Hashtbl.create (2 * List.length l2 + 1) in
+  List.iter (fun x -> Hashtbl.replace s x ()) l2;
+  List.for_all (fun x -> Hashtbl.mem s x) l1
 
 let supports_ok (p : Problem.t) (part : Partition.t) ~fa ~fb =
   let aig = p.Problem.aig in

@@ -11,6 +11,7 @@ type t = {
   jobs : int;
   trace : Step_obs.Obs.sink option;
   stats : (string -> unit) option;
+  cache : Step_cache.Cache.t option;
 }
 
 let default =
@@ -24,6 +25,7 @@ let default =
     jobs = 1;
     trace = None;
     stats = None;
+    cache = None;
   }
 
 let validate c =
@@ -54,3 +56,5 @@ let with_jobs jobs c = { c with jobs }
 let with_trace trace c = { c with trace }
 
 let with_stats stats c = { c with stats }
+
+let with_cache cache c = { c with cache }

@@ -40,6 +40,11 @@ type t = {
   stats : (string -> unit) option;
       (** When set, receives the rendered process-wide telemetry
           ({!Step_obs.Metrics.render}) after the run. *)
+  cache : Step_cache.Cache.t option;
+      (** Decomposition cache consulted before solving each output cone
+          (default [None] = every cone is solved). One cache may be
+          shared across runs, engines and worker domains; see
+          {!Step_cache.Cache} for the keying and persistence contract. *)
 }
 
 val default : t
@@ -66,3 +71,5 @@ val with_jobs : int -> t -> t
 val with_trace : Step_obs.Obs.sink option -> t -> t
 
 val with_stats : (string -> unit) option -> t -> t
+
+val with_cache : Step_cache.Cache.t option -> t -> t

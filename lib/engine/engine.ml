@@ -1,4 +1,6 @@
 module Circuit = Step_aig.Circuit
+module Cone = Step_aig.Cone
+module Cache = Step_cache.Cache
 module Obs = Step_obs.Obs
 module Clock = Step_obs.Clock
 module Json = Step_obs.Json
@@ -24,6 +26,7 @@ type po_result = {
   partition : Partition.t option;
   proven_optimal : bool;
   timed_out : bool;
+  cache_hit : bool option;
   cpu : float;
   counters : (string * int) list;
   diags : Step_lint.Diag.t list;
@@ -62,11 +65,80 @@ let qbf_target = function
   | Method.Qdb -> Qbf_model.Combined
   | Method.Ljh | Method.Mg -> invalid_arg "qbf_target"
 
+(* Method dispatch on one problem: (partition, proven_optimal, timed_out,
+   counters). Shared by the direct path and the cache-miss path, which
+   solves the canonically rebuilt cone instead of the original one. *)
+let solve_kernel ~per_po_budget p gate method_ =
+  let t0 = Clock.now () in
+  match method_ with
+  | Method.Ljh ->
+      let r = Ljh.find ~time_budget:per_po_budget p gate in
+      ( r.Ljh.partition,
+        false,
+        r.Ljh.partition = None && r.Ljh.cpu >= per_po_budget,
+        [ ("sat_calls", r.Ljh.sat_calls) ] )
+  | Method.Mg ->
+      let r = Mg.find ~time_budget:per_po_budget p gate in
+      ( r.Mg.partition,
+        false,
+        r.Mg.partition = None && r.Mg.cpu >= per_po_budget,
+        [ ("seeds_tried", r.Mg.seeds_tried); ("sat_calls", r.Mg.sat_calls) ] )
+  | Method.Qd | Method.Qb | Method.Qdb ->
+      (* bootstrap with STEP-MG on a shared scaffold, as the paper does *)
+      let copies = Copies.create p gate in
+      let mg_budget = per_po_budget /. 4.0 in
+      let mg = Mg.find ~copies ~time_budget:mg_budget p gate in
+      let mg_counters =
+        [
+          ("mg_seeds_tried", mg.Mg.seeds_tried);
+          ("mg_sat_calls", mg.Mg.sat_calls);
+        ]
+      in
+      let qbf_counters (o : Qbf_model.outcome) =
+        mg_counters
+        @ [
+            ("refinements", o.Qbf_model.refinements);
+            ("qbf_queries", o.Qbf_model.qbf_queries);
+          ]
+      in
+      let remaining = per_po_budget -. Clock.elapsed_since t0 in
+      if remaining <= 0.0 then
+        (mg.Mg.partition, false, mg.Mg.partition = None, mg_counters)
+      else begin
+        match mg.Mg.partition with
+        | None ->
+            (* MG found nothing: let the QBF model decide feasibility *)
+            let o =
+              Qbf_model.optimize ~copies ~time_budget:remaining p gate
+                (qbf_target method_)
+            in
+            ( o.Qbf_model.partition,
+              o.Qbf_model.optimal,
+              (not o.Qbf_model.optimal) && o.Qbf_model.partition = None,
+              qbf_counters o )
+        | Some bootstrap ->
+            let o =
+              Qbf_model.optimize ~copies ~bootstrap ~time_budget:remaining p
+                gate (qbf_target method_)
+            in
+            (o.Qbf_model.partition, o.Qbf_model.optimal, false, qbf_counters o)
+      end
+
+(* The cache key pins everything the cached result depends on besides the
+   cone itself. The budget component is the *configured* per-PO budget,
+   not the possibly total-budget-clamped one a particular job ran with —
+   keys must not depend on scheduling (see find_or_compute's refusal to
+   store timed-out entries for the other half of that argument). *)
+let cache_key ~gate ~method_ ~budget ~min_support cone =
+  Printf.sprintf "v1|%s|%s|%h|%d|%s" (Gate.to_string gate)
+    (Method.to_string method_) budget min_support cone.Cone.key
+
 (* The single-output kernel. Works in place on [circuit]'s manager: the
    QBF methods add copy inputs and scratch nodes to it (the session API
-   hands every job a private compacted copy instead). *)
-let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
-    method_ =
+   hands every job a private compacted copy instead). [cache] is the
+   cache paired with the configured per-PO budget for the key. *)
+let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
+    gate method_ =
   let name = Circuit.output_name circuit i in
   Obs.span
     ~attrs:
@@ -80,7 +152,7 @@ let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
   let t0 = Clock.now () in
   let p = Problem.of_output circuit i in
   let n = Problem.n_vars p in
-  let finish ?(counters = []) partition proven_optimal timed_out =
+  let finish ?cache_hit ?(counters = []) partition proven_optimal timed_out =
     let status =
       match partition with
       | Some _ when proven_optimal -> "optimal"
@@ -89,6 +161,10 @@ let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
     in
     Obs.add_attr "n" (Json.Int n);
     Obs.add_attr "status" (Json.String status);
+    (match cache_hit with
+    | Some hit ->
+        Obs.add_attr "cache" (Json.String (if hit then "hit" else "miss"))
+    | None -> ());
     (match partition with
     | Some part ->
         let part = Partition.canonical part in
@@ -108,6 +184,7 @@ let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
       partition;
       proven_optimal;
       timed_out;
+      cache_hit;
       cpu = Clock.elapsed_since t0;
       counters;
       diags;
@@ -115,63 +192,46 @@ let decompose_on ~per_po_budget ~min_support ~check_artifacts circuit i gate
   in
   if n < max 2 min_support then finish None true false
   else begin
-    match method_ with
-    | Method.Ljh ->
-        let r = Ljh.find ~time_budget:per_po_budget p gate in
-        finish
-          ~counters:[ ("sat_calls", r.Ljh.sat_calls) ]
-          r.Ljh.partition false
-          (r.Ljh.partition = None && r.Ljh.cpu >= per_po_budget)
-    | Method.Mg ->
-        let r = Mg.find ~time_budget:per_po_budget p gate in
-        finish
-          ~counters:
-            [
-              ("seeds_tried", r.Mg.seeds_tried); ("sat_calls", r.Mg.sat_calls);
-            ]
-          r.Mg.partition false
-          (r.Mg.partition = None && r.Mg.cpu >= per_po_budget)
-    | Method.Qd | Method.Qb | Method.Qdb ->
-        (* bootstrap with STEP-MG on a shared scaffold, as the paper does *)
-        let copies = Copies.create p gate in
-        let mg_budget = per_po_budget /. 4.0 in
-        let mg = Mg.find ~copies ~time_budget:mg_budget p gate in
-        let mg_counters =
-          [
-            ("mg_seeds_tried", mg.Mg.seeds_tried);
-            ("mg_sat_calls", mg.Mg.sat_calls);
-          ]
+    match cache with
+    | None ->
+        let partition, optimal, timed_out, counters =
+          solve_kernel ~per_po_budget p gate method_
         in
-        let qbf_counters (o : Qbf_model.outcome) =
-          mg_counters
-          @ [
-              ("refinements", o.Qbf_model.refinements);
-              ("qbf_queries", o.Qbf_model.qbf_queries);
-            ]
+        finish ~counters partition optimal timed_out
+    | Some (cache, configured_budget) ->
+        (* Canonicalize the cone; on a miss solve the canonical rebuild,
+           not the original, so the stored entry is a pure function of
+           the key (two isomorphic cones would otherwise race to publish
+           their own numbering's solution, making warm results depend on
+           scheduling). On a hit rehydrate through the input mapping. *)
+        let cone =
+          Obs.span "cache.extract" (fun () ->
+              Cone.extract circuit.Circuit.aig (Circuit.output circuit i))
         in
-        let remaining = per_po_budget -. Clock.elapsed_since t0 in
-        if remaining <= 0.0 then
-          finish ~counters:mg_counters mg.Mg.partition false
-            (mg.Mg.partition = None)
-        else begin
-          match mg.Mg.partition with
-          | None ->
-              (* MG found nothing: let the QBF model decide feasibility *)
-              let o =
-                Qbf_model.optimize ~copies ~time_budget:remaining p gate
-                  (qbf_target method_)
-              in
-              finish ~counters:(qbf_counters o) o.Qbf_model.partition
-                o.Qbf_model.optimal
-                ((not o.Qbf_model.optimal) && o.Qbf_model.partition = None)
-          | Some bootstrap ->
-              let o =
-                Qbf_model.optimize ~copies ~bootstrap ~time_budget:remaining p
-                  gate (qbf_target method_)
-              in
-              finish ~counters:(qbf_counters o) o.Qbf_model.partition
-                o.Qbf_model.optimal false
-        end
+        let key =
+          cache_key ~gate ~method_ ~budget:configured_budget ~min_support cone
+        in
+        let compute () =
+          let cm, croot = Cone.build cone in
+          let cp = Problem.of_edge cm croot in
+          let budget = Float.max 0.0 (per_po_budget -. Clock.elapsed_since t0) in
+          let partition, proven_optimal, timed_out, counters =
+            solve_kernel ~per_po_budget:budget cp gate method_
+          in
+          { Cache.partition; proven_optimal; timed_out; counters }
+        in
+        let entry, hit =
+          Cache.find_or_compute cache ~key ~n_inputs:(Cone.n_inputs cone)
+            compute
+        in
+        let rehydrate part =
+          let mapv = List.map (fun k -> cone.Cone.inputs.(k)) in
+          Partition.make ~xa:(mapv part.Partition.xa)
+            ~xb:(mapv part.Partition.xb) ~xc:(mapv part.Partition.xc)
+        in
+        finish ~cache_hit:hit ~counters:entry.Cache.counters
+          (Option.map rehydrate entry.Cache.partition)
+          entry.Cache.proven_optimal entry.Cache.timed_out
   end
 
 let score (r : po_result) =
@@ -183,16 +243,16 @@ let score (r : po_result) =
    slice is an even share of the budget *still unspent*, so a gate that
    finishes early (tiny support, fast UNSAT) hands its slack to the
    remaining gates instead of wasting it. *)
-let decompose_auto_on ~per_po_budget ~min_support ~check_artifacts circuit i
-    method_ =
+let decompose_auto_on ?cache ~per_po_budget ~min_support ~check_artifacts
+    circuit i method_ =
   let _, rev_candidates =
     List.fold_left
       (fun (remaining, acc) gate ->
         let gates_left = List.length Gate.all - List.length acc in
         let slice = remaining /. float_of_int gates_left in
         let r =
-          decompose_on ~per_po_budget:slice ~min_support ~check_artifacts
-            circuit i gate method_
+          decompose_on ?cache ~per_po_budget:slice ~min_support
+            ~check_artifacts circuit i gate method_
         in
         (Float.max 0.0 (remaining -. r.cpu), (gate, r) :: acc))
       (per_po_budget, []) Gate.all
@@ -229,6 +289,7 @@ let timeout_stub name =
     partition = None;
     proven_optimal = false;
     timed_out = true;
+    cache_hit = None;
     cpu = 0.0;
     counters = [];
     diags = [];
@@ -240,12 +301,19 @@ let timeout_stub name =
    results independent of [jobs]. *)
 let job_circuit eng = Circuit.compact eng.circuit
 
+(* The configured (unclamped) per-PO budget rides along with the cache so
+   keys stay independent of how much total budget happened to be left. *)
+let job_cache cfg =
+  Option.map
+    (fun c -> (c, cfg.Config.per_po_budget))
+    cfg.Config.cache
+
 let run_job eng ~deadline i =
   let cfg = eng.config in
   let remaining = deadline -. Clock.now () in
   if remaining <= 0.0 then timeout_stub (Circuit.output_name eng.circuit i)
   else
-    decompose_on
+    decompose_on ?cache:(job_cache cfg)
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
       ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
@@ -257,7 +325,7 @@ let run_auto_job eng ~deadline i =
   if remaining <= 0.0 then
     (None, timeout_stub (Circuit.output_name eng.circuit i))
   else
-    decompose_auto_on
+    decompose_auto_on ?cache:(job_cache cfg)
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
       ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i

@@ -41,6 +41,9 @@ type po_result = {
       (** [None]: not decomposable / timeout. *)
   proven_optimal : bool;  (** Only ever [true] for QBF methods. *)
   timed_out : bool;
+  cache_hit : bool option;
+      (** [None] when the run had no cache; otherwise whether this
+          output's cone was served from {!Config.cache}. *)
   cpu : float;
   counters : (string * int) list;
       (** Engine statistics for this output — e.g. [sat_calls] /
@@ -111,6 +114,7 @@ val decompose_po_auto : t -> int -> Step_core.Gate.t option * po_result
     API, which isolates jobs on compacted copies. *)
 
 val decompose_on :
+  ?cache:Step_cache.Cache.t * float ->
   per_po_budget:float ->
   min_support:int ->
   check_artifacts:bool ->
@@ -119,8 +123,12 @@ val decompose_on :
   Step_core.Gate.t ->
   Step_core.Method.t ->
   po_result
+(** [?cache] is the cache paired with the {e configured} per-PO budget
+    (the cache-key component — [per_po_budget] itself may have been
+    clamped by the remaining total budget and must not leak into keys). *)
 
 val decompose_auto_on :
+  ?cache:Step_cache.Cache.t * float ->
   per_po_budget:float ->
   min_support:int ->
   check_artifacts:bool ->

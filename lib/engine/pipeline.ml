@@ -14,6 +14,7 @@ type po_result = Engine.po_result = {
   partition : Step_core.Partition.t option;
   proven_optimal : bool;
   timed_out : bool;
+  cache_hit : bool option;
   cpu : float;
   counters : (string * int) list;
   diags : Step_lint.Diag.t list;

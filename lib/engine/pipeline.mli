@@ -33,6 +33,9 @@ type po_result = Engine.po_result = {
       (** [None]: not decomposable / timeout. *)
   proven_optimal : bool;  (** Only ever [true] for QBF methods. *)
   timed_out : bool;
+  cache_hit : bool option;
+      (** [None] unless the run used a {!Config.cache} (the shims never
+          install one). *)
   cpu : float;
   counters : (string * int) list;
       (** Engine statistics for this output — e.g. [sat_calls] /

@@ -58,6 +58,23 @@ let counters_cell counters =
   String.concat ";"
     (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) counters)
 
+(* Cache columns render empty for runs without a cache, so cache-less
+   output is unchanged. *)
+let cache_cell (po : Pipeline.po_result) =
+  match po.Pipeline.cache_hit with
+  | None -> ""
+  | Some true -> "hit"
+  | Some false -> "miss"
+
+let cache_counts (r : Pipeline.circuit_result) =
+  Array.fold_left
+    (fun (hits, misses) (po : Pipeline.po_result) ->
+      match po.Pipeline.cache_hit with
+      | Some true -> (hits + 1, misses)
+      | Some false -> (hits, misses + 1)
+      | None -> (hits, misses))
+    (0, 0) r.Pipeline.per_po
+
 let po_fields (po : Pipeline.po_result) =
   match po.Pipeline.partition with
   | None -> (0, 0, 0, nan, nan)
@@ -78,6 +95,10 @@ let summary_line (r : Pipeline.circuit_result) =
     (Step_core.Gate.to_string r.Pipeline.gate_used)
     a.n_decomposed a.n_outputs a.n_optimal a.n_timed_out a.mean_disjointness
     a.mean_balancedness a.total_cpu
+  ^
+  match cache_counts r with
+  | 0, 0 -> ""
+  | hits, misses -> Printf.sprintf " cache=%d/%d" hits (hits + misses)
 
 let to_text r =
   let buf = Buffer.create 1024 in
@@ -90,12 +111,17 @@ let to_text r =
         | Some _ when po.Pipeline.proven_optimal -> "optimal"
         | Some _ -> "decomposed"
       in
+      let cache_suffix =
+        match po.Pipeline.cache_hit with
+        | None -> ""
+        | Some _ -> " cache=" ^ cache_cell po
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "%-16s n=%-3d %-14s |XA|=%-2d |XB|=%-2d |XC|=%-2d eD=%-5.3f \
-            eB=%-5.3f %6.3fs\n"
+            eB=%-5.3f %6.3fs%s\n"
            po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
-           po.Pipeline.cpu))
+           po.Pipeline.cpu cache_suffix))
     r.Pipeline.per_po;
   Buffer.add_string buf (summary_line r);
   Buffer.add_char buf '\n';
@@ -104,16 +130,16 @@ let to_text r =
 let to_csv r =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,counters\n";
+    "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,cache,counters\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f,%s\n"
+        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f,%s,%s\n"
            po.Pipeline.po_name po.Pipeline.support_size
            (po.Pipeline.partition <> None)
            po.Pipeline.proven_optimal po.Pipeline.timed_out xa xb xc ed eb
-           po.Pipeline.cpu
+           po.Pipeline.cpu (cache_cell po)
            (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.contents buf
@@ -125,8 +151,9 @@ let to_markdown r =
        (Pipeline.method_name r.Pipeline.method_used)
        (Step_core.Gate.to_string r.Pipeline.gate_used));
   Buffer.add_string buf
-    "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) | counters |\n";
-  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|\n";
+    "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) | cache | \
+     counters |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|---|\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
@@ -138,9 +165,9 @@ let to_markdown r =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f | %s |\n"
+           "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f | %s | %s |\n"
            po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
-           po.Pipeline.cpu
+           po.Pipeline.cpu (cache_cell po)
            (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.add_string buf (Printf.sprintf "\n%s\n" (summary_line r));
@@ -151,33 +178,48 @@ let to_json (r : Pipeline.circuit_result) =
   let counters_json cs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) cs) in
   let po_json (po : Pipeline.po_result) =
     let xa, xb, xc, ed, eb = po_fields po in
+    let cache =
+      match po.Pipeline.cache_hit with
+      | None -> []
+      | Some hit -> [ ("cache", J.String (if hit then "hit" else "miss")) ]
+    in
     J.Obj
-      [
-        ("po", J.String po.Pipeline.po_name);
-        ("support", J.Int po.Pipeline.support_size);
-        ("decomposed", J.Bool (po.Pipeline.partition <> None));
-        ("optimal", J.Bool po.Pipeline.proven_optimal);
-        ("timed_out", J.Bool po.Pipeline.timed_out);
-        ("xa", J.Int xa);
-        ("xb", J.Int xb);
-        ("xc", J.Int xc);
-        ("eD", J.Float ed);
-        ("eB", J.Float eb);
-        ("cpu_s", J.Float po.Pipeline.cpu);
-        ("counters", counters_json po.Pipeline.counters);
-      ]
+      ([
+         ("po", J.String po.Pipeline.po_name);
+         ("support", J.Int po.Pipeline.support_size);
+         ("decomposed", J.Bool (po.Pipeline.partition <> None));
+         ("optimal", J.Bool po.Pipeline.proven_optimal);
+         ("timed_out", J.Bool po.Pipeline.timed_out);
+         ("xa", J.Int xa);
+         ("xb", J.Int xb);
+         ("xc", J.Int xc);
+         ("eD", J.Float ed);
+         ("eB", J.Float eb);
+         ("cpu_s", J.Float po.Pipeline.cpu);
+       ]
+      @ cache
+      @ [ ("counters", counters_json po.Pipeline.counters) ])
+  in
+  let cache =
+    match cache_counts r with
+    | 0, 0 -> []
+    | hits, misses ->
+        [ ("cache_hits", J.Int hits); ("cache_misses", J.Int misses) ]
   in
   J.Obj
-    [
-      ("circuit", J.String r.Pipeline.circuit_name);
-      ("method", J.String (Pipeline.method_name r.Pipeline.method_used));
-      ("gate", J.String (Step_core.Gate.to_string r.Pipeline.gate_used));
-      ("n_outputs", J.Int (Array.length r.Pipeline.per_po));
-      ("n_decomposed", J.Int r.Pipeline.n_decomposed);
-      ("total_cpu_s", J.Float r.Pipeline.total_cpu);
-      ("counters", counters_json (counters_of r));
-      ("per_po", J.List (Array.to_list (Array.map po_json r.Pipeline.per_po)));
-    ]
+    ([
+       ("circuit", J.String r.Pipeline.circuit_name);
+       ("method", J.String (Pipeline.method_name r.Pipeline.method_used));
+       ("gate", J.String (Step_core.Gate.to_string r.Pipeline.gate_used));
+       ("n_outputs", J.Int (Array.length r.Pipeline.per_po));
+       ("n_decomposed", J.Int r.Pipeline.n_decomposed);
+       ("total_cpu_s", J.Float r.Pipeline.total_cpu);
+     ]
+    @ cache
+    @ [
+        ("counters", counters_json (counters_of r));
+        ("per_po", J.List (Array.to_list (Array.map po_json r.Pipeline.per_po)));
+      ])
 
 let compare_table ~baseline ~challenger ~metric =
   let buf = Buffer.create 512 in

@@ -19,7 +19,16 @@ type stats = { iterations : int; abstraction_nodes : int }
 let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
     ~forall_vars =
   let support = Aig.support aig matrix in
-  let in_blocks v = List.mem v exists_vars || List.mem v forall_vars in
+  (* one hash set per block, not List.mem per support variable — the
+     membership tests below are linear, not quadratic, on wide supports *)
+  let set_of vars =
+    let s = Hashtbl.create (2 * List.length vars + 1) in
+    List.iter (fun v -> Hashtbl.replace s v ()) vars;
+    s
+  in
+  let exists_set = set_of exists_vars in
+  let forall_set = set_of forall_vars in
+  let in_blocks v = Hashtbl.mem exists_set v || Hashtbl.mem forall_set v in
   if not (List.for_all in_blocks support) then
     invalid_arg "Cegar.solve: matrix support outside quantifier blocks";
   Metrics.inc m_solves;
@@ -50,53 +59,75 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
     Obs.add_attr "abstraction_nodes" (Step_obs.Json.Int abstraction_nodes);
     (outcome, { iterations = iter; abstraction_nodes })
   in
+  (* With a finite deadline every SAT call runs under its own wall-clock
+     budget (the time still remaining), so a single hard solve cannot
+     overshoot the deadline: it comes back [Unknown] and so do we. With
+     no deadline the plain (budget-free) [solve] entry point is used. *)
+  let solve_bounded ?assumptions solver span =
+    Obs.span span (fun () ->
+        if deadline = infinity then
+          if Solver.solve ?assumptions solver then Solver.Sat else Solver.Unsat
+        else
+          let remaining = deadline -. Clock.now () in
+          if remaining <= 0.0 then Solver.Unknown
+          else begin
+            Solver.set_time_budget solver remaining;
+            Solver.solve_limited ?assumptions solver
+          end)
+  in
   let rec loop iter =
     if iter >= max_iterations || Clock.now () > deadline then
       finish iter Unknown
-    else if
-      not (Obs.span "sat.abstraction" (fun () -> Solver.solve abs_solver))
-    then finish iter Invalid
     else begin
-      (* candidate x° *)
-      let xval v = Solver.model_value abs_solver (Hashtbl.find x_lit v) in
-      let candidate = List.map (fun v -> (v, xval v)) exists_vars in
-      let assumptions =
-        List.map
-          (fun (v, b) ->
-            let l = Tseitin.lit_of_input ver v in
-            if b then l else Lit.negate l)
-          candidate
-      in
-      if
-        not
-          (Obs.span "sat.verify" (fun () ->
-               Solver.solve ~assumptions ver_solver))
-      then begin
-        (* no universal assignment falsifies φ(x°, Y): witness found *)
-        let tbl = Hashtbl.create 16 in
-        List.iter (fun (v, b) -> Hashtbl.replace tbl v b) candidate;
-        let witness v =
-          match Hashtbl.find_opt tbl v with Some b -> b | None -> false
-        in
-        finish iter (Valid witness)
-      end
-      else begin
-        (* counterexample y°: add φ(X, y°) to the abstraction *)
-        Metrics.inc m_iterations;
-        let yval v =
-          Solver.model_value ver_solver (Tseitin.lit_of_input ver v)
-        in
-        let subst v =
-          if List.mem v forall_vars then
-            Some (if yval v then Aig.t_ else Aig.f)
-          else None
-        in
-        let inst =
-          Obs.span "cegar.instantiate" (fun () -> Aig.compose aig subst matrix)
-        in
-        ignore (Solver.add_clause abs_solver [ Tseitin.lit_of abs inst ]);
-        loop (iter + 1)
-      end
+      match solve_bounded abs_solver "sat.abstraction" with
+      | Solver.Unknown -> finish iter Unknown
+      | Solver.Unsat -> finish iter Invalid
+      | Solver.Sat ->
+          (* candidate x° *)
+          let xval v = Solver.model_value abs_solver (Hashtbl.find x_lit v) in
+          let candidate = List.map (fun v -> (v, xval v)) exists_vars in
+          let assumptions =
+            List.map
+              (fun (v, b) ->
+                let l = Tseitin.lit_of_input ver v in
+                if b then l else Lit.negate l)
+              candidate
+          in
+          (* re-check between the abstraction and verification solves: an
+             expired deadline must not buy a whole verification pass *)
+          if Clock.now () > deadline then finish iter Unknown
+          else begin
+            match solve_bounded ~assumptions ver_solver "sat.verify" with
+            | Solver.Unknown -> finish iter Unknown
+            | Solver.Unsat ->
+                (* no universal assignment falsifies φ(x°, Y): witness found *)
+                let tbl = Hashtbl.create 16 in
+                List.iter (fun (v, b) -> Hashtbl.replace tbl v b) candidate;
+                let witness v =
+                  match Hashtbl.find_opt tbl v with
+                  | Some b -> b
+                  | None -> false
+                in
+                finish iter (Valid witness)
+            | Solver.Sat ->
+                (* counterexample y°: add φ(X, y°) to the abstraction *)
+                Metrics.inc m_iterations;
+                let yval v =
+                  Solver.model_value ver_solver (Tseitin.lit_of_input ver v)
+                in
+                let subst v =
+                  if Hashtbl.mem forall_set v then
+                    Some (if yval v then Aig.t_ else Aig.f)
+                  else None
+                in
+                let inst =
+                  Obs.span "cegar.instantiate" (fun () ->
+                      Aig.compose aig subst matrix)
+                in
+                ignore (Solver.add_clause abs_solver [ Tseitin.lit_of abs inst ]);
+                (* the re-check after refinement is the loop head's *)
+                loop (iter + 1)
+          end
     end
   in
   Obs.span "cegar.solve" (fun () -> loop 0)

@@ -1,0 +1,60 @@
+The decomposition cache memoizes per-output results by canonical cone
+structure. A 3-bit decoder has 8 outputs with structurally identical
+cones (modulo input renaming/polarity), so one solve serves all eight:
+
+  $ step generate -k decoder -n 3 -o dec3.blif
+  $ step decompose dec3.blif -g and -m qd --cache | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' | tail -2
+  == dec3 STEP-QD AND: #Dec=8/8 CPU=TIME
+  cache: hits=7 misses=1 entries=1
+
+--no-cache wins over --cache; no summary line is printed:
+
+  $ step decompose dec3.blif -g and -m qd --cache --no-cache | grep -c '^cache:'
+  0
+  [1]
+
+--cache-dir persists entries as one JSON file per canonical key. A second
+run with a fresh process serves every output from disk and is
+byte-identical to the cold run (modulo CPU timings and the hit counts):
+
+  $ step decompose dec3.blif -g and -m qd --cache-dir cdir | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > cold.txt
+  $ tail -1 cold.txt
+  cache: hits=7 misses=1 entries=1
+  $ ls cdir | wc -l
+  1
+  $ step decompose dec3.blif -g and -m qd --cache-dir cdir | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > warm.txt
+  $ tail -1 warm.txt
+  cache: hits=8 misses=0 entries=1
+  $ grep -v '^cache:' cold.txt > cold.body
+  $ grep -v '^cache:' warm.txt > warm.body
+  $ diff cold.body warm.body
+
+Parallel warm runs agree with the sequential ones:
+
+  $ step decompose dec3.blif -g and -m qd --cache-dir cdir -j 4 | sed -E 's/[0-9]+\.[0-9]+s?/TIME/g' > warm4.txt
+  $ grep -v '^cache:' warm4.txt > warm4.body
+  $ diff warm.body warm4.body
+
+The report carries a per-output hit/miss column (field 12 of the csv):
+
+  $ step report dec3.blif -g and -m qd --cache -f csv | cut -d, -f1,12
+  po,cache
+  y0,miss
+  y1,hit
+  y2,hit
+  y3,hit
+  y4,hit
+  y5,hit
+  y6,hit
+  y7,hit
+
+A corrupt disk entry is skipped with a diagnostic on stderr — never
+fatal — recomputed, and healed for the next run:
+
+  $ echo garbage > cdir/$(ls cdir)
+  $ step decompose dec3.blif -g and -m qd --cache-dir cdir 2>err.txt | tail -1
+  cache: hits=7 misses=1 entries=1
+  $ grep -o 'CSH001' err.txt
+  CSH001
+  $ step decompose dec3.blif -g and -m qd --cache-dir cdir 2>/dev/null | tail -1
+  cache: hits=8 misses=0 entries=1

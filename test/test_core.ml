@@ -279,6 +279,28 @@ let test_strategies_agree () =
         rest
   | [] -> assert false
 
+let test_qbf_copies_mismatch_rejected () =
+  (* passing [~copies] built for a different problem or gate must raise
+     Invalid_argument with a message naming the mismatch, not assert *)
+  let p1, _ = planted_problem Gate.Or_gate 71 in
+  let p2, _ = planted_problem Gate.Or_gate 73 in
+  let copies = Copies.create p1 Gate.Or_gate in
+  (match Qbf_model.optimize ~copies p2 Gate.Or_gate Qbf_model.Disjointness with
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "names the problem mismatch" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Invalid_argument on problem mismatch");
+  match Qbf_model.optimize ~copies p1 Gate.And_gate Qbf_model.Disjointness with
+  | exception Invalid_argument msg ->
+      let has_sub sub s =
+        let n = String.length sub and m = String.length s in
+        let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names both gates" true
+        (has_sub "OR" msg && has_sub "AND" msg)
+  | _ -> Alcotest.fail "expected Invalid_argument on gate mismatch"
+
 let test_qbf_bootstrap_never_worse () =
   let p, _ = planted_problem Gate.Or_gate 37 in
   let copies = Copies.create p Gate.Or_gate in
@@ -680,6 +702,8 @@ let () =
           Alcotest.test_case "weighted(1,1) = combined" `Quick
             test_qbf_weighted_matches_combined;
           Alcotest.test_case "strategies agree" `Quick test_strategies_agree;
+          Alcotest.test_case "copies mismatch rejected" `Quick
+            test_qbf_copies_mismatch_rejected;
           Alcotest.test_case "bootstrap never worse" `Quick
             test_qbf_bootstrap_never_worse;
         ] );

@@ -64,6 +64,75 @@ let test_budget () =
   | Cegar.Unknown, _ -> ()
   | (Cegar.Valid _ | Cegar.Invalid), _ -> Alcotest.fail "expected Unknown"
 
+let test_deadline_recheck () =
+  (* Swap in a fake clock that advances 1s on every read: the 3.5s budget
+     is over within a handful of clock reads, long before any solve could
+     "finish". Every deadline check (loop head, the re-check between the
+     abstraction and verification solves, and the solver-internal budget)
+     reads the same clock, so the solve must come back Unknown after at
+     most one refinement instead of looping. *)
+  let t = ref 0.0 in
+  Step_obs.Clock.set_source (fun () ->
+      t := !t +. 1.0;
+      !t);
+  Fun.protect ~finally:Step_obs.Clock.use_wall_clock (fun () ->
+      let m = Aig.create () in
+      let x = Aig.fresh_input m and y = Aig.fresh_input m in
+      let matrix = Aig.xor_ m x y in
+      match
+        Cegar.solve ~time_budget:3.5 m ~matrix ~exists_vars:[ 0 ]
+          ~forall_vars:[ 1 ]
+      with
+      | Cegar.Unknown, stats ->
+          Alcotest.(check bool) "no runaway refinement" true
+            (stats.Cegar.iterations <= 1)
+      | (Cegar.Valid _ | Cegar.Invalid), _ ->
+          Alcotest.fail "expected Unknown under an expired fake-clock budget")
+
+let test_deadline_bounds_slow_verify () =
+  (* ∃p00 ∀rest. ¬PHP(13,12): the abstraction is trivially SAT, so the very
+     first verification call asks the SAT solver for PHP(13,12) — a ~2min
+     refutation for this solver, far past the 0.3s budget. Before each
+     solve ran under the remaining wall-clock budget, that single
+     verification pass overshot the deadline by the full refutation time;
+     now it must abort at conflict-count granularity and yield Unknown. *)
+  let pigeons = 13 and holes = 12 in
+  let m = Aig.create () in
+  let p =
+    Array.init pigeons (fun _ ->
+        Array.init holes (fun _ -> Aig.fresh_input m))
+  in
+  let placed =
+    List.init pigeons (fun i ->
+        Aig.or_list m (Array.to_list p.(i)))
+  in
+  let conflicts = ref [] in
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        conflicts :=
+          Aig.or_ m (Aig.not_ p.(i).(j)) (Aig.not_ p.(k).(j)) :: !conflicts
+      done
+    done
+  done;
+  let php = Aig.and_list m (placed @ !conflicts) in
+  let n = pigeons * holes in
+  let t0 = Unix.gettimeofday () in
+  let outcome, _ =
+    Cegar.solve ~time_budget:0.3 m ~matrix:(Aig.not_ php) ~exists_vars:[ 0 ]
+      ~forall_vars:(List.init (n - 1) (fun v -> v + 1))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  (match outcome with
+  | Cegar.Unknown -> ()
+  | Cegar.Valid _ | Cegar.Invalid ->
+      Alcotest.fail "expected Unknown on a budget far below the PHP runtime");
+  (* generous bound: the budgeted solver aborts at conflict-count
+     granularity, so well under the ~2min full refutation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded past-deadline work (%.2fs)" elapsed)
+    true (elapsed < 20.0)
+
 let test_support_check () =
   let m = Aig.create () in
   let x = Aig.fresh_input m in
@@ -356,6 +425,9 @@ let () =
           Alcotest.test_case "invalid" `Quick test_invalid;
           Alcotest.test_case "equality witness" `Quick test_equality_witness;
           Alcotest.test_case "budget" `Quick test_budget;
+          Alcotest.test_case "deadline re-check" `Quick test_deadline_recheck;
+          Alcotest.test_case "deadline bounds slow verify" `Quick
+            test_deadline_bounds_slow_verify;
           Alcotest.test_case "support check" `Quick test_support_check;
         ] );
       ( "qdimacs",
