@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all check test smoke psmoke cachesmoke bench lint clean
+.PHONY: all check test smoke psmoke cachesmoke faultsmoke bench lint clean
 
 all:
 	dune build @all
@@ -13,6 +13,7 @@ check:
 	$(MAKE) lint
 	$(MAKE) psmoke
 	$(MAKE) cachesmoke
+	$(MAKE) faultsmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -66,6 +67,32 @@ cachesmoke:
 	rm -rf cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt \
 	  cachesmoke_warm.txt cachesmoke_cold.body cachesmoke_warm.body
 
+# Fault-injection smoke: under a fixed STEP_FAULTS schedule every output
+# still ends in a definite state (ok / degraded / failed), the process
+# exits 0, and two -j 4 runs are byte-identical (cache off: fault
+# ordinals are only stable when every cone is actually solved).
+faultsmoke:
+	dune build bin/step.exe
+	dune exec --no-build bin/step.exe -- generate -k decoder -n 3 \
+	  -o faultsmoke.blif
+	STEP_FAULTS='seed=7;solver.solve@po:0#1;solver.solve@po:2#1!transient' \
+	  dune exec --no-build bin/step.exe -- report faultsmoke.blif -g and \
+	  -m qd -j 4 --no-cache --fallback mg -f csv \
+	  | sed -E 's/[0-9]+\.[0-9]+(e-?[0-9]+)?/TIME/g' > faultsmoke_a.csv
+	STEP_FAULTS='seed=7;solver.solve@po:0#1;solver.solve@po:2#1!transient' \
+	  dune exec --no-build bin/step.exe -- report faultsmoke.blif -g and \
+	  -m qd -j 4 --no-cache --fallback mg -f csv \
+	  | sed -E 's/[0-9]+\.[0-9]+(e-?[0-9]+)?/TIME/g' > faultsmoke_b.csv
+	diff faultsmoke_a.csv faultsmoke_b.csv
+	grep -q ',degraded,' faultsmoke_a.csv
+	awk -F, 'NR>1 && $$6!="optimal" && $$6!="decomposed" && \
+	  $$6!="indecomposable" && $$6!="timeout" && $$6!="degraded" && \
+	  $$6!="failed" {exit 1}' faultsmoke_a.csv
+	STEP_FAULTS='solver.solve@po:1#1' \
+	  dune exec --no-build bin/step.exe -- report faultsmoke.blif -g and \
+	  -m qd --no-cache -f csv | grep -q '^y1,.*,failed,'
+	rm -f faultsmoke.blif faultsmoke_a.csv faultsmoke_b.csv
+
 bench:
 	dune exec bench/main.exe
 
@@ -73,4 +100,5 @@ clean:
 	dune clean
 	rm -rf bench_out smoke_trace.jsonl psmoke_j1.txt psmoke_j4.txt \
 	  cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt cachesmoke_warm.txt \
-	  cachesmoke_cold.body cachesmoke_warm.body
+	  cachesmoke_cold.body cachesmoke_warm.body faultsmoke.blif \
+	  faultsmoke_a.csv faultsmoke_b.csv

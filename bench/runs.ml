@@ -155,10 +155,19 @@ let dump_json config ~dir ~artifact =
   (try Unix.mkdir dir 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let file = Filename.concat dir (Printf.sprintf "run_%s.json" artifact) in
-  let oc = open_out file in
-  output_string oc (J.to_string j);
-  output_char oc '\n';
-  close_out oc;
+  (* temp file + rename in the same directory: an interrupted or crashed
+     run never leaves a truncated run_*.json behind *)
+  let tmp = Filename.temp_file ~temp_dir:dir "run-" ".tmp" in
+  let oc = open_out tmp in
+  (try
+     output_string oc (J.to_string j);
+     output_char oc '\n';
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp file;
   Printf.printf "wrote %s\n%!" file
 
 (* per-PO metric comparison between a QBF method and a baseline: counts

@@ -28,24 +28,36 @@ module Json = Step_obs.Json
 module Diag = Step_lint.Diag
 module Lint = Step_lint.Lint
 module Cache = Step_cache.Cache
+module Fault = Step_fault.Fault
+module Retry = Step_engine.Retry
 
 open Cmdliner
 
 (* ---------- circuit loading ---------- *)
 
+(* Missing or unreadable inputs are usage errors, not crashes: one line
+   on stderr, exit 2, no backtrace. *)
+let input_error msg =
+  Printf.eprintf "step: %s\n" msg;
+  exit 2
+
 let load_circuit path_or_name =
   if Sys.file_exists path_or_name then begin
-    if Filename.check_suffix path_or_name ".aag" then
-      Aag.parse_file path_or_name
-    else if Filename.check_suffix path_or_name ".aig" then
-      Step_aig.Aig_bin.parse_file path_or_name
-    else Blif.parse_file path_or_name
+    match
+      if Filename.check_suffix path_or_name ".aag" then
+        Aag.parse_file path_or_name
+      else if Filename.check_suffix path_or_name ".aig" then
+        Step_aig.Aig_bin.parse_file path_or_name
+      else Blif.parse_file path_or_name
+    with
+    | c -> c
+    | exception Sys_error msg -> input_error msg
   end
   else
     match Suite.by_name path_or_name with
     | c -> c
     | exception Not_found ->
-        failwith
+        input_error
           (Printf.sprintf
              "%s: not a file and not a known benchmark name (try `step suite`)"
              path_or_name)
@@ -171,6 +183,59 @@ let sanitize_flag =
    solver the run creates, however deep in the stack. *)
 let apply_sanitize flag = if flag then Unix.putenv "STEP_SANITIZE" "1"
 
+let faults_arg =
+  let doc =
+    "Arm the deterministic fault-injection harness with $(docv) — same \
+     grammar as $(b,STEP_FAULTS) (see docs/ROBUSTNESS.md), e.g. \
+     'seed=7;solver.solve@po:0#1'."
+  in
+  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+
+(* The library arms itself from STEP_FAULTS at startup; the flag goes
+   through [configure] directly so it also works after that point. *)
+let apply_faults = function
+  | None -> Ok ()
+  | Some text -> (
+      match Fault.parse text with
+      | Ok spec ->
+          Fault.configure spec;
+          Ok ()
+      | Error msg -> Error msg)
+
+let fallback_arg =
+  let doc =
+    "Degradation ladder: when an output's job fails (or times out with \
+     nothing to show), retry it with these methods in order, e.g. \
+     'qdb>qb>mg'. Recovered outputs are reported as degraded."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "fallback" ] ~docv:"LADDER" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry transiently-failing per-output jobs up to $(docv) times with \
+     seeded exponential backoff (deterministic failures are never \
+     retried)."
+  in
+  Arg.(
+    value
+    & opt int (Retry.default.Retry.max_attempts - 1)
+    & info [ "retries" ] ~docv:"N" ~doc)
+
+let supervision_config ~fallback ~retries config =
+  let config =
+    {
+      config with
+      Config.retry = { Retry.default with Retry.max_attempts = retries + 1 };
+    }
+  in
+  match fallback with
+  | None -> config
+  | Some text -> (
+      match Config.fallback_of_string text with
+      | Ok ladder -> { config with Config.fallback = ladder }
+      | Error msg -> failwith msg)
+
 let cache_flag =
   let doc =
     "Memoize per-output decompositions by canonical cone structure. \
@@ -212,22 +277,27 @@ let print_diags diags =
 
 let print_po_result (r : Pipeline.po_result) =
   let status =
-    match r.Pipeline.partition with
-    | None -> if r.Pipeline.timed_out then "timeout" else "not-decomposable"
-    | Some _ when r.Pipeline.proven_optimal -> "optimal"
-    | Some _ -> "decomposed"
+    match Engine.po_status r with
+    | "indecomposable" -> "not-decomposable"
+    | s -> s
   in
   Printf.printf "%-16s n=%-3d %-16s %6.3fs" r.Pipeline.po_name
     r.Pipeline.support_size status r.Pipeline.cpu;
-  match r.Pipeline.partition with
-  | None -> print_newline ()
+  (match r.Pipeline.partition with
+  | None -> ()
   | Some part ->
-      Printf.printf "  |XA|=%d |XB|=%d |XC|=%d eD=%.3f eB=%.3f\n"
+      Printf.printf "  |XA|=%d |XB|=%d |XC|=%d eD=%.3f eB=%.3f"
         (List.length part.Partition.xa)
         (List.length part.Partition.xb)
         (List.length part.Partition.xc)
         (Partition.disjointness part)
-        (Partition.balancedness part)
+        (Partition.balancedness part));
+  if r.Pipeline.degraded then
+    Printf.printf "  via %s" (Pipeline.method_name r.Pipeline.method_used);
+  (match r.Pipeline.failure with
+  | Some f when not r.Pipeline.degraded -> Printf.printf "  %s" f.Pipeline.error
+  | _ -> ());
+  print_newline ()
 
 let check_artifacts_flag =
   let doc =
@@ -238,7 +308,8 @@ let check_artifacts_flag =
 
 let decompose_cmd =
   let run path gate method_ budget jobs po extract verify_ recursive trace
-      stats sanitize check_artifacts cache no_cache cache_dir =
+      stats sanitize check_artifacts cache no_cache cache_dir faults fallback
+      retries =
     let all_diags = ref [] in
     let note_diags diags =
       if diags <> [] then begin
@@ -250,18 +321,22 @@ let decompose_cmd =
     let finish_cache () = Option.iter print_cache_summary cache_opt in
     let body () =
       apply_sanitize sanitize;
+      (match apply_faults faults with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
       let method_ = Method.of_string method_ in
       let mk_config gate =
         let config =
-          {
-            Config.default with
-            Config.gate;
-            method_;
-            per_po_budget = budget;
-            check_artifacts;
-            jobs;
-            cache = cache_opt;
-          }
+          supervision_config ~fallback ~retries
+            {
+              Config.default with
+              Config.gate;
+              method_;
+              per_po_budget = budget;
+              check_artifacts;
+              jobs;
+              cache = cache_opt;
+            }
         in
         match Config.validate config with
         | Ok config -> config
@@ -374,7 +449,8 @@ let decompose_cmd =
         (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
        $ jobs_arg $ po_arg $ extract_arg $ verify_flag $ recursive_flag
        $ trace_arg $ stats_flag $ sanitize_flag $ check_artifacts_flag
-       $ cache_flag $ no_cache_flag $ cache_dir_arg))
+       $ cache_flag $ no_cache_flag $ cache_dir_arg $ faults_arg
+       $ fallback_arg $ retries_arg))
 
 (* ---------- trace ---------- *)
 
@@ -396,11 +472,15 @@ let trace_cmd =
 
 let report_cmd =
   let format_arg =
-    let doc = "Output format: text, csv, markdown." in
+    let doc = "Output format: text, csv, markdown, json." in
     Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
   in
-  let run path gate method_ budget jobs format cache no_cache cache_dir =
+  let run path gate method_ budget jobs format cache no_cache cache_dir faults
+      fallback retries =
     match
+      (match apply_faults faults with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
       let gate = Gate.of_string gate in
       let method_ = Method.of_string method_ in
       let c = load_circuit path in
@@ -408,14 +488,15 @@ let report_cmd =
       let config =
         match
           Config.validate
-            {
-              Config.default with
-              Config.gate;
-              method_;
-              per_po_budget = budget;
-              jobs;
-              cache = cache_opt;
-            }
+            (supervision_config ~fallback ~retries
+               {
+                 Config.default with
+                 Config.gate;
+                 method_;
+                 per_po_budget = budget;
+                 jobs;
+                 cache = cache_opt;
+               })
         with
         | Ok config -> config
         | Error msg -> failwith msg
@@ -426,6 +507,7 @@ let report_cmd =
         | "text" -> Step_engine.Report.to_text r
         | "csv" -> Step_engine.Report.to_csv r
         | "markdown" | "md" -> Step_engine.Report.to_markdown r
+        | "json" -> Json.to_string (Step_engine.Report.to_json r) ^ "\n"
         | other -> failwith (Printf.sprintf "unknown format %S" other)
       in
       print_string text;
@@ -440,7 +522,8 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
-         $ jobs_arg $ format_arg $ cache_flag $ no_cache_flag $ cache_dir_arg))
+         $ jobs_arg $ format_arg $ cache_flag $ no_cache_flag $ cache_dir_arg
+         $ faults_arg $ fallback_arg $ retries_arg))
 
 let compare_cmd =
   let baseline_arg =
@@ -798,4 +881,35 @@ let main_cmd =
       lint_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* SIGINT/SIGTERM raise Sys.Break at the interrupted point, so every
+   [Fun.protect]-guarded sink on the way out (trace files, cache temp
+   files) flushes and closes before the process exits with the
+   conventional 128+signal code. [eval ~catch:false] lets the exception
+   reach us instead of being rendered as a backtrace. *)
+let () =
+  let got_term = ref false in
+  Sys.catch_break true;
+  (try
+     Sys.set_signal Sys.sigterm
+       (Sys.Signal_handle
+          (fun _ ->
+            got_term := true;
+            raise Sys.Break))
+   with Invalid_argument _ | Sys_error _ -> ());
+  match Cmd.eval ~catch:false main_cmd with
+  | code -> exit code
+  | exception Sys.Break ->
+      flush stdout;
+      let signal, code =
+        if !got_term then ("terminated", 143) else ("interrupted", 130)
+      in
+      Printf.eprintf "step: %s\n" signal;
+      exit code
+  | exception e ->
+      (* what cmdliner's default handler would do, minus swallowing Break *)
+      let bt = Printexc.get_raw_backtrace () in
+      flush stdout;
+      Printf.eprintf "step: internal error, uncaught exception:\n%s\n%s"
+        (Printexc.to_string e)
+        (Printexc.raw_backtrace_to_string bt);
+      exit 125

@@ -136,6 +136,7 @@ let load_disk t ~key ~n_inputs =
   match t.dir with
   | None -> None
   | Some dir ->
+      Step_fault.Fault.hit "cache.read";
       let file = entry_file dir key in
       if not (Sys.file_exists file) then None
       else begin
@@ -187,6 +188,7 @@ let store_disk t ~key e =
   match t.dir with
   | None -> ()
   | Some dir -> (
+      Step_fault.Fault.hit "cache.write";
       let file = entry_file dir key in
       let publish () =
         let tmp =

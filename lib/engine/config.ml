@@ -9,6 +9,8 @@ type t = {
   min_support : int;
   check_artifacts : bool;
   jobs : int;
+  retry : Retry.policy;
+  fallback : Method.t list;
   trace : Step_obs.Obs.sink option;
   stats : (string -> unit) option;
   cache : Step_cache.Cache.t option;
@@ -23,10 +25,35 @@ let default =
     min_support = 2;
     check_artifacts = false;
     jobs = 1;
+    retry = Retry.default;
+    fallback = [];
     trace = None;
     stats = None;
     cache = None;
   }
+
+(* "qdb>qb>mg": the degradation ladder, cheapest method last. A leading
+   rung equal to the primary method is tolerated (people write the full
+   ladder including the method they configured) and dropped at run
+   time. *)
+let fallback_of_string text =
+  let names =
+    String.split_on_char '>' text |> List.map String.trim
+    |> List.filter (( <> ) "")
+  in
+  if names = [] then Error "empty fallback ladder"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match Method.of_string_opt n with
+          | Some m ->
+              if List.mem m acc then
+                Error (Printf.sprintf "fallback ladder repeats %S" n)
+              else go (m :: acc) rest
+          | None -> Error (Printf.sprintf "unknown fallback method %S" n))
+    in
+    go [] names
 
 let validate c =
   if c.jobs < 1 then
@@ -37,7 +64,19 @@ let validate c =
     Error "total_budget must be non-negative"
   else if c.min_support < 0 then
     Error (Printf.sprintf "min_support must be >= 0 (got %d)" c.min_support)
-  else Ok c
+  else
+    match Retry.validate c.retry with
+    | Error msg -> Error msg
+    | Ok _ ->
+        let rec dup = function
+          | [] -> None
+          | m :: rest -> if List.mem m rest then Some m else dup rest
+        in
+        (match dup c.fallback with
+        | Some m ->
+            Error
+              (Printf.sprintf "fallback ladder repeats %s" (Method.to_string m))
+        | None -> Ok c)
 
 let with_gate gate c = { c with gate }
 
@@ -52,6 +91,10 @@ let with_min_support min_support c = { c with min_support }
 let with_check_artifacts check_artifacts c = { c with check_artifacts }
 
 let with_jobs jobs c = { c with jobs }
+
+let with_retry retry c = { c with retry }
+
+let with_fallback fallback c = { c with fallback }
 
 let with_trace trace c = { c with trace }
 

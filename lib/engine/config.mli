@@ -33,6 +33,16 @@ type t = {
       (** Worker domains decomposing primary outputs in parallel
           (default 1 = sequential, in the calling domain). Results are
           deterministic and identically ordered regardless of [jobs]. *)
+  retry : Retry.policy;
+      (** Supervision policy for per-output jobs: transient failures
+          (disk races, resource pressure, injected [!transient] faults)
+          are retried with seeded jittered backoff; deterministic
+          failures never are. Default {!Retry.default}. *)
+  fallback : Step_core.Method.t list;
+      (** Degradation ladder: when a job fails (or times out with no
+          partition), the output is re-run with these methods in order
+          and the first usable result is kept, marked [degraded].
+          Default []. Parse CLI specs with {!fallback_of_string}. *)
   trace : Step_obs.Obs.sink option;
       (** When set, installed for the duration of the run (and restored
           afterwards); span records from all worker domains are delivered
@@ -51,8 +61,14 @@ val default : t
 
 val validate : t -> (t, string) result
 (** [Ok] with the config itself, or [Error msg] naming the offending
-    field. Rejects [jobs < 1], NaN/negative budgets, and negative
-    [min_support]. *)
+    field. Rejects [jobs < 1], NaN/negative budgets, negative
+    [min_support], invalid retry policies ({!Retry.validate}) and
+    ladders repeating a method. *)
+
+val fallback_of_string : string -> (Step_core.Method.t list, string) result
+(** Parse a CLI ladder spec: method names separated by ['>'], e.g.
+    ["qdb>qb>mg"] — any spelling {!Step_core.Method.of_string} takes.
+    Rejects empty ladders, unknown names, and repeats. *)
 
 val with_gate : Step_core.Gate.t -> t -> t
 
@@ -67,6 +83,10 @@ val with_min_support : int -> t -> t
 val with_check_artifacts : bool -> t -> t
 
 val with_jobs : int -> t -> t
+
+val with_retry : Retry.policy -> t -> t
+
+val with_fallback : Step_core.Method.t list -> t -> t
 
 val with_trace : Step_obs.Obs.sink option -> t -> t
 

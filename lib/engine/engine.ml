@@ -5,6 +5,7 @@ module Obs = Step_obs.Obs
 module Clock = Step_obs.Clock
 module Json = Step_obs.Json
 module Metrics = Step_obs.Metrics
+module Fault = Step_fault.Fault
 module Method = Step_core.Method
 module Gate = Step_core.Gate
 module Partition = Step_core.Partition
@@ -20,6 +21,21 @@ let method_of_string = Method.of_string
 
 let method_of_string_opt = Method.of_string_opt
 
+(* supervision telemetry, merged across runs and worker domains *)
+let m_retries = Metrics.counter "engine.retries"
+
+let m_failures = Metrics.counter "engine.failures"
+
+let m_degraded = Metrics.counter "engine.degraded"
+
+type po_failure = {
+  error : string;
+  backtrace : string;
+  attempts : int;
+  elapsed : float;
+  transient : bool;
+}
+
 type po_result = {
   po_name : string;
   support_size : int;
@@ -30,7 +46,22 @@ type po_result = {
   cpu : float;
   counters : (string * int) list;
   diags : Step_lint.Diag.t list;
+  method_used : Method.t;
+  degraded : bool;
+  attempts : int;
+  failure : po_failure option;
 }
+
+let po_status r =
+  if r.degraded then "degraded"
+  else
+    match r.failure with
+    | Some _ -> "failed"
+    | None -> (
+        match r.partition with
+        | Some _ when r.proven_optimal -> "optimal"
+        | Some _ -> "decomposed"
+        | None -> if r.timed_out then "timeout" else "indecomposable")
 
 type circuit_result = {
   circuit_name : string;
@@ -188,6 +219,10 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
       cpu = Clock.elapsed_since t0;
       counters;
       diags;
+      method_used = method_;
+      degraded = false;
+      attempts = 1;
+      failure = None;
     }
   in
   if n < max 2 min_support then finish None true false
@@ -282,7 +317,7 @@ let circuit t = t.circuit
 
 let config t = t.config
 
-let timeout_stub name =
+let timeout_stub ~method_ name =
   {
     po_name = name;
     support_size = 0;
@@ -293,6 +328,36 @@ let timeout_stub name =
     cpu = 0.0;
     counters = [];
     diags = [];
+    method_used = method_;
+    degraded = false;
+    attempts = 1;
+    failure = None;
+  }
+
+let failed_stub ~method_ ~attempts ~elapsed name failure =
+  {
+    po_name = name;
+    support_size = 0;
+    partition = None;
+    proven_optimal = false;
+    timed_out = false;
+    cache_hit = None;
+    cpu = elapsed;
+    counters = [];
+    diags = [];
+    method_used = method_;
+    degraded = false;
+    attempts;
+    failure = Some failure;
+  }
+
+let po_failure_of (f : Retry.failure) =
+  {
+    error = Printexc.to_string f.Retry.exn;
+    backtrace = Printexc.raw_backtrace_to_string f.Retry.backtrace;
+    attempts = f.Retry.attempts;
+    elapsed = f.Retry.elapsed;
+    transient = f.Retry.classification = Retry.Transient;
   }
 
 (* Each job gets a private compacted copy of the session circuit: solver
@@ -308,28 +373,125 @@ let job_cache cfg =
     (fun c -> (c, cfg.Config.per_po_budget))
     cfg.Config.cache
 
-let run_job eng ~deadline i =
+let run_method_job eng ~deadline method_ i =
   let cfg = eng.config in
   let remaining = deadline -. Clock.now () in
-  if remaining <= 0.0 then timeout_stub (Circuit.output_name eng.circuit i)
+  if remaining <= 0.0 then
+    timeout_stub ~method_ (Circuit.output_name eng.circuit i)
   else
     decompose_on ?cache:(job_cache cfg)
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
       ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
-      cfg.Config.gate cfg.Config.method_
+      cfg.Config.gate method_
 
-let run_auto_job eng ~deadline i =
+let run_auto_method_job eng ~deadline method_ i =
   let cfg = eng.config in
   let remaining = deadline -. Clock.now () in
   if remaining <= 0.0 then
-    (None, timeout_stub (Circuit.output_name eng.circuit i))
+    (None, timeout_stub ~method_ (Circuit.output_name eng.circuit i))
   else
     decompose_auto_on ?cache:(job_cache cfg)
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
-      ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
-      cfg.Config.method_
+      ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i method_
+
+(* A result a degradation rung may stand on: either a partition was
+   found or the method reached a real verdict (indecomposable). A
+   timeout with nothing in hand is not usable — the ladder moves on. *)
+let usable r = r.partition <> None || not r.timed_out
+
+let po_scope i = "po:" ^ string_of_int i
+
+(* The per-job fault domain. Everything one output does — every attempt
+   of every ladder rung — runs inside one Fault scope named after the
+   output index, so injected-fault ordinals are deterministic at any
+   [jobs]. [job method_ i] returns an auxiliary value (the chosen gate
+   for the auto path, unit otherwise) alongside the row; [no_aux] is
+   what a failed output reports for it.
+
+   The flow: the configured method runs under the retry policy
+   (transient failures back off and retry, deterministic ones do not);
+   if it fails or times out empty-handed, the fallback ladder re-runs
+   the output with each cheaper method in turn, and the first usable
+   result is kept, marked [degraded] and carrying the primary's failure
+   record. A job only yields a [failed] row when the primary raised and
+   every rung was exhausted. *)
+let supervise_job eng ~no_aux ~job i =
+  let cfg = eng.config in
+  let name = Circuit.output_name eng.circuit i in
+  let scope = po_scope i in
+  Fault.with_scope scope @@ fun () ->
+  let t0 = Clock.now () in
+  let total_attempts = ref 0 in
+  let attempt_method ~fallback method_ =
+    Retry.run
+      ~on_retry:(fun ~attempt:_ _ -> Metrics.inc m_retries)
+      cfg.Config.retry ~scope
+      (fun ~attempt ->
+        incr total_attempts;
+        Obs.span
+          ~attrs:
+            [
+              ("po", Json.String name);
+              ("method", Json.String (Method.to_string method_));
+              ("attempt", Json.Int attempt);
+              ("fallback", Json.Bool fallback);
+            ]
+          "engine.attempt"
+        @@ fun () ->
+        Fault.hit "pool.dispatch";
+        let aux, r = job method_ i in
+        Obs.add_attr "status" (Json.String (po_status r));
+        (aux, r))
+  in
+  let primary = attempt_method ~fallback:false cfg.Config.method_ in
+  let primary_failure =
+    match primary with Error f -> Some (po_failure_of f) | Ok _ -> None
+  in
+  let restamp (aux, r) = (aux, { r with attempts = !total_attempts }) in
+  let degraded (aux, r) =
+    Metrics.inc m_degraded;
+    ( aux,
+      {
+        r with
+        degraded = true;
+        attempts = !total_attempts;
+        failure = primary_failure;
+      } )
+  in
+  let rec try_ladder ~on_exhausted = function
+    | [] -> on_exhausted ()
+    | m :: rest -> (
+        match attempt_method ~fallback:true m with
+        | Ok ((_, r) as res) when usable r -> degraded res
+        | Ok _ | Error _ -> try_ladder ~on_exhausted rest)
+  in
+  let ladder =
+    List.filter (fun m -> m <> cfg.Config.method_) cfg.Config.fallback
+  in
+  match primary with
+  | Ok ((_, r) as res) when usable r || ladder = [] -> restamp res
+  | Ok res ->
+      (* timed out with nothing: degrade if a rung delivers, else keep
+         the honest timeout row *)
+      try_ladder ~on_exhausted:(fun () -> restamp res) ladder
+  | Error f ->
+      try_ladder ladder ~on_exhausted:(fun () ->
+          Metrics.inc m_failures;
+          ( no_aux,
+            failed_stub ~method_:cfg.Config.method_
+              ~attempts:!total_attempts
+              ~elapsed:(Clock.elapsed_since t0) name (po_failure_of f) ))
+
+let run_job eng ~deadline i =
+  snd
+    (supervise_job eng ~no_aux:()
+       ~job:(fun m i -> ((), run_method_job eng ~deadline m i))
+       i)
+
+let run_auto_job eng ~deadline i =
+  supervise_job eng ~no_aux:None ~job:(run_auto_method_job eng ~deadline) i
 
 let decompose_po eng i = run_job eng ~deadline:infinity i
 
@@ -372,16 +534,20 @@ let run eng =
   let t0 = Clock.now () in
   let deadline = t0 +. cfg.Config.total_budget in
   let per_po =
-    Pool.map ~jobs:cfg.Config.jobs
+    Pool.map_result ~fatal:Retry.fatal ~jobs:cfg.Config.jobs
       (Circuit.n_outputs eng.circuit)
       (run_job eng ~deadline)
+    |> Array.map (function
+         | Ok r -> r
+         (* supervision converts non-fatal failures into rows; anything
+            still escaping is a harness bug and must surface *)
+         | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
   in
-  let n_decomposed =
-    Array.fold_left
-      (fun acc r -> if r.partition <> None then acc + 1 else acc)
-      0 per_po
-  in
+  let count p = Array.fold_left (fun acc r -> if p r then acc + 1 else acc) 0 per_po in
+  let n_decomposed = count (fun r -> r.partition <> None) in
   Obs.add_attr "n_decomposed" (Json.Int n_decomposed);
+  Obs.add_attr "n_failed" (Json.Int (count (fun r -> po_status r = "failed")));
+  Obs.add_attr "n_degraded" (Json.Int (count (fun r -> r.degraded)));
   {
     circuit_name = eng.circuit.Circuit.name;
     method_used = cfg.Config.method_;
@@ -399,9 +565,12 @@ let run_auto eng =
   let t0 = Clock.now () in
   let deadline = t0 +. cfg.Config.total_budget in
   let results =
-    Pool.map ~jobs:cfg.Config.jobs
+    Pool.map_result ~fatal:Retry.fatal ~jobs:cfg.Config.jobs
       (Circuit.n_outputs eng.circuit)
       (run_auto_job eng ~deadline)
+    |> Array.map (function
+         | Ok r -> r
+         | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
   in
   let n_decomposed =
     Array.fold_left

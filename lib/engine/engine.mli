@@ -34,6 +34,16 @@ val method_of_string_opt : string -> Step_core.Method.t option
 
 (** {1 Results} *)
 
+type po_failure = {
+  error : string;  (** [Printexc.to_string] of the final exception. *)
+  backtrace : string;
+  attempts : int;  (** Attempts the failing method consumed. *)
+  elapsed : float;  (** Wall-clock across those attempts, backoff included. *)
+  transient : bool;
+      (** Whether the final failure was classified retryable
+          ({!Retry.classify}); [true] means the retry budget ran out. *)
+}
+
 type po_result = {
   po_name : string;
   support_size : int;
@@ -53,7 +63,25 @@ type po_result = {
   diags : Step_lint.Diag.t list;
       (** Artifact-lint findings for this output (the partition checked
           against the support). Empty unless [check_artifacts] was set. *)
+  method_used : Step_core.Method.t;
+      (** The method that produced this row — the configured one, or a
+          degradation-ladder rung when [degraded]. *)
+  degraded : bool;
+      (** The configured method failed (or timed out empty-handed) and
+          this row came from a [Config.fallback] rung. *)
+  attempts : int;
+      (** Supervision attempts spent on this output, all methods
+          included ([1] when nothing went wrong). *)
+  failure : po_failure option;
+      (** [Some] when the configured method's job raised: the row is
+          [failed] if no ladder rung recovered it, [degraded] otherwise
+          (the record then describes the primary method's failure). *)
 }
+
+val po_status : po_result -> string
+(** One word per row, the vocabulary shared by reports and the CLI:
+    ["optimal" | "decomposed" | "indecomposable" | "timeout" |
+    "degraded" | "failed"]. *)
 
 type circuit_result = {
   circuit_name : string;

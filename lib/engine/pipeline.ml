@@ -8,6 +8,14 @@ let method_name = Step_core.Method.to_string
 
 let method_of_string = Step_core.Method.of_string
 
+type po_failure = Engine.po_failure = {
+  error : string;
+  backtrace : string;
+  attempts : int;
+  elapsed : float;
+  transient : bool;
+}
+
 type po_result = Engine.po_result = {
   po_name : string;
   support_size : int;
@@ -18,6 +26,10 @@ type po_result = Engine.po_result = {
   cpu : float;
   counters : (string * int) list;
   diags : Step_lint.Diag.t list;
+  method_used : Step_core.Method.t;
+  degraded : bool;
+  attempts : int;
+  failure : po_failure option;
 }
 
 type circuit_result = Engine.circuit_result = {

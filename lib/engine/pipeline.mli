@@ -26,6 +26,17 @@ val method_of_string : string -> method_
 (** Accepts ["ljh"], ["mg"], ["qd"], ["qb"], ["qdb"] and the printed
     ["STEP-*"] names, case-insensitively. @raise Failure. *)
 
+type po_failure = Engine.po_failure = {
+  error : string;
+  backtrace : string;
+  attempts : int;
+  elapsed : float;
+  transient : bool;
+}
+(** See {!Engine.po_failure}. The shims never retry or degrade (they run
+    the default supervision policy with an empty ladder), so shim rows
+    only carry a failure when the method itself raised. *)
+
 type po_result = Engine.po_result = {
   po_name : string;
   support_size : int;
@@ -45,6 +56,13 @@ type po_result = Engine.po_result = {
   diags : Step_lint.Diag.t list;
       (** Artifact-lint findings for this output (the partition checked
           against the support). Empty unless [check_artifacts] was set. *)
+  method_used : Step_core.Method.t;
+      (** The method that produced this row; a fallback rung when
+          [degraded]. *)
+  degraded : bool;  (** Row recovered through the degradation ladder. *)
+  attempts : int;  (** Supervision attempts spent, all methods included. *)
+  failure : po_failure option;
+      (** The configured method's failure, when it raised. *)
 }
 
 type circuit_result = Engine.circuit_result = {

@@ -4,16 +4,30 @@
     queue drained by worker domains. Kept separate from {!Engine} so the
     fan-out logic is testable on its own. *)
 
-val map : jobs:int -> int -> (int -> 'a) -> 'a array
-(** [map ~jobs n f] evaluates [f i] for every [i] in [0..n-1] and returns
-    the results in index order (slot [i] always holds [f i], regardless of
-    which domain computed it or when).
+type 'a outcome = ('a, exn * Printexc.raw_backtrace) result
+
+val map_result :
+  ?fatal:(exn -> bool) -> jobs:int -> int -> (int -> 'a) -> 'a outcome array
+(** [map_result ~jobs n f] evaluates [f i] for every [i] in [0..n-1] in
+    a per-job fault domain: slot [i] holds [Ok (f i)] or [Error] with
+    the exception [f i] raised (and its backtrace) — one crashing job
+    never discards its siblings' results. Slots are in index order
+    regardless of which domain computed them or when.
 
     With [jobs <= 1] (or [n <= 1]) everything runs inline in the calling
-    domain — no domains are spawned, so per-domain state (e.g. the tracing
-    span stack) is the caller's. Otherwise [min jobs n - 1] extra domains
-    are spawned and the calling domain works alongside them.
+    domain — no domains are spawned, so per-domain state (e.g. the
+    tracing span stack) is the caller's. Otherwise [min jobs n - 1]
+    extra domains are spawned and the calling domain works alongside
+    them.
 
-    [f] must be safe to call from multiple domains concurrently. If any
-    call raises, the first exception in index order is re-raised (with its
-    backtrace) after all work finishes; later slots are still computed. *)
+    [?fatal] classifies exceptions that must abort the whole map
+    (interrupts, invariant violations): a fatal exception poisons the
+    pool — jobs not yet started are skipped — and is re-raised, with its
+    backtrace, once every domain has parked. Default: nothing is fatal.
+
+    [f] must be safe to call from multiple domains concurrently. *)
+
+val map : jobs:int -> int -> (int -> 'a) -> 'a array
+(** {!map_result} with the legacy contract: if any call raises, the
+    first exception in index order is re-raised (with its backtrace)
+    after all work finishes; later slots are still computed. *)

@@ -3,6 +3,8 @@ type aggregate = {
   n_decomposed : int;
   n_optimal : int;
   n_timed_out : int;
+  n_failed : int;
+  n_degraded : int;
   mean_disjointness : float;
   mean_balancedness : float;
   total_cpu : float;
@@ -31,6 +33,14 @@ let aggregate_of (r : Pipeline.circuit_result) =
     n_timed_out =
       Array.fold_left
         (fun acc po -> if po.Pipeline.timed_out then acc + 1 else acc)
+        0 r.Pipeline.per_po;
+    n_failed =
+      Array.fold_left
+        (fun acc po -> if Engine.po_status po = "failed" then acc + 1 else acc)
+        0 r.Pipeline.per_po;
+    n_degraded =
+      Array.fold_left
+        (fun acc po -> if po.Pipeline.degraded then acc + 1 else acc)
         0 r.Pipeline.per_po;
     mean_disjointness = mean Step_core.Partition.disjointness;
     mean_balancedness = mean Step_core.Partition.balancedness;
@@ -95,6 +105,9 @@ let summary_line (r : Pipeline.circuit_result) =
     (Step_core.Gate.to_string r.Pipeline.gate_used)
     a.n_decomposed a.n_outputs a.n_optimal a.n_timed_out a.mean_disjointness
     a.mean_balancedness a.total_cpu
+  ^ (if a.n_failed > 0 then Printf.sprintf " failed=%d" a.n_failed else "")
+  ^ (if a.n_degraded > 0 then Printf.sprintf " degraded=%d" a.n_degraded
+     else "")
   ^
   match cache_counts r with
   | 0, 0 -> ""
@@ -105,12 +118,7 @@ let to_text r =
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
-      let status =
-        match po.Pipeline.partition with
-        | None -> if po.Pipeline.timed_out then "timeout" else "indecomposable"
-        | Some _ when po.Pipeline.proven_optimal -> "optimal"
-        | Some _ -> "decomposed"
-      in
+      let status = Engine.po_status po in
       let cache_suffix =
         match po.Pipeline.cache_hit with
         | None -> ""
@@ -130,15 +138,16 @@ let to_text r =
 let to_csv r =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,cache,counters\n";
+    "po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,counters\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%b,%b,%b,%d,%d,%d,%f,%f,%f,%s,%s\n"
+        (Printf.sprintf "%s,%d,%b,%b,%b,%s,%d,%d,%d,%d,%f,%f,%f,%s,%s\n"
            po.Pipeline.po_name po.Pipeline.support_size
            (po.Pipeline.partition <> None)
-           po.Pipeline.proven_optimal po.Pipeline.timed_out xa xb xc ed eb
+           po.Pipeline.proven_optimal po.Pipeline.timed_out
+           (Engine.po_status po) po.Pipeline.attempts xa xb xc ed eb
            po.Pipeline.cpu (cache_cell po)
            (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
@@ -158,10 +167,7 @@ let to_markdown r =
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
       let status =
-        match po.Pipeline.partition with
-        | None -> if po.Pipeline.timed_out then "timeout" else "—"
-        | Some _ when po.Pipeline.proven_optimal -> "optimal"
-        | Some _ -> "decomposed"
+        match Engine.po_status po with "indecomposable" -> "—" | s -> s
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -183,6 +189,22 @@ let to_json (r : Pipeline.circuit_result) =
       | None -> []
       | Some hit -> [ ("cache", J.String (if hit then "hit" else "miss")) ]
     in
+    let supervision =
+      (if po.Pipeline.degraded then [ ("degraded", J.Bool true) ] else [])
+      @
+      match po.Pipeline.failure with
+      | None -> []
+      | Some f ->
+          [
+            ( "failure",
+              J.Obj
+                [
+                  ("error", J.String f.Pipeline.error);
+                  ("attempts", J.Int f.Pipeline.attempts);
+                  ("transient", J.Bool f.Pipeline.transient);
+                ] );
+          ]
+    in
     J.Obj
       ([
          ("po", J.String po.Pipeline.po_name);
@@ -190,6 +212,9 @@ let to_json (r : Pipeline.circuit_result) =
          ("decomposed", J.Bool (po.Pipeline.partition <> None));
          ("optimal", J.Bool po.Pipeline.proven_optimal);
          ("timed_out", J.Bool po.Pipeline.timed_out);
+         ("status", J.String (Engine.po_status po));
+         ("method", J.String (Pipeline.method_name po.Pipeline.method_used));
+         ("attempts", J.Int po.Pipeline.attempts);
          ("xa", J.Int xa);
          ("xb", J.Int xb);
          ("xc", J.Int xc);
@@ -197,7 +222,7 @@ let to_json (r : Pipeline.circuit_result) =
          ("eB", J.Float eb);
          ("cpu_s", J.Float po.Pipeline.cpu);
        ]
-      @ cache
+      @ cache @ supervision
       @ [ ("counters", counters_json po.Pipeline.counters) ])
   in
   let cache =
@@ -205,6 +230,12 @@ let to_json (r : Pipeline.circuit_result) =
     | 0, 0 -> []
     | hits, misses ->
         [ ("cache_hits", J.Int hits); ("cache_misses", J.Int misses) ]
+  in
+  let a = aggregate_of r in
+  let supervision =
+    (if a.n_failed > 0 then [ ("n_failed", J.Int a.n_failed) ] else [])
+    @
+    if a.n_degraded > 0 then [ ("n_degraded", J.Int a.n_degraded) ] else []
   in
   J.Obj
     ([
@@ -215,6 +246,7 @@ let to_json (r : Pipeline.circuit_result) =
        ("n_decomposed", J.Int r.Pipeline.n_decomposed);
        ("total_cpu_s", J.Float r.Pipeline.total_cpu);
      ]
+    @ supervision
     @ cache
     @ [
         ("counters", counters_json (counters_of r));

@@ -9,6 +9,8 @@ type aggregate = {
   n_decomposed : int;
   n_optimal : int;
   n_timed_out : int;
+  n_failed : int;  (** POs whose job raised and no ladder rung recovered. *)
+  n_degraded : int;  (** POs recovered through the degradation ladder. *)
   mean_disjointness : float; (** Over decomposed POs; [nan] if none. *)
   mean_balancedness : float;
   total_cpu : float;
@@ -25,8 +27,9 @@ val to_text : Pipeline.circuit_result -> string
 
 val to_csv : Pipeline.circuit_result -> string
 (** One row per PO:
-    [po,support,decomposed,optimal,timed_out,xa,xb,xc,eD,eB,cpu,counters]
-    — the counters cell is [;]-separated [key=value] pairs. *)
+    [po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,counters]
+    — [status] is {!Engine.po_status}, the counters cell is
+    [;]-separated [key=value] pairs. *)
 
 val to_markdown : Pipeline.circuit_result -> string
 

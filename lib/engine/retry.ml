@@ -1,0 +1,88 @@
+module Clock = Step_obs.Clock
+module Fault = Step_fault.Fault
+
+type classification = Transient | Deterministic
+
+type policy = {
+  max_attempts : int;
+  backoff_base : float;
+  backoff_max : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    backoff_base = 0.05;
+    backoff_max = 0.5;
+    jitter = 0.5;
+    seed = 0;
+  }
+
+let validate p =
+  let bad fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if p.max_attempts < 1 then
+    bad "retry max_attempts must be >= 1 (got %d)" p.max_attempts
+  else if Float.is_nan p.backoff_base || p.backoff_base < 0.0 then
+    bad "retry backoff_base must be non-negative"
+  else if Float.is_nan p.backoff_max || p.backoff_max < 0.0 then
+    bad "retry backoff_max must be non-negative"
+  else if Float.is_nan p.jitter || p.jitter < 0.0 || p.jitter > 1.0 then
+    bad "retry jitter must be in [0, 1]"
+  else Ok p
+
+type failure = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;
+  elapsed : float;
+  classification : classification;
+}
+
+let classify = function
+  | Fault.Injected { kind = Fault.Transient; _ } -> Transient
+  | Fault.Injected { kind = Fault.Crash; _ } -> Deterministic
+  | Sys_error _ | Unix.Unix_error _ | Out_of_memory -> Transient
+  | _ -> Deterministic
+
+let fatal = function
+  | Stdlib.Exit | Sys.Break | Step_sat.Solver.Sanitizer_violation _ -> true
+  | _ -> false
+
+let delay policy ~scope ~attempt =
+  if policy.backoff_base <= 0.0 then 0.0
+  else begin
+    let exp =
+      policy.backoff_base *. Float.pow 2.0 (float_of_int (attempt - 1))
+    in
+    let u = Fault.uniform ~seed:policy.seed [ "retry"; scope; string_of_int attempt ] in
+    let factor = 1.0 -. policy.jitter +. (2.0 *. policy.jitter *. u) in
+    Float.min policy.backoff_max (exp *. factor)
+  end
+
+let run ?(on_retry = fun ~attempt:_ _ -> ()) policy ~scope f =
+  let t0 = Clock.now () in
+  let rec go attempt =
+    match f ~attempt with
+    | v -> Ok v
+    | exception e when not (fatal e) ->
+        let backtrace = Printexc.get_raw_backtrace () in
+        let classification = classify e in
+        if classification = Transient && attempt < policy.max_attempts then begin
+          on_retry ~attempt e;
+          let d = delay policy ~scope ~attempt in
+          if d > 0.0 then Unix.sleepf d;
+          go (attempt + 1)
+        end
+        else
+          Error
+            {
+              exn = e;
+              backtrace;
+              attempts = attempt;
+              elapsed = Clock.elapsed_since t0;
+              classification;
+            }
+  in
+  go 1

@@ -1,0 +1,62 @@
+(** Bounded retry with seeded, jittered exponential backoff — the
+    per-job supervision primitive of the engine.
+
+    Failures are classified before any retry decision:
+    {ul
+    {- [Transient] — resource pressure and disk races ([Sys_error],
+       [Unix.Unix_error], [Out_of_memory]) and faults injected with
+       [!transient] (see {!Step_fault.Fault}). Retried up to
+       [max_attempts] with backoff.}
+    {- [Deterministic] — everything else (parse/validation errors,
+       [Failure], [Invalid_argument], injected [crash] faults): the
+       same input will fail the same way, so these never retry.}}
+
+    A few exceptions are {e fatal} and pass straight through the
+    supervisor: [Stdlib.Exit], [Sys.Break] (interrupts) and the
+    solver's [Sanitizer_violation] (an invariant bug must abort the
+    run, not become a row). *)
+
+type classification = Transient | Deterministic
+
+type policy = {
+  max_attempts : int;  (** Total attempts, [>= 1]. [1]: never retry. *)
+  backoff_base : float;  (** Seconds before attempt 2; doubles per retry. *)
+  backoff_max : float;  (** Ceiling on any single delay. *)
+  jitter : float;
+      (** Fraction in [[0, 1]]: each delay is scaled by a factor drawn
+          deterministically from [[1 - jitter, 1 + jitter]]. *)
+  seed : int;  (** Keys the jitter stream (with the retry scope). *)
+}
+
+val default : policy
+(** 3 attempts, 50 ms base, 500 ms cap, 50% jitter, seed 0. *)
+
+val validate : policy -> (policy, string) result
+
+type failure = {
+  exn : exn;
+  backtrace : Printexc.raw_backtrace;
+  attempts : int;  (** Attempts consumed, including the failing one. *)
+  elapsed : float;  (** Wall-clock over all attempts, sleeps included. *)
+  classification : classification;
+}
+
+val classify : exn -> classification
+
+val fatal : exn -> bool
+(** True for exceptions supervision must never swallow. *)
+
+val delay : policy -> scope:string -> attempt:int -> float
+(** The backoff before attempt [attempt + 1]. Deterministic in
+    [(policy.seed, scope, attempt)]. *)
+
+val run :
+  ?on_retry:(attempt:int -> exn -> unit) ->
+  policy ->
+  scope:string ->
+  (attempt:int -> 'a) ->
+  ('a, failure) result
+(** [run policy ~scope f] calls [f ~attempt:1]; on a transient failure
+    sleeps {!delay} and tries again, up to [policy.max_attempts].
+    [on_retry] fires before each sleep. Fatal exceptions propagate with
+    their backtraces. *)

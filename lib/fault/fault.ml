@@ -1,0 +1,244 @@
+module Metrics = Step_obs.Metrics
+
+let m_injected = Metrics.counter "fault.injected"
+
+type kind = Crash | Transient
+
+exception
+  Injected of { site : string; scope : string; hit : int; kind : kind }
+
+let () =
+  Printexc.register_printer (function
+    | Injected { site; scope; hit; kind } ->
+        Some
+          (Printf.sprintf "fault injected at %s (scope %s, hit %d, %s)" site
+             (if scope = "" then "-" else scope)
+             hit
+             (match kind with Crash -> "crash" | Transient -> "transient"))
+    | _ -> None)
+
+type clause = {
+  c_site : string;
+  c_scope : string option; (* None: any scope *)
+  c_hits : (int * int) option; (* inclusive 1-based ordinal range *)
+  c_prob : float option; (* None: always (subject to the range) *)
+  c_kind : kind;
+}
+
+type spec = { seed : int; clauses : clause list }
+
+let sites =
+  [ "solver.solve"; "cegar.iter"; "cache.read"; "cache.write"; "pool.dispatch" ]
+
+(* ---------- splitmix64 ---------- *)
+
+let splitmix64 state =
+  let open Int64 in
+  let z = add state 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  (z, logxor z (shift_right_logical z 31))
+
+let uniform ~seed keys =
+  let mix h k =
+    let h = Int64.logxor h (Int64.of_int (Hashtbl.hash k)) in
+    let h, _ = splitmix64 h in
+    h
+  in
+  let h = List.fold_left mix (Int64.of_int seed) ("step.fault" :: keys) in
+  let _, out = splitmix64 h in
+  (* top 53 bits give a uniform dyadic rational in [0, 1) *)
+  Int64.to_float (Int64.shift_right_logical out 11) /. 9007199254740992.0
+
+(* ---------- spec parsing ---------- *)
+
+let parse text =
+  let ( let* ) = Result.bind in
+  let clause_texts =
+    String.split_on_char ';' text
+    |> List.concat_map (String.split_on_char ',')
+    |> List.map String.trim
+    |> List.filter (( <> ) "")
+  in
+  let parse_int what s =
+    match int_of_string_opt (String.trim s) with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "%s: not an integer (%S)" what s)
+  in
+  let parse_hits s =
+    match String.index_opt s '-' with
+    | None ->
+        let* n = parse_int "hit ordinal" s in
+        if n < 1 then Error "hit ordinals are 1-based" else Ok (n, n)
+    | Some i ->
+        let* lo = parse_int "hit ordinal" (String.sub s 0 i) in
+        let* hi =
+          parse_int "hit ordinal"
+            (String.sub s (i + 1) (String.length s - i - 1))
+        in
+        if lo < 1 || hi < lo then Error (Printf.sprintf "bad hit range %S" s)
+        else Ok (lo, hi)
+  in
+  let parse_fault s =
+    let is_delim c = c = '@' || c = '#' || c = '%' || c = '!' in
+    let n = String.length s in
+    let rec chunk_end i = if i < n && not (is_delim s.[i]) then chunk_end (i + 1) else i in
+    let site_end = chunk_end 0 in
+    let site = String.sub s 0 site_end in
+    let* () =
+      if List.mem site sites then Ok ()
+      else
+        Error
+          (Printf.sprintf "unknown fault site %S (sites: %s)" site
+             (String.concat ", " sites))
+    in
+    let rec go acc i =
+      if i >= n then Ok acc
+      else begin
+        let delim = s.[i] in
+        let stop = chunk_end (i + 1) in
+        let chunk = String.sub s (i + 1) (stop - i - 1) in
+        let* acc =
+          match delim with
+          | '@' ->
+              if chunk = "" then Error "empty @scope filter"
+              else Ok { acc with c_scope = Some chunk }
+          | '#' ->
+              let* r = parse_hits chunk in
+              Ok { acc with c_hits = Some r }
+          | '%' -> (
+              match float_of_string_opt chunk with
+              | Some p when p >= 0.0 && p <= 1.0 ->
+                  Ok { acc with c_prob = Some p }
+              | Some _ | None ->
+                  Error (Printf.sprintf "probability must be in [0,1] (%S)" chunk))
+          | '!' -> (
+              match chunk with
+              | "crash" -> Ok { acc with c_kind = Crash }
+              | "transient" -> Ok { acc with c_kind = Transient }
+              | other ->
+                  Error
+                    (Printf.sprintf "unknown fault kind %S (crash|transient)"
+                       other))
+          | _ -> assert false
+        in
+        go acc stop
+      end
+    in
+    go
+      { c_site = site; c_scope = None; c_hits = None; c_prob = None;
+        c_kind = Crash }
+      site_end
+  in
+  let rec build seed clauses = function
+    | [] ->
+        if clauses = [] then Error "fault spec selects nothing"
+        else Ok { seed; clauses = List.rev clauses }
+    | t :: rest ->
+        if String.length t > 5 && String.sub t 0 5 = "seed=" then
+          let* s = parse_int "seed" (String.sub t 5 (String.length t - 5)) in
+          build s clauses rest
+        else
+          let* c = parse_fault t in
+          build seed (c :: clauses) rest
+  in
+  match build 0 [] clause_texts with
+  | Ok _ as ok -> ok
+  | Error msg -> Error (Printf.sprintf "invalid fault spec %S: %s" text msg)
+
+let parse_exn text =
+  match parse text with Ok s -> s | Error msg -> invalid_arg msg
+
+(* ---------- runtime state ---------- *)
+
+(* [armed] is the only thing the disarmed fast path reads. The spec and
+   the per-(site, scope) hit counters live behind a mutex: hits are rare
+   (one per solver call at most), so contention is irrelevant next to
+   the work between hits. *)
+
+let armed = Atomic.make false
+
+let mu = Mutex.create ()
+
+let state : spec option ref = ref None
+
+let counts : (string * string, int ref) Hashtbl.t = Hashtbl.create 32
+
+let scope_key : string ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref "")
+
+let current_scope () = !(Domain.DLS.get scope_key)
+
+let with_scope scope f =
+  let cell = Domain.DLS.get scope_key in
+  let saved = !cell in
+  cell := scope;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let configure spec =
+  Mutex.protect mu (fun () ->
+      state := Some spec;
+      Hashtbl.reset counts);
+  Atomic.set armed true
+
+let disable () =
+  Atomic.set armed false;
+  Mutex.protect mu (fun () ->
+      state := None;
+      Hashtbl.reset counts)
+
+let active () = Atomic.get armed
+
+let count ~site ~scope =
+  Mutex.protect mu (fun () ->
+      match Hashtbl.find_opt counts (site, scope) with
+      | Some r -> !r
+      | None -> 0)
+
+let clause_arms spec ~site ~scope ~hit c =
+  c.c_site = site
+  && (match c.c_scope with None -> true | Some s -> s = scope)
+  && (match c.c_hits with None -> true | Some (lo, hi) -> hit >= lo && hit <= hi)
+  &&
+  match c.c_prob with
+  | None -> true
+  | Some p -> uniform ~seed:spec.seed [ site; scope; string_of_int hit ] < p
+
+let really_hit site =
+  let scope = current_scope () in
+  let fire =
+    Mutex.protect mu (fun () ->
+        match !state with
+        | None -> None
+        | Some spec ->
+            let n =
+              match Hashtbl.find_opt counts (site, scope) with
+              | Some r ->
+                  incr r;
+                  !r
+              | None ->
+                  Hashtbl.replace counts (site, scope) (ref 1);
+                  1
+            in
+            List.find_opt (clause_arms spec ~site ~scope ~hit:n) spec.clauses
+            |> Option.map (fun c -> (n, c.c_kind)))
+  in
+  match fire with
+  | None -> ()
+  | Some (hit, kind) ->
+      Metrics.inc m_injected;
+      raise (Injected { site; scope; hit; kind })
+
+let hit site = if Atomic.get armed then really_hit site
+
+let init_from_env () =
+  match Sys.getenv_opt "STEP_FAULTS" with
+  | None -> ()
+  | Some text when String.trim text = "" -> ()
+  | Some text -> (
+      match parse text with
+      | Ok spec -> configure spec
+      | Error msg ->
+          (* a library initialiser must not abort the host program *)
+          Printf.eprintf "step: STEP_FAULTS ignored: %s\n%!" msg)
+
+let () = init_from_env ()

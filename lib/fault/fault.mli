@@ -1,0 +1,84 @@
+(** Deterministic fault injection — the failure-path counterpart of the
+    solver's invariant sanitizer (see docs/LINT.md).
+
+    A fault {e site} is a named point in the stack where an injected
+    failure can be raised: [solver.solve], [cegar.iter], [cache.read],
+    [cache.write] and [pool.dispatch]. Sites call {!hit}, which is a
+    single atomic load when no spec is armed, so the hooks stay in
+    production paths permanently — exactly the [STEP_SANITIZE] contract.
+
+    A {e spec} (env [STEP_FAULTS] or [step decompose --faults]) selects
+    which hits fail. Hits are counted per (site, scope), where the scope
+    is a domain-local label installed by the engine around each per-PO
+    job ([po:<index>]); ordinals therefore do not depend on how jobs were
+    scheduled over worker domains, and the same spec + seed reproduces
+    the same injection schedule at any [-j].
+
+    Grammar (clauses separated by [;] or [,]):
+    {v
+      SPEC   ::= clause (';' clause)*
+      clause ::= 'seed=' INT | FAULT
+      FAULT  ::= SITE ('@' SCOPE)? ('#' FROM('-'TO)?)? ('%' PROB)? ('!' KIND)?
+      KIND   ::= 'crash' | 'transient'
+    v}
+    [@scope] restricts a clause to hits whose current scope equals
+    [SCOPE] (e.g. [@po:2]; omitted: every scope). [#from-to] fires on
+    the given 1-based hit ordinals within each scope (omitted: every
+    hit). [%p] fires each selected hit with probability [p], drawn from
+    a splitmix stream keyed by (seed, site, scope, ordinal) — i.e.
+    deterministically. [!kind] picks the exception class: [crash]
+    (default) is classified as a deterministic failure and never
+    retried; [transient] models resource pressure / disk races and is
+    retryable (see docs/ROBUSTNESS.md). *)
+
+type kind = Crash | Transient
+
+exception
+  Injected of { site : string; scope : string; hit : int; kind : kind }
+(** What an armed hit raises. Registered with a stable
+    [Printexc] printer:
+    ["fault injected at <site> (scope <scope>, hit <n>, <kind>)"]. *)
+
+type spec
+
+val sites : string list
+(** The five valid site names; {!parse} rejects anything else. *)
+
+val parse : string -> (spec, string) result
+
+val parse_exn : string -> spec
+(** @raise Invalid_argument on a malformed spec. *)
+
+val configure : spec -> unit
+(** Arm the spec process-wide and reset all hit counters. *)
+
+val disable : unit -> unit
+(** Disarm and reset counters; {!hit} returns to its zero-cost path. *)
+
+val active : unit -> bool
+
+val hit : string -> unit
+(** [hit site] counts one hit of [site] in the current scope and raises
+    {!Injected} when an armed clause selects it. One atomic load when
+    disarmed. *)
+
+val with_scope : string -> (unit -> 'a) -> 'a
+(** Install a domain-local scope label for the duration of [f] (restored
+    on exceptions). The engine uses [po:<index>]. *)
+
+val current_scope : unit -> string
+(** [""] outside {!with_scope}. *)
+
+val count : site:string -> scope:string -> int
+(** Observed hits so far (testing aid). *)
+
+val uniform : seed:int -> string list -> float
+(** Deterministic uniform draw in [[0, 1)] from a splitmix64 stream
+    keyed by [seed] and the given strings. Also used by the engine's
+    retry jitter, so backoff schedules are reproducible. *)
+
+val init_from_env : unit -> unit
+(** Arm from [STEP_FAULTS] if set and non-empty. A malformed value is
+    reported on stderr and ignored (the harness stays off) — library
+    initialisation must not abort the host program. Called once at
+    module load; exposed for tests. *)

@@ -42,11 +42,14 @@ let record_to_json r =
   in
   Json.Obj (base @ parent @ timing @ attrs)
 
+(* Flushed per record so an interrupted run (SIGINT/SIGTERM) leaves a
+   readable trace up to the last completed span. *)
 let jsonl_sink oc =
   Emit
     (fun r ->
       output_string oc (Json.to_string (record_to_json r));
-      output_char oc '\n')
+      output_char oc '\n';
+      flush oc)
 
 let sink = ref Null
 

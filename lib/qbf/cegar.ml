@@ -76,6 +76,7 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
           end)
   in
   let rec loop iter =
+    Step_fault.Fault.hit "cegar.iter";
     if iter >= max_iterations || Clock.now () > deadline then
       finish iter Unknown
     else begin

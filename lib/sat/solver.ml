@@ -978,6 +978,7 @@ let search s assumptions nof_conflicts =
   loop ()
 
 let solve_limited ?(assumptions = []) s =
+  Step_fault.Fault.hit "solver.solve";
   List.iter (fun l -> ensure_var s (Lit.var l)) assumptions;
   if not s.ok then begin
     s.core <- [];

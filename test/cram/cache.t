@@ -35,9 +35,9 @@ Parallel warm runs agree with the sequential ones:
   $ grep -v '^cache:' warm4.txt > warm4.body
   $ diff warm.body warm4.body
 
-The report carries a per-output hit/miss column (field 12 of the csv):
+The report carries a per-output hit/miss column (field 14 of the csv):
 
-  $ step report dec3.blif -g and -m qd --cache -f csv | cut -d, -f1,12
+  $ step report dec3.blif -g and -m qd --cache -f csv | cut -d, -f1,14
   po,cache
   y0,miss
   y1,hit

@@ -1,0 +1,58 @@
+The fault-injection harness turns a crash in one output's job into a
+failed row instead of a dead run; sibling outputs are unaffected, and
+the same spec reproduces the same schedule at any -j:
+
+  $ step generate -k decoder -n 3 -o dec3.blif
+  $ step decompose dec3.blif -g and -m qd -j 1 --faults 'seed=7;solver.solve@po:0#1' | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g' > f1.txt
+  $ cat f1.txt
+  y0               n=0   failed            TIMEs  fault injected at solver.solve (scope po:0, hit 1, crash)
+  y1               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y2               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y3               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y4               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y5               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y6               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  y7               n=3   optimal           TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333
+  == dec3 STEP-QD AND: #Dec=7/8 CPU=TIMEs
+  $ step decompose dec3.blif -g and -m qd -j 4 --faults 'seed=7;solver.solve@po:0#1' | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g' > f4.txt
+  $ diff f1.txt f4.txt
+
+With a degradation ladder the injured output is re-run on the next
+method and reported as degraded — the report carries the rung and the
+attempt count:
+
+  $ step decompose dec3.blif -g and -m qd --faults 'solver.solve@po:0#1' --fallback mg | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g' | head -1
+  y0               n=3   degraded          TIMEs  |XA|=2 |XB|=1 |XC|=0 eD=0.000 eB=0.333  via STEP-MG
+  $ step report dec3.blif -g and -m qd --faults 'solver.solve@po:0#1' --fallback mg -f csv | cut -d, -f1,6,7 | head -3
+  po,status,attempts
+  y0,degraded,2
+  y1,optimal,1
+
+A transient fault is retried in place and succeeds on the second
+attempt — no degradation, no failure:
+
+  $ step report dec3.blif -g and -m qd --faults 'solver.solve@po:1#1!transient' -f csv | cut -d, -f1,6,7 | head -3
+  po,status,attempts
+  y0,optimal,1
+  y1,optimal,2
+
+The summary line only mentions failure counts when there are any:
+
+  $ step report dec3.blif -g and -m qd --faults 'solver.solve@po:0#1' -f text | tail -1 | sed -E 's/[0-9]+\.[0-9]+s/TIMEs/g'
+  dec3 STEP-QD AND: #Dec=7/8 optimal=7 timeouts=0 mean(eD)=0.000 mean(eB)=0.333 CPU=TIMEs failed=1
+
+Malformed specs are rejected up front:
+
+  $ step decompose dec3.blif --faults 'nosuch.site'
+  step: invalid fault spec "nosuch.site": unknown fault site "nosuch.site" (sites: solver.solve, cegar.iter, cache.read, cache.write, pool.dispatch)
+  [124]
+
+Missing or unreadable inputs are a one-line diagnostic and exit 2, not
+a backtrace:
+
+  $ step decompose does-not-exist.blif
+  step: does-not-exist.blif: not a file and not a known benchmark name (try `step suite`)
+  [2]
+  $ step report does-not-exist.blif -f csv
+  step: does-not-exist.blif: not a file and not a known benchmark name (try `step suite`)
+  [2]

@@ -10,6 +10,8 @@ module Partition = Step_core.Partition
 module Config = Step_engine.Config
 module Engine = Step_engine.Engine
 module Pool = Step_engine.Pool
+module Retry = Step_engine.Retry
+module Fault = Step_fault.Fault
 
 (* same profile as test_pipeline's toy circuit: one OR-, one AND-, one
    XOR-decomposable output plus a parity function *)
@@ -209,6 +211,158 @@ let test_total_budget_cancellation () =
         r.Engine.per_po)
     [ 1; 4 ]
 
+(* ---------- supervision: fault isolation, retry, degradation ---------- *)
+
+let with_faults text f =
+  Fault.configure (Fault.parse_exn text);
+  Fun.protect ~finally:Fault.disable f
+
+let test_pool_map_result () =
+  List.iter
+    (fun jobs ->
+      let r =
+        Pool.map_result ~jobs 8 (fun i ->
+            if i = 2 || i = 5 then failwith (Printf.sprintf "boom%d" i) else i)
+      in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Ok v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "jobs=%d slot %d ok" jobs i)
+                true
+                (v = i && i <> 2 && i <> 5)
+          | Error (Failure msg, _) ->
+              Alcotest.(check string)
+                (Printf.sprintf "jobs=%d slot %d failure" jobs i)
+                (Printf.sprintf "boom%d" i) msg
+          | Error _ -> Alcotest.fail "unexpected exception")
+        r)
+    [ 1; 4 ]
+
+let test_pool_fatal_poisons () =
+  Alcotest.check_raises "fatal re-raised" Stdlib.Exit (fun () ->
+      ignore
+        (Pool.map_result ~fatal:(( = ) Stdlib.Exit) ~jobs:2 6 (fun i ->
+             if i = 1 then raise Stdlib.Exit else i)))
+
+let test_fault_isolated_po () =
+  let c = toy_circuit () in
+  let clean = run_with_jobs c Method.Qd Gate.Or_gate 1 in
+  List.iter
+    (fun jobs ->
+      with_faults "solver.solve@po:0" @@ fun () ->
+      let r = run_with_jobs c Method.Qd Gate.Or_gate jobs in
+      let injured = r.Engine.per_po.(0) in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs=%d po 0 failed" jobs)
+        "failed"
+        (Engine.po_status injured);
+      (match injured.Engine.failure with
+      | Some f ->
+          Alcotest.(check bool)
+            "failure names the site" true
+            (String.length f.Engine.error > 0
+            && f.Engine.attempts >= 1
+            && not f.Engine.transient)
+      | None -> Alcotest.fail "failed row carries no failure");
+      for i = 1 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "jobs=%d po %d unharmed" jobs i)
+          true
+          (essence r.Engine.per_po.(i) = essence clean.Engine.per_po.(i))
+      done)
+    [ 1; 4 ];
+  Alcotest.(check string) "scope unwound" "" (Fault.current_scope ())
+
+let test_degraded_fallback () =
+  let c = toy_circuit () in
+  with_faults "solver.solve@po:0#1" @@ fun () ->
+  let config =
+    Config.default
+    |> Config.with_method Method.Qd
+    |> Config.with_fallback [ Method.Mg ]
+  in
+  let r = Engine.run (Engine.create ~config c) in
+  let po = r.Engine.per_po.(0) in
+  Alcotest.(check string) "status" "degraded" (Engine.po_status po);
+  Alcotest.(check bool) "rung recorded" true (po.Engine.method_used = Method.Mg);
+  Alcotest.(check bool) "partition recovered" true (po.Engine.partition <> None);
+  Alcotest.(check int) "two attempts" 2 po.Engine.attempts;
+  Alcotest.(check bool)
+    "primary failure kept" true
+    (po.Engine.failure <> None);
+  (* the other outputs never entered the ladder *)
+  Array.iteri
+    (fun i (po : Engine.po_result) ->
+      if i > 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "po %d not degraded" i)
+          false po.Engine.degraded)
+    r.Engine.per_po
+
+let test_transient_retry () =
+  let c = toy_circuit () in
+  let retries = Step_obs.Metrics.counter "engine.retries" in
+  let before = Step_obs.Metrics.value retries in
+  with_faults "solver.solve@po:0#1!transient" @@ fun () ->
+  let config =
+    Config.default
+    |> Config.with_method Method.Qd
+    |> Config.with_retry { Retry.default with Retry.backoff_base = 0.001 }
+  in
+  let r = Engine.run (Engine.create ~config c) in
+  let po = r.Engine.per_po.(0) in
+  Alcotest.(check string) "recovered in place" "optimal" (Engine.po_status po);
+  Alcotest.(check int) "two attempts" 2 po.Engine.attempts;
+  Alcotest.(check bool) "no failure on success" true (po.Engine.failure = None);
+  Alcotest.(check bool)
+    "engine.retries bumped" true
+    (Step_obs.Metrics.value retries > before)
+
+let test_retry_classify () =
+  let t e = Retry.classify e = Retry.Transient in
+  Alcotest.(check bool) "Sys_error transient" true (t (Sys_error "x"));
+  Alcotest.(check bool) "Out_of_memory transient" true (t Out_of_memory);
+  Alcotest.(check bool) "Failure deterministic" false (t (Failure "x"));
+  Alcotest.(check bool)
+    "injected transient" true
+    (t (Fault.Injected { site = "s"; scope = ""; hit = 1; kind = Fault.Transient }));
+  Alcotest.(check bool)
+    "injected crash deterministic" false
+    (t (Fault.Injected { site = "s"; scope = ""; hit = 1; kind = Fault.Crash }));
+  Alcotest.(check bool) "Exit fatal" true (Retry.fatal Stdlib.Exit);
+  Alcotest.(check bool) "Break fatal" true (Retry.fatal Sys.Break);
+  Alcotest.(check bool) "Failure not fatal" false (Retry.fatal (Failure "x"))
+
+let test_retry_delay_deterministic () =
+  let p = { Retry.default with Retry.backoff_base = 0.1; seed = 5 } in
+  let d1 = Retry.delay p ~scope:"po:1" ~attempt:1 in
+  Alcotest.(check (float 0.0)) "stable" d1 (Retry.delay p ~scope:"po:1" ~attempt:1);
+  Alcotest.(check bool) "bounded" true (d1 <= p.Retry.backoff_max +. 1e-9);
+  Alcotest.(check bool) "positive" true (d1 > 0.0);
+  Alcotest.(check bool)
+    "scope varies jitter" true
+    (Retry.delay p ~scope:"po:2" ~attempt:1 <> d1)
+
+(* a failing job must leave the observability layer balanced: spans
+   emitted after the run still nest at depth 0 *)
+let test_span_stack_balanced_after_failure () =
+  let records = ref [] in
+  let mu = Mutex.create () in
+  let sink r = Mutex.protect mu (fun () -> records := r :: !records) in
+  (with_faults "solver.solve@po:0" @@ fun () ->
+   let config =
+     Config.default |> Config.with_jobs 4
+     |> Config.with_trace (Some (Step_obs.Obs.callback_sink sink))
+   in
+   ignore (Engine.run (Engine.create ~config (toy_circuit ()))));
+  let depth = ref (-1) in
+  Step_obs.Obs.with_sink
+    (Step_obs.Obs.callback_sink (fun r -> depth := r.Step_obs.Obs.r_depth))
+    (fun () -> Step_obs.Obs.span "after.failure" (fun () -> ()));
+  Alcotest.(check int) "root depth" 0 !depth
+
 (* ---------- sinks ---------- *)
 
 let test_run_sinks () =
@@ -237,6 +391,21 @@ let () =
         [
           Alcotest.test_case "map order" `Quick test_pool_map_order;
           Alcotest.test_case "map exception" `Quick test_pool_map_exception;
+          Alcotest.test_case "map_result captures" `Quick test_pool_map_result;
+          Alcotest.test_case "fatal poisons" `Quick test_pool_fatal_poisons;
+        ] );
+      ( "supervision",
+        [
+          Alcotest.test_case "fault isolated to one po" `Quick
+            test_fault_isolated_po;
+          Alcotest.test_case "degraded via fallback" `Quick
+            test_degraded_fallback;
+          Alcotest.test_case "transient retry" `Quick test_transient_retry;
+          Alcotest.test_case "classification" `Quick test_retry_classify;
+          Alcotest.test_case "delay deterministic" `Quick
+            test_retry_delay_deterministic;
+          Alcotest.test_case "span stack balanced after failure" `Quick
+            test_span_stack_balanced_after_failure;
         ] );
       ( "config",
         [ Alcotest.test_case "validation" `Quick test_config_validation ] );

@@ -251,6 +251,36 @@ let test_span_exception_safety () =
   let again = collect_records (fun () -> Obs.span "after" ignore) in
   Alcotest.(check int) "stack unwound" 0 (List.hd again).Obs.r_depth
 
+(* worker-domain hygiene: a span that raises inside a spawned domain must
+   unwind that domain's DLS stack (next span roots at depth 0 again) and
+   leave the main domain's nesting untouched — the situation a failing
+   pool job puts the engine in *)
+let test_span_exception_in_domain () =
+  with_clean_obs @@ fun () ->
+  let records = ref [] in
+  let mu = Mutex.create () in
+  Obs.set_sink
+    (Obs.callback_sink (fun r ->
+         Mutex.protect mu (fun () -> records := r :: !records)));
+  Obs.span "main.outer" (fun () ->
+      let d =
+        Domain.spawn (fun () ->
+            (try Obs.span "worker.boom" (fun () -> failwith "job died")
+             with Failure _ -> ());
+            Obs.span "worker.after" ignore)
+      in
+      Domain.join d;
+      Obs.add_attr "joined" (Json.Bool true));
+  Obs.clear_sink ();
+  let depth_of name =
+    match List.find_opt (fun r -> r.Obs.r_name = name) !records with
+    | Some r -> r.Obs.r_depth
+    | None -> Alcotest.failf "span %s not delivered" name
+  in
+  Alcotest.(check int) "worker span recorded at root" 0 (depth_of "worker.boom");
+  Alcotest.(check int) "worker stack unwound" 0 (depth_of "worker.after");
+  Alcotest.(check int) "main stack unaffected" 0 (depth_of "main.outer")
+
 let test_null_sink_noop () =
   with_clean_obs @@ fun () ->
   Obs.clear_sink ();
@@ -387,6 +417,8 @@ let () =
           Alcotest.test_case "attrs + events" `Quick test_span_attrs_and_events;
           Alcotest.test_case "exception safety" `Quick
             test_span_exception_safety;
+          Alcotest.test_case "exception safety in worker domain" `Quick
+            test_span_exception_in_domain;
           Alcotest.test_case "null sink no-op" `Quick test_null_sink_noop;
         ] );
       ( "trace",

@@ -125,8 +125,8 @@ let test_report_csv_shape () =
   List.iter
     (fun line ->
       Alcotest.(check int)
-        ("13 fields: " ^ line)
-        13
+        ("15 fields: " ^ line)
+        15
         (List.length (String.split_on_char ',' line)))
     lines
 
