@@ -1,6 +1,7 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all check test smoke psmoke cachesmoke faultsmoke bench lint clean
+.PHONY: all check test smoke psmoke cachesmoke faultsmoke profsmoke \
+  benchsmoke bench lint clean
 
 all:
 	dune build @all
@@ -14,6 +15,8 @@ check:
 	$(MAKE) psmoke
 	$(MAKE) cachesmoke
 	$(MAKE) faultsmoke
+	$(MAKE) profsmoke
+	$(MAKE) benchsmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -93,6 +96,38 @@ faultsmoke:
 	  -m qd --no-cache -f csv | grep -q '^y1,.*,failed,'
 	rm -f faultsmoke.blif faultsmoke_a.csv faultsmoke_b.csv
 
+# Profiling smoke: a traced run must profile with >= 95% of wall-clock
+# attributed to named spans, and a trace diffed against itself must
+# report zero significant deltas.
+profsmoke:
+	dune build bin/step.exe
+	dune exec --no-build bin/step.exe -- generate -k adder -n 3 \
+	  -o profsmoke.blif
+	dune exec --no-build bin/step.exe -- decompose profsmoke.blif -g xor \
+	  -m qd --trace profsmoke.jsonl > /dev/null
+	dune exec --no-build bin/step.exe -- profile profsmoke.jsonl \
+	  | awk 'NR==1 { p=$$(NF-1); sub("%","",p); \
+	    printf "attributed %s%%\n", p; exit !(p+0>=95) }'
+	dune exec --no-build bin/step.exe -- trace --diff \
+	  profsmoke.jsonl profsmoke.jsonl | grep -q '^0 significant deltas'
+	rm -f profsmoke.blif profsmoke.jsonl
+
+# Bench regression gate: a fresh snapshot must pass a clean re-run and
+# reject an artificially slowed (--handicap) run; the committed
+# BENCH_*.json must stay loadable and quality-identical (wall-clock is
+# machine-dependent, so only the fresh snapshot gates on it).
+benchsmoke:
+	dune build bench/main.exe
+	dune exec --no-build bench/main.exe -- --planted \
+	  --snapshot benchsmoke_base.json > /dev/null
+	dune exec --no-build bench/main.exe -- --planted \
+	  --baseline benchsmoke_base.json
+	! dune exec --no-build bench/main.exe -- --planted \
+	  --baseline benchsmoke_base.json --handicap 25
+	dune exec --no-build bench/main.exe -- --planted \
+	  --baseline BENCH_7.json --quality-only
+	rm -f benchsmoke_base.json
+
 bench:
 	dune exec bench/main.exe
 
@@ -101,4 +136,5 @@ clean:
 	rm -rf bench_out smoke_trace.jsonl psmoke_j1.txt psmoke_j4.txt \
 	  cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt cachesmoke_warm.txt \
 	  cachesmoke_cold.body cachesmoke_warm.body faultsmoke.blif \
-	  faultsmoke_a.csv faultsmoke_b.csv
+	  faultsmoke_a.csv faultsmoke_b.csv profsmoke.blif profsmoke.jsonl \
+	  benchsmoke_base.json

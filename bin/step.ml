@@ -24,6 +24,8 @@ module Suite = Step_circuits.Suite
 module Generators = Step_circuits.Generators
 module Obs = Step_obs.Obs
 module Metrics = Step_obs.Metrics
+module Profile = Step_obs.Profile
+module Trace_summary = Step_obs.Trace_summary
 module Json = Step_obs.Json
 module Diag = Step_lint.Diag
 module Lint = Step_lint.Lint
@@ -171,6 +173,41 @@ let stats_flag =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let profile_flag =
+  let doc =
+    "After the run, print a hierarchical hotpath profile aggregated live \
+     from the span stream (works with or without $(b,--trace))."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
+let deep_stats_flag =
+  let doc =
+    "Enable deep telemetry (equivalent to STEP_DEEP_TELEMETRY=1): \
+     learned-clause LBD/length distributions, restart episode and \
+     clause-DB-reduction timings, per-call solver phase counts, CEGAR \
+     per-iteration series, and per-cone cache attribution."
+  in
+  Arg.(value & flag & info [ "deep-stats" ] ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the full metrics registry to $(docv) when the run finishes — \
+     Prometheus text format, or JSON if $(docv) ends in .json. With \
+     $(b,--metrics-interval) the file is republished periodically \
+     (atomically) during the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let metrics_interval_arg =
+  let doc =
+    "Republish $(b,--metrics-out) every $(docv) seconds during the run \
+     (0 = only at the end)."
+  in
+  Arg.(value & opt float 0.0 & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
+
+let metrics_format path =
+  if Filename.check_suffix path ".json" then `Json else `Prometheus
+
 let sanitize_flag =
   let doc =
     "Enable the solver's runtime invariant sanitizer (equivalent to \
@@ -270,7 +307,14 @@ let print_cache_summary c =
   print_cache_diags c;
   let s = Cache.stats c in
   Printf.printf "cache: hits=%d misses=%d entries=%d\n" s.Cache.hits
-    s.Cache.misses s.Cache.entries
+    s.Cache.misses s.Cache.entries;
+  if Metrics.deep () then
+    List.iter
+      (fun a ->
+        Printf.printf "cache: cone %s hits=%d misses=%d\n"
+          (String.sub (Digest.to_hex (Digest.string a.Cache.cone_key)) 0 12)
+          a.Cache.cone_hits a.Cache.cone_misses)
+      (Cache.attribution ~top:5 c)
 
 let print_diags diags =
   List.iter (fun d -> print_endline (Diag.to_text d)) diags
@@ -308,8 +352,9 @@ let check_artifacts_flag =
 
 let decompose_cmd =
   let run path gate method_ budget jobs po extract verify_ recursive trace
-      stats sanitize check_artifacts cache no_cache cache_dir faults fallback
-      retries =
+      stats profile deep_stats metrics_out metrics_interval sanitize
+      check_artifacts cache no_cache cache_dir faults fallback retries =
+    if deep_stats then Metrics.set_deep true;
     let all_diags = ref [] in
     let note_diags diags =
       if diags <> [] then begin
@@ -425,14 +470,47 @@ let decompose_cmd =
             r.Pipeline.total_cpu);
       finish_cache ()
     in
+    let prof = if profile then Some (Profile.collector ()) else None in
+    let prof_sink =
+      match prof with Some (s, _) -> s | None -> Obs.null_sink
+    in
     let traced () =
       match trace with
-      | Some file -> Obs.with_trace_file file body
-      | None -> body ()
+      | Some file ->
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              Obs.with_sink (Obs.tee_sink (Obs.jsonl_sink oc) prof_sink) body)
+      | None ->
+          if profile then Obs.with_sink prof_sink body else body ()
     in
+    (* Periodic exposition runs on its own domain; the final snapshot is
+       published on every exit path, including errors. *)
+    let stop_dump =
+      match metrics_out with
+      | Some path when metrics_interval > 0.0 ->
+          Some
+            (Metrics.start_periodic_dump ~path ~interval_s:metrics_interval
+               ~format:(metrics_format path) ())
+      | _ -> None
+    in
+    let finish_metrics () =
+      match (stop_dump, metrics_out) with
+      | Some stop, _ -> stop ()
+      | None, Some path -> Metrics.dump_file ~format:(metrics_format path) path
+      | None, None -> ()
+    in
+    let traced () = Fun.protect ~finally:finish_metrics traced in
     let finish_stats () = if stats then print_string (Metrics.render ()) in
+    let finish_profile () =
+      match prof with
+      | Some (_, get) -> print_string (Profile.render (get ()))
+      | None -> ()
+    in
     match traced () with
     | () | exception Exit ->
+        finish_profile ();
         finish_stats ();
         if Diag.has_errors !all_diags then exit 1 else `Ok ()
     | exception Step_sat.Solver.Sanitizer_violation diags ->
@@ -448,9 +526,10 @@ let decompose_cmd =
       ret
         (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
        $ jobs_arg $ po_arg $ extract_arg $ verify_flag $ recursive_flag
-       $ trace_arg $ stats_flag $ sanitize_flag $ check_artifacts_flag
-       $ cache_flag $ no_cache_flag $ cache_dir_arg $ faults_arg
-       $ fallback_arg $ retries_arg))
+       $ trace_arg $ stats_flag $ profile_flag $ deep_stats_flag
+       $ metrics_out_arg $ metrics_interval_arg $ sanitize_flag
+       $ check_artifacts_flag $ cache_flag $ no_cache_flag $ cache_dir_arg
+       $ faults_arg $ fallback_arg $ retries_arg))
 
 (* ---------- trace ---------- *)
 
@@ -459,14 +538,99 @@ let trace_cmd =
     let doc = "JSONL trace file written by $(b,step decompose --trace)." in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
   in
-  let run file =
-    match Step_obs.Trace_summary.of_file file with
-    | t -> print_string (Step_obs.Trace_summary.render t); `Ok ()
+  let file2_arg =
+    let doc = "Second trace: compare $(i,FILE) (baseline) against it." in
+    Arg.(value & pos 1 (some file) None & info [] ~docv:"FILE2" ~doc)
+  in
+  let diff_flag =
+    let doc =
+      "Diff two traces span by span: count and self-time deltas, rows \
+       over the threshold marked with '!'. Baseline first."
+    in
+    Arg.(value & flag & info [ "diff" ] ~doc)
+  in
+  let flame_flag =
+    let doc =
+      "Emit folded stacks (flamegraph.pl / speedscope input) instead of \
+       the summary table."
+    in
+    Arg.(value & flag & info [ "flame" ] ~doc)
+  in
+  let hot_flag =
+    let doc = "Rank call paths by self time instead of the summary table." in
+    Arg.(value & flag & info [ "hot" ] ~doc)
+  in
+  let threshold_arg =
+    let doc = "Relative self-time change marking a diff row significant." in
+    Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"FRACTION" ~doc)
+  in
+  let run file file2 diff flame hot threshold =
+    try
+      match file2 with
+      | Some f2 ->
+          let base = Trace_summary.of_file file in
+          let cur = Trace_summary.of_file f2 in
+          let text, _ = Trace_summary.diff ~threshold base cur in
+          print_string text;
+          `Ok ()
+      | None ->
+          if diff then
+            `Error (true, "trace --diff needs two trace files: BASELINE CURRENT")
+          else begin
+            if flame then print_string (Profile.to_folded (Profile.of_file file))
+            else if hot then
+              print_string (Profile.render_hot (Profile.of_file file))
+            else print_string (Trace_summary.render (Trace_summary.of_file file));
+            `Ok ()
+          end
+    with
+    | Failure msg -> `Error (false, msg)
+    | Sys_error msg -> `Error (false, msg)
+  in
+  let doc =
+    "Summarise a JSONL trace into a hot-path breakdown, or diff two traces."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret
+        (const run $ file_arg $ file2_arg $ diff_flag $ flame_flag $ hot_flag
+       $ threshold_arg))
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let file_arg =
+    let doc = "JSONL trace file written by $(b,step decompose --trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let folded_flag =
+    let doc = "Emit folded stacks (flamegraph.pl / speedscope input)." in
+    Arg.(value & flag & info [ "folded"; "flame" ] ~doc)
+  in
+  let hot_flag =
+    let doc = "Flatten to call paths ranked by self time." in
+    Arg.(value & flag & info [ "hot" ] ~doc)
+  in
+  let max_depth_arg =
+    let doc = "Truncate the call tree below $(docv) levels." in
+    Arg.(value & opt (some int) None & info [ "max-depth" ] ~docv:"DEPTH" ~doc)
+  in
+  let run file folded hot max_depth =
+    match Profile.of_file file with
+    | p ->
+        if folded then print_string (Profile.to_folded p)
+        else if hot then print_string (Profile.render_hot p)
+        else print_string (Profile.render ?max_depth p);
+        `Ok ()
     | exception Failure msg -> `Error (false, msg)
     | exception Sys_error msg -> `Error (false, msg)
   in
-  let doc = "Summarise a JSONL trace into a hot-path breakdown." in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(ret (const run $ file_arg))
+  let doc =
+    "Aggregate a JSONL trace into a hierarchical hotpath profile \
+     (per-call-path counts, total and self time, wall-clock attribution)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(ret (const run $ file_arg $ folded_flag $ hot_flag $ max_depth_arg))
 
 (* ---------- report / compare / convert ---------- *)
 
@@ -870,6 +1034,7 @@ let main_cmd =
       stats_cmd;
       decompose_cmd;
       trace_cmd;
+      profile_cmd;
       report_cmd;
       compare_cmd;
       convert_cmd;

@@ -28,9 +28,13 @@ type t = {
   mutable misses : int;
   mutable entries : int;
   mutable rev_diags : Diag.t list;
+  by_cone : (string, int ref * int ref) Hashtbl.t;
+      (* key -> (hits, misses): which cones actually pay for themselves *)
 }
 
 type stats = { hits : int; misses : int; entries : int }
+
+type cone_stats = { cone_key : string; cone_hits : int; cone_misses : int }
 
 let rec mkdir_p d =
   if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
@@ -50,6 +54,7 @@ let create ?dir () : t =
     misses = 0;
     entries = 0;
     rev_diags = [];
+    by_cone = Hashtbl.create 64;
   }
 
 let dir t = t.dir
@@ -59,6 +64,32 @@ let stats t : stats =
       { hits = t.hits; misses = t.misses; entries = t.entries })
 
 let diags t = Mutex.protect t.mu (fun () -> List.rev t.rev_diags)
+
+(* Called with [t.mu] held. *)
+let cone_account t key ~hit =
+  let h, m =
+    match Hashtbl.find_opt t.by_cone key with
+    | Some cell -> cell
+    | None ->
+        let cell = (ref 0, ref 0) in
+        Hashtbl.replace t.by_cone key cell;
+        cell
+  in
+  incr (if hit then h else m)
+
+let attribution ?top t =
+  let rows =
+    Mutex.protect t.mu (fun () ->
+        Hashtbl.fold
+          (fun key (h, m) acc ->
+            { cone_key = key; cone_hits = !h; cone_misses = !m } :: acc)
+          t.by_cone [])
+    |> List.sort (fun a b ->
+           compare (b.cone_hits, a.cone_key) (a.cone_hits, b.cone_key))
+  in
+  match top with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
 
 let entry_file dir key =
   Filename.concat dir (Digest.to_hex (Digest.string key) ^ ".json")
@@ -222,6 +253,7 @@ let find_or_compute t ~key ~n_inputs compute =
           match Hashtbl.find_opt t.tbl key with
           | Some (Ready e) ->
               t.hits <- t.hits + 1;
+              cone_account t key ~hit:true;
               `Hit e
           | Some Pending ->
               Condition.wait t.changed t.mu;
@@ -232,10 +264,12 @@ let find_or_compute t ~key ~n_inputs compute =
                   Hashtbl.replace t.tbl key (Ready e);
                   t.entries <- t.entries + 1;
                   t.hits <- t.hits + 1;
+                  cone_account t key ~hit:true;
                   `Hit e
               | None ->
                   Hashtbl.replace t.tbl key Pending;
                   t.misses <- t.misses + 1;
+                  cone_account t key ~hit:false;
                   `Compute)
         in
         go ())

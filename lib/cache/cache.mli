@@ -45,6 +45,13 @@ type stats = { hits : int; misses : int; entries : int }
 
 val stats : t -> stats
 
+type cone_stats = { cone_key : string; cone_hits : int; cone_misses : int }
+
+val attribution : ?top:int -> t -> cone_stats list
+(** Per-cone hit/miss counts, most-hit first (ties by key). [?top] keeps
+    only the first [n] rows. Answers "which cones is the cache actually
+    earning on" — the CLI prints the head of this under [--deep-stats]. *)
+
 val diags : t -> Step_lint.Diag.t list
 (** Diagnostics accumulated while loading/storing disk entries, oldest
     first. Severities are [Warning]/[Info] only: a broken cache degrades

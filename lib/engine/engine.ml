@@ -28,6 +28,10 @@ let m_failures = Metrics.counter "engine.failures"
 
 let m_degraded = Metrics.counter "engine.degraded"
 
+(* per-PO latency distribution — the percentile view (p50/p90/p99 via
+   Metrics.stats) that per-run totals can't give *)
+let h_po = Metrics.histogram "engine.po_s"
+
 type po_failure = {
   error : string;
   backtrace : string;
@@ -209,6 +213,7 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
         | Some part -> Partition.lint ~name ~support:p.Problem.support part
         | None -> []
     in
+    Metrics.observe h_po (Clock.elapsed_since t0);
     {
       po_name = name;
       support_size = n;

@@ -51,6 +51,15 @@ let jsonl_sink oc =
       output_char oc '\n';
       flush oc)
 
+let tee_sink a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Emit f, Emit g ->
+      Emit
+        (fun r ->
+          f r;
+          g r)
+
 let sink = ref Null
 
 let enabled = ref false

@@ -44,6 +44,10 @@ val jsonl_sink : out_channel -> sink
 (** One JSON object per line per record; see docs/OBSERVABILITY.md for the
     schema. The channel is not closed by the sink. *)
 
+val tee_sink : sink -> sink -> sink
+(** Deliver every record to both sinks (in order). Used to profile live
+    ({!Profile.collector}) while also writing a JSONL trace. *)
+
 val set_sink : sink -> unit
 (** Install a sink. Anything but {!null_sink} enables tracing. *)
 

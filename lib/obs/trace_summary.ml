@@ -176,3 +176,68 @@ let render t =
       t.contexts
   end;
   Buffer.contents buf
+
+(* Self-time is the signal worth gating on: total time double-counts
+   nested spans and count deltas are expected whenever inputs change.
+   The absolute floor keeps sub-millisecond jitter from flagging rows. *)
+let abs_floor_s = 0.001
+
+let diff ?(threshold = 0.10) base cur =
+  let tbl : (string, row option * row option) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun r -> Hashtbl.replace tbl r.name (Some r, None)) base.rows;
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.name with
+      | Some (b, _) -> Hashtbl.replace tbl r.name (b, Some r)
+      | None -> Hashtbl.replace tbl r.name (None, Some r))
+    cur.rows;
+  let zero name = { name; count = 0; total_s = 0.0; self_s = 0.0; max_s = 0.0 } in
+  let rows =
+    Hashtbl.fold
+      (fun name (b, c) acc ->
+        let b = Option.value b ~default:(zero name) in
+        let c = Option.value c ~default:(zero name) in
+        (name, b, c) :: acc)
+      tbl []
+    |> List.sort (fun (_, b1, c1) (_, b2, c2) ->
+           compare
+             (Float.abs (c2.self_s -. b2.self_s))
+             (Float.abs (c1.self_s -. b1.self_s)))
+  in
+  let buf = Buffer.create 1024 in
+  let n_sig = ref 0 in
+  Buffer.add_string buf
+    (Printf.sprintf "wall: %.3fs -> %.3fs (%+.1f%%)\n" base.wall_s cur.wall_s
+       (if base.wall_s > 0.0 then
+          100.0 *. (cur.wall_s -. base.wall_s) /. base.wall_s
+        else 0.0));
+  let w =
+    List.fold_left (fun acc (n, _, _) -> max acc (String.length n)) 4 rows
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-*s %7s %7s %10s %10s %10s\n" w "span" "count"
+       "Δcount" "self(s)" "Δself(s)" "Δself%");
+  List.iter
+    (fun (name, b, c) ->
+      let d_self = c.self_s -. b.self_s in
+      let only_one = b.count = 0 || c.count = 0 in
+      let significant =
+        (only_one && Float.abs d_self > abs_floor_s)
+        || Float.abs d_self > Float.max abs_floor_s (threshold *. b.self_s)
+      in
+      if significant then incr n_sig;
+      let pct =
+        if b.self_s > 0.0 then
+          Printf.sprintf "%+9.1f%%" (100.0 *. d_self /. b.self_s)
+        else if c.self_s > 0.0 then "      new!"
+        else "         -"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %-*s %7d %+7d %10.4f %+10.4f %s\n"
+           (if significant then "!" else " ")
+           w name c.count (c.count - b.count) c.self_s d_self pct))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%d significant deltas (threshold %.0f%%)\n" !n_sig
+       (100.0 *. threshold));
+  (Buffer.contents buf, !n_sig)

@@ -25,3 +25,10 @@ val of_file : string -> t
 
 val render : t -> string
 (** Aligned-text breakdown. *)
+
+val diff : ?threshold:float -> t -> t -> string * int
+(** [diff base cur] compares two runs span-name by span-name: count,
+    total and self-time deltas, with rows whose self time moved by more
+    than [threshold] (relative, default [0.10]) — or that appear in only
+    one run — marked with [!]. Returns the report and the number of
+    significant deltas; diffing a run against itself returns [(_, 0)]. *)

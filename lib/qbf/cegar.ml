@@ -12,6 +12,17 @@ let m_solves = Metrics.counter "cegar.solves"
 
 let g_abs_nodes = Metrics.gauge "cegar.abstraction_nodes"
 
+(* Deep telemetry (Metrics.deep): per-iteration series. Each refinement
+   records how long the iteration took and how much the abstraction AIG
+   grew, and emits a [cegar.refine] trace event, so a profile or trace
+   diff can show refinement convergence over time, not just the final
+   iteration count. *)
+let h_iter_s = Metrics.histogram "cegar.iteration_s"
+
+let h_growth = Metrics.histogram "cegar.refinement_growth"
+
+let h_iters_run = Metrics.histogram "cegar.iterations_per_run"
+
 type outcome = Valid of (int -> bool) | Invalid | Unknown
 
 type stats = { iterations : int; abstraction_nodes : int }
@@ -55,6 +66,8 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
   let finish iter outcome =
     let abstraction_nodes = Aig.n_nodes aig - nodes0 in
     Metrics.set g_abs_nodes (float_of_int abstraction_nodes);
+    if Metrics.deep () then
+      Metrics.observe h_iters_run (float_of_int iter);
     Obs.add_attr "iterations" (Step_obs.Json.Int iter);
     Obs.add_attr "abstraction_nodes" (Step_obs.Json.Int abstraction_nodes);
     (outcome, { iterations = iter; abstraction_nodes })
@@ -75,6 +88,7 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
             Solver.solve_limited ?assumptions solver
           end)
   in
+  let iter_t0 = ref (Clock.now ()) in
   let rec loop iter =
     Step_fault.Fault.hit "cegar.iter";
     if iter >= max_iterations || Clock.now () > deadline then
@@ -121,11 +135,27 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
                     Some (if yval v then Aig.t_ else Aig.f)
                   else None
                 in
+                let nodes_before = Aig.n_nodes aig in
                 let inst =
                   Obs.span "cegar.instantiate" (fun () ->
                       Aig.compose aig subst matrix)
                 in
                 ignore (Solver.add_clause abs_solver [ Tseitin.lit_of abs inst ]);
+                if Metrics.deep () then begin
+                  let now = Clock.now () in
+                  Metrics.observe h_iter_s (now -. !iter_t0);
+                  iter_t0 := now;
+                  let growth = Aig.n_nodes aig - nodes_before in
+                  Metrics.observe h_growth (float_of_int growth);
+                  Obs.event "cegar.refine"
+                    ~attrs:
+                      [
+                        ("iter", Step_obs.Json.Int (iter + 1));
+                        ( "abstraction_nodes",
+                          Step_obs.Json.Int (Aig.n_nodes aig - nodes0) );
+                        ("growth", Step_obs.Json.Int growth);
+                      ]
+                end;
                 (* the re-check after refinement is the loop head's *)
                 loop (iter + 1)
           end

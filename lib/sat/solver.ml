@@ -21,6 +21,28 @@ let m_propagations = Metrics.counter "sat.propagations"
 
 let h_solve = Metrics.histogram "sat.solve_s"
 
+(* Deep solver telemetry (gated on [Metrics.deep]): learned-clause
+   quality (LBD/"glue" and length distributions), restart dynamics and
+   per-call phase timings. Restart and clause-DB-reduction counters are
+   always on — both fire orders of magnitude less often than conflicts. *)
+let m_restarts = Metrics.counter "sat.restarts"
+
+let m_reduce_db = Metrics.counter "sat.reduce_db"
+
+let h_lbd = Metrics.histogram "sat.lbd"
+
+let h_learnt_len = Metrics.histogram "sat.learnt_len"
+
+let h_episode = Metrics.histogram "sat.restart_episode_s"
+
+let h_reduce_s = Metrics.histogram "sat.reduce_db_s"
+
+let h_conflicts_call = Metrics.histogram "sat.conflicts_per_call"
+
+let h_decisions_call = Metrics.histogram "sat.decisions_per_call"
+
+let h_props_call = Metrics.histogram "sat.propagations_per_call"
+
 (* CDCL solver. Nomenclature follows MiniSat: [trail] is the assignment
    stack, [trail_lim] marks decision-level boundaries, [reason.(v)] is the
    clause id that propagated variable [v] (-1 for decisions), watch list
@@ -906,6 +928,14 @@ let learn_clause s lits =
   Veci.push s.learnts id;
   id
 
+(* LBD ("glue") of a learnt clause: distinct decision levels among its
+   literals — must run before [cancel_until] invalidates the levels. *)
+let observe_learnt s lits =
+  let levels = Hashtbl.create 8 in
+  Array.iter (fun l -> Hashtbl.replace levels s.level.(Lit.var l) ()) lits;
+  Metrics.observe h_lbd (float_of_int (Hashtbl.length levels));
+  Metrics.observe h_learnt_len (float_of_int (Array.length lits))
+
 (* One restart-bounded search episode. *)
 let search s assumptions nof_conflicts =
   let conflict_c = ref 0 in
@@ -924,6 +954,7 @@ let search s assumptions nof_conflicts =
       if s.conflicts land 1023 = 0 && Clock.now () > s.deadline then
         raise (Done Unknown);
       let lits, bt, step = analyze s confl in
+      if Metrics.deep () then observe_learnt s lits;
       cancel_until s bt;
       let id = learn_clause s lits in
       if s.proof_mode then push_chain s id step;
@@ -940,7 +971,13 @@ let search s assumptions nof_conflicts =
         () (* restart *)
       end
       else if float_of_int (Veci.length s.learnts) >= s.max_learnts then begin
-        reduce_db s;
+        Metrics.inc m_reduce_db;
+        if Metrics.deep () then begin
+          let t0 = Clock.now () in
+          reduce_db s;
+          Metrics.observe h_reduce_s (Clock.elapsed_since t0)
+        end
+        else reduce_db s;
         loop ()
       end
       else if decision_level s < n_assumps then begin
@@ -1008,7 +1045,15 @@ let solve_limited ?(assumptions = []) s =
         while true do
           if Clock.now () > s.deadline then raise (Done Unknown);
           let bound = int_of_float (luby 2.0 !restarts *. 100.) in
-          search s assumptions bound;
+          if Metrics.deep () then begin
+            let e0 = Clock.now () in
+            Fun.protect
+              ~finally:(fun () ->
+                Metrics.observe h_episode (Clock.elapsed_since e0))
+              (fun () -> search s assumptions bound)
+          end
+          else search s assumptions bound;
+          Metrics.inc m_restarts;
           incr restarts;
           s.max_learnts <- s.max_learnts *. 1.05
         done;
@@ -1027,6 +1072,12 @@ let solve_limited ?(assumptions = []) s =
     Metrics.add m_decisions (s.decisions - decisions0);
     Metrics.add m_propagations (s.propagations - propagations0);
     Metrics.observe h_solve (Clock.elapsed_since t0);
+    if Metrics.deep () then begin
+      Metrics.observe h_conflicts_call (float_of_int (s.conflicts - conflicts0));
+      Metrics.observe h_decisions_call (float_of_int (s.decisions - decisions0));
+      Metrics.observe h_props_call
+        (float_of_int (s.propagations - propagations0))
+    end;
     result
   end
 

@@ -1,0 +1,79 @@
+Profiling workflow: trace a decomposition, then fold the span stream
+into a hotpath profile. Timings vary run to run, so numeric columns are
+normalized or gated rather than matched verbatim.
+
+  $ step generate -k adder -n 3 -o add3.blif
+  $ step decompose add3.blif -g xor -m qd --trace t.jsonl \
+  >   --metrics-out m.prom > decompose.out
+
+The profile header reports span count, wall time and attribution; a
+complete trace attributes at least 95% of wall-clock to named spans:
+
+  $ step profile t.jsonl | awk 'NR==1 { p=$(NF-1); sub("%","",p);
+  >   print (p+0 >= 95) ? "attributed >= 95%" : "LOW: " p }'
+  attributed >= 95%
+
+The hierarchical table nests the engine's call tree (numbers stripped;
+sorted children can tie-break differently, so only the stable spine):
+
+  $ step profile t.jsonl | awk 'NR>=2 && NR<=5 { print $4 }'
+  span
+  pipeline.run
+  engine.attempt
+  pipeline.po
+
+Folded-stack output is one semicolon-joined path plus a self-time weight
+per line, ready for flamegraph.pl / speedscope:
+
+  $ step profile t.jsonl --folded | grep -Evc '^[A-Za-z0-9_.;-]+ [0-9]+$'
+  0
+  [1]
+  $ step profile t.jsonl --folded | grep -q 'pipeline.po;mg.find' && echo found
+  found
+
+The hot view ranks flattened paths by self time; trace --hot and
+profile --hot agree:
+
+  $ step profile t.jsonl --hot | sed -n '2p' | awk '{ print $NF }'
+  path
+  $ step trace t.jsonl --hot | head -2 | tail -1 | awk '{ print $NF }'
+  path
+
+Diffing a trace against itself reports zero significant deltas:
+
+  $ step trace --diff t.jsonl t.jsonl | tail -1
+  0 significant deltas (threshold 10%)
+
+--metrics-out wrote one Prometheus snapshot at exit: typed families with
+summary quantiles for every histogram:
+
+  $ grep -c '^# TYPE step_engine_po_s summary' m.prom
+  1
+  $ grep -c '^step_engine_po_s{quantile="0.5"}' m.prom
+  1
+  $ grep -c '^step_engine_po_s_count ' m.prom
+  1
+
+A .json suffix switches the dump format:
+
+  $ step decompose add3.blif -g xor -m qd --metrics-out m.json > /dev/null
+  $ head -c 14 m.json
+  {"counters":{"
+
+Deep telemetry is off by default (per-conflict LBD histograms would show
+up under --stats) and switches on with --deep-stats, which also turns on
+per-cone cache attribution:
+
+  $ step decompose add3.blif -g xor -m qd --stats 2>/dev/null \
+  >   | grep -c 'sat.lbd'
+  0
+  [1]
+  $ step decompose add3.blif -g xor -m qd --stats --deep-stats 2>/dev/null \
+  >   | grep -c 'sat.lbd'
+  1
+  $ step decompose add3.blif -g xor -m qd --cache-dir cachedir --deep-stats \
+  >   | grep -c '^cache: cone .* misses=1'
+  4
+  $ step decompose add3.blif -g xor -m qd --cache-dir cachedir --deep-stats \
+  >   | grep -c '^cache: cone .* hits=1'
+  4

@@ -7,6 +7,7 @@ module Metrics = Step_obs.Metrics
 module Obs = Step_obs.Obs
 module Clock = Step_obs.Clock
 module Trace_summary = Step_obs.Trace_summary
+module Profile = Step_obs.Profile
 
 let feq = Alcotest.float 1e-9
 
@@ -159,6 +160,131 @@ let test_histogram_empty_and_reset () =
   (* handles survive a reset *)
   Metrics.inc c;
   Alcotest.(check int) "handle valid" 1 (Metrics.value c)
+
+(* The registry snapshot must be one atomic view: a metric registered
+   after an earlier report was rendered still shows up in the next one
+   (the old per-section walks could miss late registrations). *)
+let test_snapshot_atomic_complete () =
+  ignore (Metrics.render ());
+  ignore (Metrics.to_json ());
+  let c = Metrics.counter "obs_test.late_counter" in
+  Metrics.add c 7;
+  let h = Metrics.histogram "obs_test.late_hist" in
+  Metrics.observe h 0.5;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "late counter in snapshot" (Some 7)
+    (List.assoc_opt "obs_test.late_counter" snap.Metrics.snap_counters);
+  Alcotest.(check bool)
+    "late histogram in snapshot" true
+    (List.mem_assoc "obs_test.late_hist" snap.Metrics.snap_histograms);
+  (match Metrics.to_json () with
+  | Json.Obj sections ->
+      let member name =
+        match List.assoc_opt name sections with
+        | Some (Json.Obj kvs) -> kvs
+        | _ -> Alcotest.failf "section %s missing" name
+      in
+      Alcotest.(check bool)
+        "late counter in json" true
+        (List.assoc_opt "obs_test.late_counter" (member "counters")
+        = Some (Json.Int 7));
+      Alcotest.(check bool)
+        "late histogram in json" true
+        (List.mem_assoc "obs_test.late_hist" (member "histograms"))
+  | _ -> Alcotest.fail "to_json shape");
+  Alcotest.(check bool)
+    "render carries it too" true
+    (String.length (Metrics.render ()) > 0)
+
+let test_histogram_bucket_boundaries () =
+  (* non-positive observations land in the underflow bucket *)
+  Alcotest.(check int) "zero underflows" 0 (Metrics.bucket_index 0.0);
+  Alcotest.(check int) "negative underflows" 0 (Metrics.bucket_index (-1.0));
+  Alcotest.(check int)
+    "below low edge underflows" 0
+    (Metrics.bucket_index 9.9e-8);
+  (* the low edge itself is the first core bucket *)
+  Alcotest.(check int) "low edge" 1 (Metrics.bucket_index 1e-7);
+  (* the high edge falls off the last core bucket into overflow *)
+  Alcotest.(check int)
+    "high edge overflows" (Metrics.n_buckets - 1)
+    (Metrics.bucket_index 1e3);
+  Alcotest.(check int)
+    "beyond high edge overflows" (Metrics.n_buckets - 1)
+    (Metrics.bucket_index 1e9);
+  (* decade boundaries: 1.0 opens a bucket, and a value one bucket-width
+     up (10^0.1 ~ 1.259) lands in the next one *)
+  Alcotest.(check int) "unit boundary" 71 (Metrics.bucket_index 1.0);
+  Alcotest.(check int) "next bucket" 72 (Metrics.bucket_index 1.3);
+  (* within one bucket: same index *)
+  Alcotest.(check int)
+    "same bucket" (Metrics.bucket_index 1.0)
+    (Metrics.bucket_index 1.05)
+
+let test_histogram_snapshot_merge () =
+  let fast = Metrics.histogram "obs_test.merge_fast" in
+  let slow = Metrics.histogram "obs_test.merge_slow" in
+  let all = Metrics.histogram "obs_test.merge_all" in
+  for _ = 1 to 90 do
+    Metrics.observe fast 1e-4;
+    Metrics.observe all 1e-4
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe slow 1e-2;
+    Metrics.observe all 1e-2
+  done;
+  let merged = Metrics.merge (Metrics.export fast) (Metrics.export slow) in
+  (* merging per-domain snapshots must equal having observed everything
+     in one histogram — bucket counts, exact stats and quantiles *)
+  Alcotest.(check bool)
+    "buckets equal" true
+    (merged.Metrics.s_buckets = (Metrics.export all).Metrics.s_buckets);
+  let ms = Metrics.snapshot_stats merged in
+  let als = Metrics.stats all in
+  Alcotest.(check int) "count" als.Metrics.count ms.Metrics.count;
+  Alcotest.(check feq) "sum" als.Metrics.sum ms.Metrics.sum;
+  Alcotest.(check feq) "min" als.Metrics.min ms.Metrics.min;
+  Alcotest.(check feq) "max" als.Metrics.max ms.Metrics.max;
+  Alcotest.(check feq) "p50" als.Metrics.p50 ms.Metrics.p50;
+  Alcotest.(check feq) "p90" als.Metrics.p90 ms.Metrics.p90;
+  Alcotest.(check feq) "p99" als.Metrics.p99 ms.Metrics.p99;
+  (* empty snapshot is a merge identity *)
+  let id = Metrics.merge merged (Metrics.empty_snapshot ()) in
+  Alcotest.(check bool) "identity" true (id = merged);
+  (* quantiles respect clamping across merged extremes *)
+  Alcotest.(check bool)
+    "quantiles within [min,max]" true
+    (ms.Metrics.p50 >= 1e-4 && ms.Metrics.p99 <= 1e-2)
+
+let test_expose_prometheus () =
+  let c = Metrics.counter "obs_test.expose.calls" in
+  Metrics.add c 3;
+  let g = Metrics.gauge "obs_test.expose.depth" in
+  Metrics.set g 2.5;
+  let h = Metrics.histogram "obs_test.expose.lat" in
+  Metrics.observe h 0.125;
+  let text = Metrics.expose () in
+  let has needle =
+    let n = String.length needle and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool)
+    "counter family" true
+    (has "# TYPE step_obs_test_expose_calls counter");
+  Alcotest.(check bool) "counter value" true (has "step_obs_test_expose_calls 3");
+  Alcotest.(check bool) "gauge value" true (has "step_obs_test_expose_depth 2.5");
+  Alcotest.(check bool)
+    "summary family" true
+    (has "# TYPE step_obs_test_expose_lat summary");
+  Alcotest.(check bool)
+    "quantile series" true
+    (has "step_obs_test_expose_lat{quantile=\"0.5\"}");
+  Alcotest.(check bool) "sum series" true (has "step_obs_test_expose_lat_sum");
+  Alcotest.(check bool)
+    "count series" true
+    (has "step_obs_test_expose_lat_count 1")
 
 (* ---------- Clock ---------- *)
 
@@ -335,6 +461,217 @@ let test_trace_file_roundtrip () =
     "renders" true
     (String.length (Trace_summary.render summary) > 0)
 
+(* ---------- profiles ---------- *)
+
+let mk_record ?parent ?(depth = 0) ?(kind = `Span) ~id ~name ~start ~dur ~self
+    () =
+  {
+    Obs.r_id = id;
+    r_parent = parent;
+    r_depth = depth;
+    r_name = name;
+    r_start = start;
+    r_dur = dur;
+    r_self = self;
+    r_attrs = [];
+    r_kind = kind;
+  }
+
+(* A two-domain trace: two roots with the same name, interleaved emission
+   order, children emitted before their parents (as the runtime does).
+   Same-name frames from different domains must aggregate into one path
+   with no orphaned or double-counted frames. *)
+let test_profile_interleaved_domains () =
+  let records =
+    [
+      (* domain A's child, then domain B's child, then the roots *)
+      mk_record ~id:2 ~parent:1 ~depth:1 ~name:"sat.solve" ~start:0.5 ~dur:1.5
+        ~self:1.5 ();
+      mk_record ~id:4 ~parent:3 ~depth:1 ~name:"sat.solve" ~start:1.1 ~dur:2.0
+        ~self:2.0 ();
+      mk_record ~id:5 ~parent:1 ~depth:1 ~kind:`Event ~name:"cegar.refine"
+        ~start:0.6 ~dur:0.0 ~self:0.0 ();
+      mk_record ~id:1 ~name:"engine.po" ~start:0.0 ~dur:2.0 ~self:0.5 ();
+      mk_record ~id:3 ~name:"engine.po" ~start:0.1 ~dur:3.0 ~self:1.0 ();
+    ]
+  in
+  let p = Profile.of_records records in
+  Alcotest.(check int) "events ignored" 4 p.Profile.n_spans;
+  Alcotest.(check int) "no orphans" 0 p.Profile.n_orphans;
+  Alcotest.(check feq) "wall sums both roots" 5.0 p.Profile.wall_s;
+  Alcotest.(check feq) "fully attributed" 5.0 p.Profile.attributed_s;
+  Alcotest.(check feq) "coverage" 1.0 (Profile.coverage p);
+  (match p.Profile.roots with
+  | [ root ] ->
+      Alcotest.(check string) "one merged root" "engine.po" root.Profile.pn_name;
+      Alcotest.(check int) "root count" 2 root.Profile.pn_count;
+      Alcotest.(check feq) "root total" 5.0 root.Profile.pn_total_s;
+      Alcotest.(check feq) "root self" 1.5 root.Profile.pn_self_s;
+      Alcotest.(check feq) "root max" 3.0 root.Profile.pn_max_s;
+      let child = Hashtbl.find root.Profile.pn_children "sat.solve" in
+      Alcotest.(check int) "child count" 2 child.Profile.pn_count;
+      Alcotest.(check feq) "child total" 3.5 child.Profile.pn_total_s;
+      Alcotest.(check feq) "child self" 3.5 child.Profile.pn_self_s
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+  (* hottest path by self time is the shared sat.solve leaf *)
+  (match Profile.hot_rows p with
+  | (path, count, total, self) :: _ ->
+      Alcotest.(check string) "hottest path" "engine.po;sat.solve" path;
+      Alcotest.(check int) "hottest count" 2 count;
+      Alcotest.(check feq) "hottest total" 3.5 total;
+      Alcotest.(check feq) "hottest self" 3.5 self
+  | [] -> Alcotest.fail "no hot rows");
+  let folded = Profile.to_folded p in
+  Alcotest.(check bool)
+    "folded stack line" true
+    (List.mem "engine.po;sat.solve 3500000"
+       (String.split_on_char '\n' folded));
+  Alcotest.(check bool)
+    "header shows full attribution" true
+    (let h = Profile.header p in
+     String.length h >= 15 && String.sub h 0 8 = "profile:")
+
+(* A span whose parent never reached the sink (truncated trace) is
+   grafted in as a root and reported, not dropped or crashed on. *)
+let test_profile_orphan () =
+  let records =
+    [
+      mk_record ~id:1 ~name:"engine.po" ~start:0.0 ~dur:1.0 ~self:1.0 ();
+      mk_record ~id:7 ~parent:99 ~depth:3 ~name:"sat.solve" ~start:0.2
+        ~dur:0.5 ~self:0.5 ();
+    ]
+  in
+  let p = Profile.of_records records in
+  Alcotest.(check int) "orphan counted" 1 p.Profile.n_orphans;
+  Alcotest.(check int) "both spans kept" 2 p.Profile.n_spans;
+  Alcotest.(check int) "orphan grafted as root" 2 (List.length p.Profile.roots);
+  Alcotest.(check feq) "orphan counts toward wall" 1.5 p.Profile.wall_s;
+  Alcotest.(check feq) "coverage still 1" 1.0 (Profile.coverage p);
+  Alcotest.(check bool)
+    "header flags orphans" true
+    (let h = Profile.header p in
+     let n = String.length h in
+     n > 10 && String.sub h (n - 10) 10 = " orphaned)")
+
+(* Live profiling: a collector teed with a callback sink sees the same
+   spans the other sink does, and folds them into the same tree a
+   post-hoc file pass would produce. *)
+let test_profile_collector_tee () =
+  with_clean_obs @@ fun () ->
+  let t = ref 0.0 in
+  Clock.set_source (fun () -> !t);
+  let prof_sink, get = Profile.collector () in
+  let other = ref 0 in
+  let tee = Obs.tee_sink (Obs.callback_sink (fun _ -> incr other)) prof_sink in
+  Obs.with_sink tee (fun () ->
+      Obs.span "pipeline.run" (fun () ->
+          Obs.span "sat.solve" (fun () -> t := !t +. 0.25);
+          t := !t +. 0.75));
+  let p = get () in
+  Alcotest.(check int) "tee fed both sinks" 2 !other;
+  Alcotest.(check int) "collector saw both spans" 2 p.Profile.n_spans;
+  Alcotest.(check feq) "wall" 1.0 p.Profile.wall_s;
+  Alcotest.(check feq) "coverage" 1.0 (Profile.coverage p);
+  match p.Profile.roots with
+  | [ root ] ->
+      Alcotest.(check feq) "root self" 0.75 root.Profile.pn_self_s;
+      Alcotest.(check feq)
+        "child self" 0.25
+        (Hashtbl.find root.Profile.pn_children "sat.solve").Profile.pn_self_s
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots)
+
+(* End to end across real domains: trace a parallel run to a file, then
+   profile the file. Every worker span must attach under its own root —
+   nothing orphaned, nothing double counted, wall fully attributed. *)
+let test_profile_multidomain_file () =
+  with_clean_obs @@ fun () ->
+  let path = Filename.temp_file "step_obs_prof" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.with_trace_file path (fun () ->
+      let domains =
+        Array.init 3 (fun _ ->
+            Domain.spawn (fun () ->
+                Obs.span "worker.po" (fun () ->
+                    Obs.span "sat.solve" ignore;
+                    Obs.span "sat.solve" ignore)))
+      in
+      Array.iter Domain.join domains);
+  let p = Profile.of_file path in
+  Alcotest.(check int) "9 spans" 9 p.Profile.n_spans;
+  Alcotest.(check int) "no orphans" 0 p.Profile.n_orphans;
+  (match p.Profile.roots with
+  | [ root ] ->
+      Alcotest.(check string) "merged root" "worker.po" root.Profile.pn_name;
+      Alcotest.(check int) "3 worker roots" 3 root.Profile.pn_count;
+      Alcotest.(check int)
+        "6 leaves under it" 6
+        (Hashtbl.find root.Profile.pn_children "sat.solve").Profile.pn_count
+  | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots));
+  (* real clock, but self times are exact complements by construction *)
+  Alcotest.(check bool)
+    "fully attributed" true
+    (Float.abs (Profile.coverage p -. 1.0) < 1e-6);
+  Alcotest.(check bool)
+    "render produces the tree" true
+    (String.length (Profile.render p) > 0)
+
+(* ---------- trace diff ---------- *)
+
+let test_trace_diff () =
+  with_clean_obs @@ fun () ->
+  let t = ref 0.0 in
+  Clock.set_source (fun () -> !t);
+  let path = Filename.temp_file "step_obs_diff" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.with_trace_file path (fun () ->
+      Obs.span "pipeline.run" (fun () ->
+          Obs.span "sat.solve" (fun () -> t := !t +. 0.4);
+          t := !t +. 0.6));
+  let base = Trace_summary.of_file path in
+  (* self-diff: zero significant deltas *)
+  let _, n_self = Trace_summary.diff base base in
+  Alcotest.(check int) "self diff clean" 0 n_self;
+  (* a >threshold self-time regression on one span is flagged *)
+  let slowed =
+    {
+      base with
+      Trace_summary.rows =
+        List.map
+          (fun r ->
+            if r.Trace_summary.name = "sat.solve" then
+              { r with Trace_summary.self_s = r.Trace_summary.self_s *. 2.0 }
+            else r)
+          base.Trace_summary.rows;
+    }
+  in
+  let report, n_slow = Trace_summary.diff base slowed in
+  Alcotest.(check int) "regression flagged" 1 n_slow;
+  Alcotest.(check bool)
+    "regressed span marked" true
+    (List.exists
+       (fun line ->
+         String.length line > 0 && line.[0] = '!'
+         && String.length line > 2
+         &&
+         let rest = String.sub line 1 (String.length line - 1) in
+         String.trim rest <> ""
+         && String.length (String.trim rest) >= 9
+         && String.sub (String.trim rest) 0 9 = "sat.solve")
+       (String.split_on_char '\n' report));
+  (* below threshold: not significant *)
+  let barely =
+    {
+      base with
+      Trace_summary.rows =
+        List.map
+          (fun r ->
+            { r with Trace_summary.self_s = r.Trace_summary.self_s *. 1.05 })
+          base.Trace_summary.rows;
+    }
+  in
+  let _, n_ok = Trace_summary.diff ~threshold:0.10 base barely in
+  Alcotest.(check int) "5% drift under 10% threshold" 0 n_ok
+
 (* ---------- domain safety ---------- *)
 
 let test_metrics_parallel_increments () =
@@ -408,6 +745,14 @@ let () =
             test_histogram_out_of_range;
           Alcotest.test_case "empty + reset" `Quick
             test_histogram_empty_and_reset;
+          Alcotest.test_case "atomic registry snapshot" `Quick
+            test_snapshot_atomic_complete;
+          Alcotest.test_case "bucket boundaries" `Quick
+            test_histogram_bucket_boundaries;
+          Alcotest.test_case "snapshot merge" `Quick
+            test_histogram_snapshot_merge;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_expose_prometheus;
         ] );
       ("clock", [ Alcotest.test_case "monotone + mock" `Quick test_clock_monotone_and_mock ]);
       ( "spans",
@@ -422,8 +767,20 @@ let () =
           Alcotest.test_case "null sink no-op" `Quick test_null_sink_noop;
         ] );
       ( "trace",
-        [ Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip ]
-      );
+        [
+          Alcotest.test_case "file roundtrip" `Quick test_trace_file_roundtrip;
+          Alcotest.test_case "diff" `Quick test_trace_diff;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "interleaved domains" `Quick
+            test_profile_interleaved_domains;
+          Alcotest.test_case "orphaned frames" `Quick test_profile_orphan;
+          Alcotest.test_case "live collector + tee" `Quick
+            test_profile_collector_tee;
+          Alcotest.test_case "multi-domain trace file" `Quick
+            test_profile_multidomain_file;
+        ] );
       ( "domains",
         [
           Alcotest.test_case "parallel metrics" `Quick
