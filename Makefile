@@ -1,7 +1,7 @@
 # Convenience targets; dune is the real build system.
 
 .PHONY: all check test smoke psmoke cachesmoke faultsmoke profsmoke \
-  benchsmoke bench lint clean
+  benchsmoke certsmoke certfuzz bench lint clean
 
 all:
 	dune build @all
@@ -17,6 +17,8 @@ check:
 	$(MAKE) faultsmoke
 	$(MAKE) profsmoke
 	$(MAKE) benchsmoke
+	$(MAKE) certsmoke
+	$(MAKE) certfuzz
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -128,6 +130,31 @@ benchsmoke:
 	  --baseline BENCH_7.json --quality-only
 	rm -f benchsmoke_base.json
 
+# Certification smoke: a certified parallel run must check all its own
+# certificates, the saved certificate files must re-check through the
+# independent `step certify` gate, and a deliberately corrupted proof
+# must make that gate fail non-zero.
+certsmoke:
+	dune build bin/step.exe
+	rm -rf certsmoke_dir
+	dune exec --no-build bin/step.exe -- generate -k decoder -n 3 \
+	  -o certsmoke.blif
+	dune exec --no-build bin/step.exe -- decompose certsmoke.blif -g and \
+	  -m qd -j 4 --certify --cert-dir certsmoke_dir > certsmoke_out.txt
+	grep -E '^cert: checked=[1-9][0-9]* failed=0' certsmoke_out.txt
+	dune exec --no-build bin/step.exe -- certify certsmoke_dir
+	f=$$(grep -l '"proof"' certsmoke_dir/*.cert.json | head -1) && \
+	  sed -i 's/\\n/ 99\\n/' $$f
+	! dune exec --no-build bin/step.exe -- certify certsmoke_dir
+	rm -rf certsmoke_dir certsmoke.blif certsmoke_out.txt
+
+# Bounded proof fuzzing: random CNFs through the proof-logging solver,
+# every UNSAT answer re-checked by the independent LRAT/DRAT checker.
+certfuzz:
+	dune build bin/fuzz.exe
+	dune exec --no-build bin/fuzz.exe -- --proofs --rounds 60 --vars 6 \
+	  --seed 11
+
 bench:
 	dune exec bench/main.exe
 
@@ -137,4 +164,4 @@ clean:
 	  cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt cachesmoke_warm.txt \
 	  cachesmoke_cold.body cachesmoke_warm.body faultsmoke.blif \
 	  faultsmoke_a.csv faultsmoke_b.csv profsmoke.blif profsmoke.jsonl \
-	  benchsmoke_base.json
+	  benchsmoke_base.json certsmoke_dir certsmoke.blif certsmoke_out.txt

@@ -21,8 +21,8 @@ module Gate = Step_core.Gate
 let usage () =
   prerr_endline
     "usage: main.exe [--quick] [--budget SECONDS] [--scale S] [--jobs N] \
-     [--cache] [--cache-dir DIR] [--table 1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] \
-     [--bechamel]\n\
+     [--cache] [--cache-dir DIR] [--certify] \
+     [--table 1|2|3|4|fig|a1|a2|a3|a4|a5|a6|a7] [--bechamel]\n\
     \       main.exe --planted [--snapshot FILE] [--baseline FILE] \
      [--tolerance F] [--quality-only] [--handicap N]";
   exit 2
@@ -80,6 +80,9 @@ let () =
         parse rest
     | "--cache-dir" :: v :: rest ->
         config := { !config with Runs.cache_dir = Some v };
+        parse rest
+    | "--certify" :: rest ->
+        config := { !config with Runs.certify = true };
         parse rest
     | "--table" :: v :: rest ->
         selection := One (String.lowercase_ascii v);

@@ -14,6 +14,7 @@ type config = {
   jobs : int; (* worker domains per circuit run *)
   cache : bool; (* memoize per-PO decompositions by canonical cone *)
   cache_dir : string option; (* persist cache entries across bench runs *)
+  certify : bool; (* generate+check proof certificates for every answer *)
 }
 
 (* 0.5 s per output keeps a full regeneration of all tables, the figure
@@ -27,6 +28,7 @@ let default_config =
     jobs = 1;
     cache = false;
     cache_dir = None;
+    certify = false;
   }
 
 let all_methods =
@@ -102,6 +104,7 @@ let run config circuit gate method_ =
           per_po_budget = config.per_po_budget;
           jobs = config.jobs;
           cache = deco_cache_of config;
+          certify = config.certify;
         }
       in
       let r =
@@ -133,6 +136,15 @@ let dump_json config ~dir ~artifact =
         (s.Dcache.hits, s.Dcache.misses, s.Dcache.entries)
     | None -> (0, 0, 0)
   in
+  (* certification overhead summed over every cached run *)
+  let cert_checked, cert_failed, cert_bytes, cert_s =
+    List.fold_left
+      (fun (ck, fl, by, s) r ->
+        let c, f = Step_engine.Report.cert_counts r in
+        let b, t = Step_engine.Report.cert_totals r in
+        (ck + c, fl + f, by + b, s +. t))
+      (0, 0, 0, 0.0) results
+  in
   let j =
     J.Obj
       [
@@ -145,10 +157,15 @@ let dump_json config ~dir ~artifact =
               ("quick", J.Bool config.quick);
               ("jobs", J.Int config.jobs);
               ("cache", J.Bool (config.cache || config.cache_dir <> None));
+              ("certify", J.Bool config.certify);
             ] );
         ("cache_hits", J.Int cache_hits);
         ("cache_misses", J.Int cache_misses);
         ("cache_entries", J.Int cache_entries);
+        ("cert_checked", J.Int cert_checked);
+        ("cert_failed", J.Int cert_failed);
+        ("cert_proof_bytes", J.Int cert_bytes);
+        ("cert_s", J.Float cert_s);
         ("runs", J.List (List.map Step_engine.Report.to_json results));
       ]
   in

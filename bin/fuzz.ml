@@ -8,10 +8,17 @@
      - both extraction engines, SAT-verified
      - the QDIMACS export solved back through the CEGAR engine
 
+   With [--proofs] the rounds instead target the certification chain:
+   random small CNFs go through a proof-logging solver, UNSAT answers
+   must yield DRAT and LRAT refutations that the independent checker
+   accepts (and rejects once corrupted), SAT answers must yield models
+   that satisfy every input clause. Some rounds force a learned-clause
+   database reduction mid-solve so deletion lines are exercised.
+
    Exit code 0 when every round agrees; 1 with a reproducer seed printed
    otherwise. Usage:
 
-     dune exec bin/fuzz.exe -- [--rounds N] [--seed S] [--vars V]
+     dune exec bin/fuzz.exe -- [--rounds N] [--seed S] [--vars V] [--proofs]
 *)
 
 module Aig = Step_aig.Aig
@@ -24,10 +31,17 @@ module Ljh = Step_core.Ljh
 module Qbf_model = Step_core.Qbf_model
 module Extract = Step_core.Extract
 module Verify = Step_core.Verify
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Drat = Step_sat.Drat
+module Lrat = Step_sat.Lrat
+module Cert = Step_cert.Cert
+module Diag = Step_lint.Diag
 
 let rounds = ref 200
 let seed = ref 1
 let n_vars = ref 5
+let proofs = ref false
 
 let failures = ref 0
 
@@ -149,6 +163,82 @@ let round_check round st =
       [ ("MG", mg); ("LJH", lj); ("QD", qd.Qbf_model.partition) ]
   end
 
+(* --proofs mode: fuzz the proof-logging solver against the independent
+   certificate checker. Clauses are plain DIMACS ints end to end. *)
+
+let random_cnf st n =
+  let n_clauses = 3 + Random.State.int st (4 * n) in
+  List.init n_clauses (fun _ ->
+      let len = 1 + Random.State.int st 3 in
+      List.init len (fun _ ->
+          let v = 1 + Random.State.int st n in
+          if Random.State.bool st then v else -v))
+
+(* Corrupt an LRAT/DRAT text so the checker must reject it: truncating
+   loses the final empty clause at minimum. *)
+let truncate_proof proof = String.sub proof 0 (String.length proof / 2)
+
+let proof_round round st =
+  let n = !n_vars in
+  let cnf = random_cnf st n in
+  let solver = Solver.create ~proof:true () in
+  Solver.ensure_var solver (n - 1);
+  List.iter
+    (fun c -> ignore (Solver.add_clause solver (List.map Lit.of_dimacs c)))
+    cnf;
+  (* On a third of the rounds, solve under an assumption first and force
+     a learned-clause DB reduction, so exported proofs carry deletion
+     lines that the checkers must replay. *)
+  if Random.State.int st 3 = 0 then begin
+    let a = Lit.of_dimacs (1 + Random.State.int st n) in
+    ignore (Solver.solve ~assumptions:[ a ] solver);
+    Solver.reduce_learnts solver
+  end;
+  if Solver.solve solver then begin
+    let model =
+      (* solver var [i] is DIMACS var [i + 1] *)
+      List.init n (fun i ->
+          if Solver.var_value solver i then i + 1 else -(i + 1))
+    in
+    let live = Lrat.input_cnf solver in
+    if
+      Diag.has_errors
+        (Cert.check_model ~item:"fuzz-sat" ~cnf:live ~model ())
+    then fail round "SAT model fails the clause check"
+  end
+  else begin
+    (* DRAT trace through the RUP checker *)
+    let trace = Drat.export solver in
+    let live = Lrat.input_cnf solver in
+    let lits = List.map (List.map Lit.of_dimacs) live in
+    if not (Drat.check ~cnf:lits ~trace) then
+      fail round "DRAT trace rejected by the RUP checker";
+    (* textual DRAT through the independent checker *)
+    let drat_text = Drat.export_string solver in
+    if
+      Diag.has_errors
+        (Cert.check_drat ~item:"fuzz-drat" ~n_vars:(Solver.n_vars solver)
+           ~cnf:live ~proof:drat_text ())
+    then fail round "textual DRAT rejected by the certificate checker";
+    (* LRAT export through the hint-directed checker *)
+    let e = Lrat.export solver in
+    if
+      Diag.has_errors
+        (Cert.check_lrat ~item:"fuzz-lrat" ~n_vars:e.Lrat.n_vars
+           ~cnf:e.Lrat.cnf ~proof:e.Lrat.proof ())
+    then fail round "LRAT proof rejected by the certificate checker";
+    (* and a corrupted proof must NOT be accepted *)
+    if String.length e.Lrat.proof > 4 then begin
+      let bad = truncate_proof e.Lrat.proof in
+      if
+        not
+          (Diag.has_errors
+             (Cert.check_lrat ~item:"fuzz-corrupt" ~n_vars:e.Lrat.n_vars
+                ~cnf:e.Lrat.cnf ~proof:bad ()))
+      then fail round "corrupted LRAT proof accepted"
+    end
+  end
+
 let () =
   let rec parse = function
     | [] -> ()
@@ -161,6 +251,9 @@ let () =
     | "--vars" :: v :: rest ->
         n_vars := int_of_string v;
         parse rest
+    | "--proofs" :: rest ->
+        proofs := true;
+        parse rest
     | other :: _ ->
         Printf.eprintf "unknown argument %S\n" other;
         exit 2
@@ -168,7 +261,9 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   for round = 1 to !rounds do
     let st = Random.State.make [| !seed; round |] in
-    round_check round st
+    if !proofs then proof_round round st else round_check round st
   done;
-  Printf.printf "fuzz: %d rounds, %d failures\n" !rounds !failures;
+  Printf.printf "fuzz%s: %d rounds, %d failures\n"
+    (if !proofs then " (proofs)" else "")
+    !rounds !failures;
   exit (if !failures = 0 then 0 else 1)

@@ -32,6 +32,8 @@ module Lint = Step_lint.Lint
 module Cache = Step_cache.Cache
 module Fault = Step_fault.Fault
 module Retry = Step_engine.Retry
+module Cert = Step_cert.Cert
+module Certify = Step_core.Certify
 
 open Cmdliner
 
@@ -293,6 +295,41 @@ let cache_dir_arg =
   in
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
 
+let certify_flag =
+  let doc =
+    "Produce a proof-carrying certificate for every solved output (LRAT \
+     refutations, SAT witnesses) and re-validate each with the independent \
+     checker; exits non-zero if any certificate fails. Roughly doubles solve \
+     cost. See docs/CERTIFICATION.md."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
+let cert_dir_arg =
+  let doc =
+    "Write each output's certificate to $(docv)/<po>.cert.json (implies \
+     $(b,--certify)); re-check them later with $(b,step certify)."
+  in
+  Arg.(value & opt (some string) None & info [ "cert-dir" ] ~docv:"DIR" ~doc)
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* PO names come from BLIF/AIGER symbol tables: keep them filesystem-safe. *)
+let cert_file dir po_name =
+  let safe =
+    String.map
+      (fun ch ->
+        match ch with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ch
+        | _ -> '_')
+      po_name
+  in
+  Filename.concat dir (safe ^ ".cert.json")
+
 let make_cache ~cache ~no_cache ~cache_dir =
   if no_cache then None
   else if cache || cache_dir <> None then Some (Cache.create ?dir:cache_dir ())
@@ -353,7 +390,8 @@ let check_artifacts_flag =
 let decompose_cmd =
   let run path gate method_ budget jobs po extract verify_ recursive trace
       stats profile deep_stats metrics_out metrics_interval sanitize
-      check_artifacts cache no_cache cache_dir faults fallback retries =
+      check_artifacts cache no_cache cache_dir faults fallback retries certify
+      cert_dir =
     if deep_stats then Metrics.set_deep true;
     let all_diags = ref [] in
     let note_diags diags =
@@ -363,7 +401,34 @@ let decompose_cmd =
       end
     in
     let cache_opt = make_cache ~cache ~no_cache ~cache_dir in
-    let finish_cache () = Option.iter print_cache_summary cache_opt in
+    let certify_on = certify || cert_dir <> None in
+    Option.iter mkdir_p cert_dir;
+    let cert_checked = ref 0 and cert_failed = ref 0 in
+    let cert_bytes = ref 0 and cert_secs = ref 0.0 in
+    (* Every certificate arrives already self-checked by the engine; here
+       it is accounted, its findings surfaced (errors flip the exit code)
+       and, under --cert-dir, persisted for later [step certify]. *)
+    let note_cert po_name = function
+      | None -> ()
+      | Some ct ->
+          incr cert_checked;
+          if not ct.Certify.ok then incr cert_failed;
+          cert_bytes := !cert_bytes + ct.Certify.proof_bytes;
+          cert_secs := !cert_secs +. ct.Certify.gen_s +. ct.Certify.check_s;
+          note_diags ct.Certify.diags;
+          Option.iter
+            (fun dir -> Cert.save (cert_file dir po_name) ct.Certify.cert)
+            cert_dir
+    in
+    let finish_cert () =
+      if certify_on then
+        Printf.printf "cert: checked=%d failed=%d proof_bytes=%d time=%.3fs\n"
+          !cert_checked !cert_failed !cert_bytes !cert_secs
+    in
+    let finish_cache () =
+      Option.iter print_cache_summary cache_opt;
+      finish_cert ()
+    in
     let body () =
       apply_sanitize sanitize;
       (match apply_faults faults with
@@ -381,6 +446,7 @@ let decompose_cmd =
               check_artifacts;
               jobs;
               cache = cache_opt;
+              certify = certify_on;
             }
         in
         match Config.validate config with
@@ -419,7 +485,8 @@ let decompose_cmd =
             | Some g -> Printf.printf "[%s] " (Gate.to_string g)
             | None -> Printf.printf "[-]   ");
             print_po_result r;
-            note_diags r.Pipeline.diags)
+            note_diags r.Pipeline.diags;
+            note_cert r.Pipeline.po_name r.Pipeline.certificate)
           (Engine.run_auto eng);
         finish_cache ();
         raise Exit
@@ -452,8 +519,22 @@ let decompose_cmd =
               Printf.printf " verified=%b"
                 (Verify.decomposition p gate part ~fa:e.Extract.fa
                    ~fb:e.Extract.fb);
-            print_newline ()
-        | _, _ -> ()
+            print_newline ();
+            (* extraction happened: extend the certificate with the
+               proof-carrying fA/fB equivalence miter before accounting *)
+            let cert_with_equiv =
+              match r.Pipeline.certificate with
+              | Some ct -> (
+                  match
+                    Certify.equivalence_obligation p gate ~fa:e.Extract.fa
+                      ~fb:e.Extract.fb
+                  with
+                  | Some ob -> Some (Certify.add_obligation ct ob)
+                  | None -> Some ct)
+              | None -> None
+            in
+            note_cert r.Pipeline.po_name cert_with_equiv
+        | _, _ -> note_cert r.Pipeline.po_name r.Pipeline.certificate
       in
       (match po with
       | Some i -> handle_po (Engine.decompose_po eng i)
@@ -529,7 +610,8 @@ let decompose_cmd =
        $ trace_arg $ stats_flag $ profile_flag $ deep_stats_flag
        $ metrics_out_arg $ metrics_interval_arg $ sanitize_flag
        $ check_artifacts_flag $ cache_flag $ no_cache_flag $ cache_dir_arg
-       $ faults_arg $ fallback_arg $ retries_arg))
+       $ faults_arg $ fallback_arg $ retries_arg $ certify_flag
+       $ cert_dir_arg))
 
 (* ---------- trace ---------- *)
 
@@ -640,7 +722,7 @@ let report_cmd =
     Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
   in
   let run path gate method_ budget jobs format cache no_cache cache_dir faults
-      fallback retries =
+      fallback retries certify =
     match
       (match apply_faults faults with
       | Ok () -> ()
@@ -660,6 +742,7 @@ let report_cmd =
                  per_po_budget = budget;
                  jobs;
                  cache = cache_opt;
+                 certify;
                })
         with
         | Ok config -> config
@@ -687,7 +770,7 @@ let report_cmd =
     Term.(
       ret (const run $ circuit_arg $ gate_arg $ method_arg $ budget_arg
          $ jobs_arg $ format_arg $ cache_flag $ no_cache_flag $ cache_dir_arg
-         $ faults_arg $ fallback_arg $ retries_arg))
+         $ faults_arg $ fallback_arg $ retries_arg $ certify_flag))
 
 let compare_cmd =
   let baseline_arg =
@@ -950,13 +1033,75 @@ let export_qbf_cmd =
         (const run $ circuit_arg $ po_arg $ k_arg $ target_arg $ out_arg
        $ check_flag))
 
+(* ---------- certify ---------- *)
+
+let certify_cmd =
+  let paths_arg =
+    let doc =
+      "Certificate files ($(b,*.cert.json)) or directories containing them \
+       (e.g. a $(b,--cert-dir) from $(b,step decompose))."
+    in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+  in
+  let quiet_flag =
+    let doc = "Only print failures and the final summary." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let collect path =
+    match Sys.is_directory path with
+    | true ->
+        Sys.readdir path |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".cert.json")
+        |> List.sort compare
+        |> List.map (Filename.concat path)
+    | false -> [ path ]
+    | exception Sys_error _ -> [ path ]
+  in
+  let run paths quiet =
+    let files = List.concat_map collect paths in
+    if files = [] then `Error (false, "no *.cert.json files found")
+    else begin
+      let checked = ref 0 and failed = ref 0 and unreadable = ref 0 in
+      List.iter
+        (fun file ->
+          match Cert.load file with
+          | Error msg ->
+              incr unreadable;
+              Printf.eprintf "%s: unreadable: %s\n" file msg
+          | Ok c ->
+              incr checked;
+              let diags = Cert.check ~file c in
+              if Diag.has_errors diags then begin
+                incr failed;
+                print_diags diags;
+                Printf.printf "%s: FAIL (po %s)\n" file c.Cert.po
+              end
+              else if not quiet then
+                Printf.printf "%s: ok (po %s, %d obligations, %d proof bytes)\n"
+                  file c.Cert.po
+                  (List.length c.Cert.obligations)
+                  (Cert.proof_bytes c))
+        files;
+      Printf.printf "certify: checked=%d failed=%d unreadable=%d\n" !checked
+        !failed !unreadable;
+      if !failed > 0 then exit 1
+      else if !unreadable > 0 then exit 2
+      else `Ok ()
+    end
+  in
+  let doc =
+    "Independently re-validate decomposition certificates (LRAT/DRAT proofs, \
+     SAT witnesses) written by $(b,step decompose --cert-dir)."
+  in
+  Cmd.v (Cmd.info "certify" ~doc) Term.(ret (const run $ paths_arg $ quiet_flag))
+
 (* ---------- lint ---------- *)
 
 let lint_cmd =
   let files_arg =
     let doc =
-      "Artifact files to lint: .cnf/.dimacs, .qdimacs/.qdm, .blif, .aag, or \
-       binary .aig."
+      "Artifact files to lint: .cnf/.dimacs, .qdimacs/.qdm, .blif, .aag, \
+       .drat/.lrat proofs, or binary .aig."
     in
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc)
   in
@@ -1044,6 +1189,7 @@ let main_cmd =
       qbf_cmd;
       export_qbf_cmd;
       lint_cmd;
+      certify_cmd;
     ]
 
 (* SIGINT/SIGTERM raise Sys.Break at the interrupted point, so every

@@ -2,10 +2,12 @@ module Diag = Step_lint.Diag
 module Json = Step_obs.Json
 module Metrics = Step_obs.Metrics
 module Partition = Step_core.Partition
+module Cert = Step_cert.Cert
 
 (* process-wide counters, merged across every cache and worker domain *)
 let m_hits = Metrics.counter "cache.hits"
 let m_misses = Metrics.counter "cache.misses"
+let m_cert_rejected = Metrics.counter "cache.cert_rejected"
 let g_entries = Metrics.gauge "cache.entries"
 
 let version = 1
@@ -15,6 +17,7 @@ type entry = {
   proven_optimal : bool;
   timed_out : bool;
   counters : (string * int) list;
+  cert : Cert.t option;
 }
 
 type slot = Ready of entry | Pending
@@ -116,6 +119,7 @@ let entry_to_json ~key e =
       ("partition", partition);
       ("optimal", Json.Bool e.proven_optimal);
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) e.counters));
+      ("cert", match e.cert with None -> Json.Null | Some c -> Cert.to_json c);
     ]
 
 let decode_ints j =
@@ -201,15 +205,66 @@ let load_disk t ~key ~n_inputs =
                   match decode_partition ~n_inputs (Json.member "partition" j) with
                   | Error msg ->
                       skip "CSH004" ("invalid cached partition skipped: " ^ msg)
-                  | Ok partition ->
-                      Some
-                        {
-                          partition;
-                          proven_optimal =
-                            Json.member "optimal" j = Json.Bool true;
-                          timed_out = false;
-                          counters = decode_counters (Json.member "counters" j);
-                        })
+                  | Ok partition -> (
+                      (* Rehydrating a certificate means re-trusting the
+                         answer it vouches for: run the independent
+                         checker on every load, and cross-check the
+                         certified partition against the entry's own, so
+                         a tampered entry is rejected (and recomputed)
+                         rather than served. *)
+                      let reject msg =
+                        Metrics.inc m_cert_rejected;
+                        skip "CSH006"
+                          ("cached certificate rejected, entry skipped: " ^ msg)
+                      in
+                      match Json.member "cert" j with
+                      | Json.Null ->
+                          Some
+                            {
+                              partition;
+                              proven_optimal =
+                                Json.member "optimal" j = Json.Bool true;
+                              timed_out = false;
+                              counters =
+                                decode_counters (Json.member "counters" j);
+                              cert = None;
+                            }
+                      | cj -> (
+                          match Cert.of_json cj with
+                          | Error msg -> reject msg
+                          | Ok c ->
+                              let triple =
+                                Option.map
+                                  (fun p ->
+                                    ( p.Partition.xa,
+                                      p.Partition.xb,
+                                      p.Partition.xc ))
+                                  partition
+                              in
+                              if c.Cert.partition <> triple then
+                                reject
+                                  "certified partition differs from the \
+                                   entry's partition"
+                              else
+                                let cdiags = Cert.check ~file c in
+                                if Diag.has_errors cdiags then
+                                  reject
+                                    (match cdiags with
+                                    | d :: _ -> d.Diag.message
+                                    | [] -> "proof check failed")
+                                else
+                                  Some
+                                    {
+                                      partition;
+                                      proven_optimal =
+                                        Json.member "optimal" j
+                                        = Json.Bool true;
+                                      timed_out = false;
+                                      counters =
+                                        decode_counters
+                                          (Json.member "counters" j);
+                                      cert = Some c;
+                                    })))
       end
 
 (* Atomic publish: write to a temp file in the same directory, rename

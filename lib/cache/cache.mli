@@ -12,10 +12,15 @@
     With a [dir], entries are additionally persisted as versioned JSON
     files, one per key, written atomically (temp file + rename). On load
     every entry is validated ({!Step_lint.Diag}-style diagnostics, codes
-    [CSH001]–[CSH005]); corrupt, stale or mismatched entries are skipped
+    [CSH001]–[CSH006]); corrupt, stale or mismatched entries are skipped
     with a warning — never fatal — and are overwritten by the fresh
-    result. Timed-out results are never stored: they depend on the
-    budget that was left when the solve started, not on the cone. *)
+    result. An entry carrying a decomposition certificate is only
+    trusted after the independent {!Step_cert.Cert} checker re-validates
+    its proofs {e on every disk load} and the certified partition
+    matches the entry's own — a tampered entry is rejected ([CSH006],
+    counted by the [cache.cert_rejected] metric) and recomputed.
+    Timed-out results are never stored: they depend on the budget that
+    was left when the solve started, not on the cone. *)
 
 type entry = {
   partition : Step_core.Partition.t option;
@@ -23,6 +28,9 @@ type entry = {
   proven_optimal : bool;
   timed_out : bool;  (** Never [true] for a stored entry. *)
   counters : (string * int) list;
+  cert : Step_cert.Cert.t option;
+      (** Proof-carrying certificate for the answer (canonical input
+          indices), persisted with the entry and re-checked on load. *)
 }
 
 type t

@@ -1,0 +1,95 @@
+(** Decomposition certificates and their independent checker.
+
+    A certificate is a serializable record, one per primary output,
+    packaging everything needed to re-validate a pipeline answer without
+    trusting the solvers that produced it: the gate and variable
+    partition claimed, plus a list of {e obligations} — self-contained
+    CNFs (plain DIMACS ints) with either an UNSAT proof (textual LRAT or
+    DRAT) or a SAT model. The checker shares no code with the CDCL
+    engine: it parses the proof text and replays it with a naive unit
+    propagation over a private clause store, using LRAT antecedent hints
+    for linear-time checking with a full RUP fallback, and evaluates SAT
+    models clause by clause.
+
+    Findings are {!Step_lint.Diag} errors under the [PRF] rule family:
+    [PRF001] syntax, [PRF002] truncation, [PRF003] id ordering, [PRF004]
+    undefined/deleted clause reference, [PRF005] no empty clause,
+    [PRF006] RUP/hint failure, [PRF007] model/certificate mismatch. An
+    empty result means the certificate is valid. *)
+
+type format = Drat | Lrat
+
+type answer =
+  | Unsat of { format : format; proof : string }
+      (** The obligation's CNF is unsatisfiable; [proof] is the textual
+          refutation in the given format. *)
+  | Sat of int list
+      (** The CNF is satisfiable; the model as DIMACS literals. *)
+
+type obligation = {
+  label : string;  (** e.g. ["prop1"], ["witness"], ["equivalence"]. *)
+  n_vars : int;
+  cnf : int list list;  (** DIMACS clauses, self-contained. *)
+  answer : answer;
+}
+
+type t = {
+  po : string;
+  gate : string;
+  method_ : string;
+  partition : (int list * int list * int list) option;
+      (** Claimed [(XA, XB, XC)] input-index blocks; [None] for
+          indecomposable answers. *)
+  obligations : obligation list;
+}
+
+val proof_bytes : t -> int
+(** Total size of embedded proof texts. *)
+
+val check : ?file:string -> t -> Step_lint.Diag.t list
+(** Re-validates every obligation; empty iff the certificate is valid.
+    Updates the [cert.checked] / [cert.failed] / [cert.proof_bytes] /
+    [cert.check_s] metrics. *)
+
+val check_obligation : ?file:string -> po:string -> obligation -> Step_lint.Diag.t list
+
+val check_lrat :
+  ?file:string ->
+  item:string ->
+  n_vars:int ->
+  cnf:int list list ->
+  proof:string ->
+  unit ->
+  Step_lint.Diag.t list
+(** Checks a textual LRAT refutation of [cnf] (clauses pre-numbered
+    1..m in list order). Empty iff the proof is a valid refutation. *)
+
+val check_drat :
+  ?file:string ->
+  item:string ->
+  n_vars:int ->
+  cnf:int list list ->
+  proof:string ->
+  unit ->
+  Step_lint.Diag.t list
+(** Same for textual DRAT (RUP additions with [d] deletion lines). *)
+
+val check_model :
+  ?file:string ->
+  item:string ->
+  cnf:int list list ->
+  model:int list ->
+  unit ->
+  Step_lint.Diag.t list
+(** Checks that [model] satisfies every clause of [cnf]. *)
+
+val to_json : t -> Step_obs.Json.t
+
+val of_json : Step_obs.Json.t -> (t, string) result
+
+val of_string : string -> (t, string) result
+
+val save : string -> t -> unit
+(** Atomic (temp file + rename) write of the JSON form. *)
+
+val load : string -> (t, string) result

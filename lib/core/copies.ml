@@ -33,7 +33,7 @@ let fresh_copy aig support tag =
 
 let substitution tbl i = Hashtbl.find_opt tbl i
 
-let create (p : Problem.t) gate_ =
+let create ?(proof = false) (p : Problem.t) gate_ =
   let aig = p.Problem.aig in
   let support = p.Problem.support in
   let c1 = fresh_copy aig support "cpyA" in
@@ -51,7 +51,10 @@ let create (p : Problem.t) gate_ =
         let f3 = Aig.compose aig (substitution c3) p.Problem.f in
         (Some c3, Aig.xor_list aig [ p.Problem.f; f1; f2; f3 ])
   in
-  let enc = Tseitin.create aig in
+  let enc =
+    if proof then Tseitin.create ~solver:(Solver.create ~proof:true ()) aig
+    else Tseitin.create aig
+  in
   let solver = Tseitin.solver enc in
   ignore (Solver.add_clause solver [ Tseitin.lit_of enc matrix ]);
   let input_lit tbl i = Tseitin.lit_of enc (Hashtbl.find tbl i) in

@@ -30,7 +30,13 @@
 
 type t
 
-val create : Problem.t -> Gate.t -> t
+val create : ?proof:bool -> Problem.t -> Gate.t -> t
+(** With [~proof:true] the underlying solver logs resolution chains, so a
+    refutation obtained {e without assumptions} (e.g. with a partition's
+    selector assumptions added as unit clauses, see {!Certify}) can be
+    exported as a DRAT/LRAT certificate. Default [false]: proof logging
+    disables clause minimization and keeps deleted clause literals, so it
+    is never turned on for the hot solve path. *)
 
 val problem : t -> Problem.t
 

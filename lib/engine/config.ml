@@ -14,6 +14,7 @@ type t = {
   trace : Step_obs.Obs.sink option;
   stats : (string -> unit) option;
   cache : Step_cache.Cache.t option;
+  certify : bool;
 }
 
 let default =
@@ -30,6 +31,7 @@ let default =
     trace = None;
     stats = None;
     cache = None;
+    certify = false;
   }
 
 (* "qdb>qb>mg": the degradation ladder, cheapest method last. A leading
@@ -101,3 +103,5 @@ let with_trace trace c = { c with trace }
 let with_stats stats c = { c with stats }
 
 let with_cache cache c = { c with cache }
+
+let with_certify certify c = { c with certify }

@@ -55,6 +55,13 @@ type t = {
           (default [None] = every cone is solved). One cache may be
           shared across runs, engines and worker domains; see
           {!Step_cache.Cache} for the keying and persistence contract. *)
+  certify : bool;
+      (** Produce a proof-carrying certificate for every solved output
+          ({!Step_core.Certify}) and re-validate it with the independent
+          checker before reporting (default off — certification re-solves
+          each answer with proof logging on, roughly doubling solve
+          cost). Certificates ride along with cache entries and are
+          re-checked on every disk rehydration. *)
 }
 
 val default : t
@@ -93,3 +100,5 @@ val with_trace : Step_obs.Obs.sink option -> t -> t
 val with_stats : (string -> unit) option -> t -> t
 
 val with_cache : Step_cache.Cache.t option -> t -> t
+
+val with_certify : bool -> t -> t

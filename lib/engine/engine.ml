@@ -14,6 +14,7 @@ module Copies = Step_core.Copies
 module Ljh = Step_core.Ljh
 module Mg = Step_core.Mg
 module Qbf_model = Step_core.Qbf_model
+module Certify = Step_core.Certify
 
 let method_to_string = Method.to_string
 
@@ -54,6 +55,7 @@ type po_result = {
   degraded : bool;
   attempts : int;
   failure : po_failure option;
+  certificate : Certify.t option;
 }
 
 let po_status r =
@@ -172,8 +174,8 @@ let cache_key ~gate ~method_ ~budget ~min_support cone =
    QBF methods add copy inputs and scratch nodes to it (the session API
    hands every job a private compacted copy instead). [cache] is the
    cache paired with the configured per-PO budget for the key. *)
-let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
-    gate method_ =
+let decompose_on ?cache ?(certify = false) ~per_po_budget ~min_support
+    ~check_artifacts circuit i gate method_ =
   let name = Circuit.output_name circuit i in
   Obs.span
     ~attrs:
@@ -187,7 +189,8 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
   let t0 = Clock.now () in
   let p = Problem.of_output circuit i in
   let n = Problem.n_vars p in
-  let finish ?cache_hit ?(counters = []) partition proven_optimal timed_out =
+  let finish ?cache_hit ?certificate ?(counters = []) partition proven_optimal
+      timed_out =
     let status =
       match partition with
       | Some _ when proven_optimal -> "optimal"
@@ -228,7 +231,18 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
       degraded = false;
       attempts = 1;
       failure = None;
+      certificate;
     }
+  in
+  (* Certificates re-solve the answer with proof logging on, so they are
+     only built when asked for, and never for timeouts (a timeout is not
+     a claim — there is nothing to certify). *)
+  let mk_cert problem partition timed_out =
+    if certify && not timed_out then
+      Obs.span "cert.generate" (fun () ->
+          Certify.for_po ~po:name ~method_name:(Method.to_string method_)
+            problem gate partition)
+    else None
   in
   if n < max 2 min_support then finish None true false
   else begin
@@ -237,7 +251,8 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
         let partition, optimal, timed_out, counters =
           solve_kernel ~per_po_budget p gate method_
         in
-        finish ~counters partition optimal timed_out
+        let certificate = mk_cert p partition timed_out in
+        finish ?certificate ~counters partition optimal timed_out
     | Some (cache, configured_budget) ->
         (* Canonicalize the cone; on a miss solve the canonical rebuild,
            not the original, so the stored entry is a pure function of
@@ -251,25 +266,50 @@ let decompose_on ?cache ~per_po_budget ~min_support ~check_artifacts circuit i
         let key =
           cache_key ~gate ~method_ ~budget:configured_budget ~min_support cone
         in
+        (* the canonical rebuild serves both the miss solve and any
+           certificate work; built at most once per call *)
+        let canonical_problem =
+          lazy
+            (let cm, croot = Cone.build cone in
+             Problem.of_edge cm croot)
+        in
         let compute () =
-          let cm, croot = Cone.build cone in
-          let cp = Problem.of_edge cm croot in
+          let cp = Lazy.force canonical_problem in
           let budget = Float.max 0.0 (per_po_budget -. Clock.elapsed_since t0) in
           let partition, proven_optimal, timed_out, counters =
             solve_kernel ~per_po_budget:budget cp gate method_
           in
-          { Cache.partition; proven_optimal; timed_out; counters }
+          (* certify on the canonical problem, so the stored certificate
+             is — like the entry itself — a pure function of the key and
+             speaks in canonical input indices *)
+          let cert =
+            Option.map
+              (fun c -> c.Certify.cert)
+              (mk_cert cp partition timed_out)
+          in
+          { Cache.partition; proven_optimal; timed_out; counters; cert }
         in
         let entry, hit =
           Cache.find_or_compute cache ~key ~n_inputs:(Cone.n_inputs cone)
             compute
+        in
+        let certificate =
+          if not certify || entry.Cache.timed_out then None
+          else
+            match entry.Cache.cert with
+            | Some c -> Some (Obs.span "cert.check" (fun () -> Certify.of_cert c))
+            | None ->
+                (* warm entry from an uncertified run: generate fresh *)
+                mk_cert
+                  (Lazy.force canonical_problem)
+                  entry.Cache.partition entry.Cache.timed_out
         in
         let rehydrate part =
           let mapv = List.map (fun k -> cone.Cone.inputs.(k)) in
           Partition.make ~xa:(mapv part.Partition.xa)
             ~xb:(mapv part.Partition.xb) ~xc:(mapv part.Partition.xc)
         in
-        finish ~cache_hit:hit ~counters:entry.Cache.counters
+        finish ~cache_hit:hit ?certificate ~counters:entry.Cache.counters
           (Option.map rehydrate entry.Cache.partition)
           entry.Cache.proven_optimal entry.Cache.timed_out
   end
@@ -283,15 +323,15 @@ let score (r : po_result) =
    slice is an even share of the budget *still unspent*, so a gate that
    finishes early (tiny support, fast UNSAT) hands its slack to the
    remaining gates instead of wasting it. *)
-let decompose_auto_on ?cache ~per_po_budget ~min_support ~check_artifacts
-    circuit i method_ =
+let decompose_auto_on ?cache ?certify ~per_po_budget ~min_support
+    ~check_artifacts circuit i method_ =
   let _, rev_candidates =
     List.fold_left
       (fun (remaining, acc) gate ->
         let gates_left = List.length Gate.all - List.length acc in
         let slice = remaining /. float_of_int gates_left in
         let r =
-          decompose_on ?cache ~per_po_budget:slice ~min_support
+          decompose_on ?cache ?certify ~per_po_budget:slice ~min_support
             ~check_artifacts circuit i gate method_
         in
         (Float.max 0.0 (remaining -. r.cpu), (gate, r) :: acc))
@@ -337,6 +377,7 @@ let timeout_stub ~method_ name =
     degraded = false;
     attempts = 1;
     failure = None;
+    certificate = None;
   }
 
 let failed_stub ~method_ ~attempts ~elapsed name failure =
@@ -354,6 +395,7 @@ let failed_stub ~method_ ~attempts ~elapsed name failure =
     degraded = false;
     attempts;
     failure = Some failure;
+    certificate = None;
   }
 
 let po_failure_of (f : Retry.failure) =
@@ -384,7 +426,7 @@ let run_method_job eng ~deadline method_ i =
   if remaining <= 0.0 then
     timeout_stub ~method_ (Circuit.output_name eng.circuit i)
   else
-    decompose_on ?cache:(job_cache cfg)
+    decompose_on ?cache:(job_cache cfg) ~certify:cfg.Config.certify
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
       ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i
@@ -396,7 +438,7 @@ let run_auto_method_job eng ~deadline method_ i =
   if remaining <= 0.0 then
     (None, timeout_stub ~method_ (Circuit.output_name eng.circuit i))
   else
-    decompose_auto_on ?cache:(job_cache cfg)
+    decompose_auto_on ?cache:(job_cache cfg) ~certify:cfg.Config.certify
       ~per_po_budget:(Float.min cfg.Config.per_po_budget remaining)
       ~min_support:cfg.Config.min_support
       ~check_artifacts:cfg.Config.check_artifacts (job_circuit eng) i method_

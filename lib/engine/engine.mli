@@ -76,6 +76,12 @@ type po_result = {
       (** [Some] when the configured method's job raised: the row is
           [failed] if no ladder rung recovered it, [degraded] otherwise
           (the record then describes the primary method's failure). *)
+  certificate : Step_core.Certify.t option;
+      (** Proof-carrying certificate for this row's answer, already
+          re-validated by the independent checker ([ok] / [diags] record
+          the verdict). Only present under [Config.certify]; never
+          present for timeouts or failures. For cached cones the
+          certificate speaks in the cone's canonical input indices. *)
 }
 
 val po_status : po_result -> string
@@ -143,6 +149,7 @@ val decompose_po_auto : t -> int -> Step_core.Gate.t option * po_result
 
 val decompose_on :
   ?cache:Step_cache.Cache.t * float ->
+  ?certify:bool ->
   per_po_budget:float ->
   min_support:int ->
   check_artifacts:bool ->
@@ -153,10 +160,12 @@ val decompose_on :
   po_result
 (** [?cache] is the cache paired with the {e configured} per-PO budget
     (the cache-key component — [per_po_budget] itself may have been
-    clamped by the remaining total budget and must not leak into keys). *)
+    clamped by the remaining total budget and must not leak into keys).
+    [?certify] (default [false]) populates [certificate]. *)
 
 val decompose_auto_on :
   ?cache:Step_cache.Cache.t * float ->
+  ?certify:bool ->
   per_po_budget:float ->
   min_support:int ->
   check_artifacts:bool ->

@@ -30,6 +30,7 @@ type po_result = Engine.po_result = {
   degraded : bool;
   attempts : int;
   failure : po_failure option;
+  certificate : Step_core.Certify.t option;
 }
 
 type circuit_result = Engine.circuit_result = {

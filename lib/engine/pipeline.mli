@@ -63,6 +63,9 @@ type po_result = Engine.po_result = {
   attempts : int;  (** Supervision attempts spent, all methods included. *)
   failure : po_failure option;
       (** The configured method's failure, when it raised. *)
+  certificate : Step_core.Certify.t option;
+      (** Proof-carrying certificate; see {!Engine.po_result}. Always
+          [None] for the shims (they never enable [Config.certify]). *)
 }
 
 type circuit_result = Engine.circuit_result = {

@@ -85,6 +85,32 @@ let cache_counts (r : Pipeline.circuit_result) =
       | None -> (hits, misses))
     (0, 0) r.Pipeline.per_po
 
+(* Certificate columns follow the cache-column convention: empty for
+   runs without --certify, so certless output is byte-identical. *)
+let cert_cell (po : Pipeline.po_result) =
+  match po.Pipeline.certificate with
+  | None -> ""
+  | Some c -> if c.Step_core.Certify.ok then "ok" else "FAIL"
+
+let cert_counts (r : Pipeline.circuit_result) =
+  Array.fold_left
+    (fun (checked, failed) (po : Pipeline.po_result) ->
+      match po.Pipeline.certificate with
+      | None -> (checked, failed)
+      | Some c ->
+          (checked + 1, if c.Step_core.Certify.ok then failed else failed + 1))
+    (0, 0) r.Pipeline.per_po
+
+let cert_totals (r : Pipeline.circuit_result) =
+  Array.fold_left
+    (fun (bytes, secs) (po : Pipeline.po_result) ->
+      match po.Pipeline.certificate with
+      | None -> (bytes, secs)
+      | Some c ->
+          ( bytes + c.Step_core.Certify.proof_bytes,
+            secs +. c.Step_core.Certify.gen_s +. c.Step_core.Certify.check_s ))
+    (0, 0.0) r.Pipeline.per_po
+
 let po_fields (po : Pipeline.po_result) =
   match po.Pipeline.partition with
   | None -> (0, 0, 0, nan, nan)
@@ -108,10 +134,13 @@ let summary_line (r : Pipeline.circuit_result) =
   ^ (if a.n_failed > 0 then Printf.sprintf " failed=%d" a.n_failed else "")
   ^ (if a.n_degraded > 0 then Printf.sprintf " degraded=%d" a.n_degraded
      else "")
+  ^ (match cache_counts r with
+    | 0, 0 -> ""
+    | hits, misses -> Printf.sprintf " cache=%d/%d" hits (hits + misses))
   ^
-  match cache_counts r with
+  match cert_counts r with
   | 0, 0 -> ""
-  | hits, misses -> Printf.sprintf " cache=%d/%d" hits (hits + misses)
+  | checked, failed -> Printf.sprintf " cert=%d/%d" (checked - failed) checked
 
 let to_text r =
   let buf = Buffer.create 1024 in
@@ -124,12 +153,17 @@ let to_text r =
         | None -> ""
         | Some _ -> " cache=" ^ cache_cell po
       in
+      let cert_suffix =
+        match po.Pipeline.certificate with
+        | None -> ""
+        | Some _ -> " cert=" ^ cert_cell po
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "%-16s n=%-3d %-14s |XA|=%-2d |XB|=%-2d |XC|=%-2d eD=%-5.3f \
-            eB=%-5.3f %6.3fs%s\n"
+            eB=%-5.3f %6.3fs%s%s\n"
            po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
-           po.Pipeline.cpu cache_suffix))
+           po.Pipeline.cpu cache_suffix cert_suffix))
     r.Pipeline.per_po;
   Buffer.add_string buf (summary_line r);
   Buffer.add_char buf '\n';
@@ -138,17 +172,17 @@ let to_text r =
 let to_csv r =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,counters\n";
+    "po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,cert,counters\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%b,%b,%b,%s,%d,%d,%d,%d,%f,%f,%f,%s,%s\n"
+        (Printf.sprintf "%s,%d,%b,%b,%b,%s,%d,%d,%d,%d,%f,%f,%f,%s,%s,%s\n"
            po.Pipeline.po_name po.Pipeline.support_size
            (po.Pipeline.partition <> None)
            po.Pipeline.proven_optimal po.Pipeline.timed_out
            (Engine.po_status po) po.Pipeline.attempts xa xb xc ed eb
-           po.Pipeline.cpu (cache_cell po)
+           po.Pipeline.cpu (cache_cell po) (cert_cell po)
            (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.contents buf
@@ -161,8 +195,8 @@ let to_markdown r =
        (Step_core.Gate.to_string r.Pipeline.gate_used));
   Buffer.add_string buf
     "| PO | support | status | XA | XB | XC | eD | eB | cpu (s) | cache | \
-     counters |\n";
-  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|---|\n";
+     cert | counters |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|---|---|---|---|---|\n";
   Array.iter
     (fun (po : Pipeline.po_result) ->
       let xa, xb, xc, ed, eb = po_fields po in
@@ -171,9 +205,10 @@ let to_markdown r =
       in
       Buffer.add_string buf
         (Printf.sprintf
-           "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f | %s | %s |\n"
+           "| %s | %d | %s | %d | %d | %d | %.3f | %.3f | %.3f | %s | %s | \
+            %s |\n"
            po.Pipeline.po_name po.Pipeline.support_size status xa xb xc ed eb
-           po.Pipeline.cpu (cache_cell po)
+           po.Pipeline.cpu (cache_cell po) (cert_cell po)
            (counters_cell po.Pipeline.counters)))
     r.Pipeline.per_po;
   Buffer.add_string buf (Printf.sprintf "\n%s\n" (summary_line r));
@@ -188,6 +223,18 @@ let to_json (r : Pipeline.circuit_result) =
       match po.Pipeline.cache_hit with
       | None -> []
       | Some hit -> [ ("cache", J.String (if hit then "hit" else "miss")) ]
+    in
+    let cert =
+      match po.Pipeline.certificate with
+      | None -> []
+      | Some c ->
+          [
+            ("cert", J.String (if c.Step_core.Certify.ok then "ok" else "FAIL"));
+            ("cert_proof_bytes", J.Int c.Step_core.Certify.proof_bytes);
+            ( "cert_s",
+              J.Float (c.Step_core.Certify.gen_s +. c.Step_core.Certify.check_s)
+            );
+          ]
     in
     let supervision =
       (if po.Pipeline.degraded then [ ("degraded", J.Bool true) ] else [])
@@ -222,7 +269,7 @@ let to_json (r : Pipeline.circuit_result) =
          ("eB", J.Float eb);
          ("cpu_s", J.Float po.Pipeline.cpu);
        ]
-      @ cache @ supervision
+      @ cache @ cert @ supervision
       @ [ ("counters", counters_json po.Pipeline.counters) ])
   in
   let cache =
@@ -230,6 +277,18 @@ let to_json (r : Pipeline.circuit_result) =
     | 0, 0 -> []
     | hits, misses ->
         [ ("cache_hits", J.Int hits); ("cache_misses", J.Int misses) ]
+  in
+  let cert =
+    match cert_counts r with
+    | 0, 0 -> []
+    | checked, failed ->
+        let bytes, secs = cert_totals r in
+        [
+          ("cert_checked", J.Int checked);
+          ("cert_failed", J.Int failed);
+          ("cert_proof_bytes", J.Int bytes);
+          ("cert_s", J.Float secs);
+        ]
   in
   let a = aggregate_of r in
   let supervision =
@@ -248,6 +307,7 @@ let to_json (r : Pipeline.circuit_result) =
      ]
     @ supervision
     @ cache
+    @ cert
     @ [
         ("counters", counters_json (counters_of r));
         ("per_po", J.List (Array.to_list (Array.map po_json r.Pipeline.per_po)));

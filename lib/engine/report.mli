@@ -22,14 +22,23 @@ val counters_of : Pipeline.circuit_result -> (string * int) list
 (** Key-wise sum of the per-PO engine counters (SAT calls, seeds,
     CEGAR refinements, QBF queries…), in first-seen order. *)
 
+val cert_counts : Pipeline.circuit_result -> int * int
+(** [(checked, failed)] over the per-PO certificates; [(0, 0)] for runs
+    without [Config.certify]. *)
+
+val cert_totals : Pipeline.circuit_result -> int * float
+(** [(proof_bytes, seconds)] summed over the per-PO certificates —
+    proof text size and generate+check time. *)
+
 val to_text : Pipeline.circuit_result -> string
 (** Aligned per-PO table plus a summary line. *)
 
 val to_csv : Pipeline.circuit_result -> string
 (** One row per PO:
-    [po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,counters]
-    — [status] is {!Engine.po_status}, the counters cell is
-    [;]-separated [key=value] pairs. *)
+    [po,support,decomposed,optimal,timed_out,status,attempts,xa,xb,xc,eD,eB,cpu,cache,cert,counters]
+    — [status] is {!Engine.po_status}, [cert] is [ok]/[FAIL] (empty
+    without [Config.certify]), the counters cell is [;]-separated
+    [key=value] pairs. *)
 
 val to_markdown : Pipeline.circuit_result -> string
 

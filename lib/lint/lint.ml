@@ -556,9 +556,149 @@ let check_partition ?name ~support ~xa ~xb ~xc () =
             la lb));
   List.rev !diags
 
+(* ---------- DRAT / LRAT proof files ---------- *)
+
+(* Format-level scanners for textual proof traces: tokens, terminators
+   and id discipline. Semantic validity (is each clause actually RUP?)
+   needs the original CNF and lives in Step_cert; these checkers share
+   the PRF code family with it. *)
+
+let check_drat ?file text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let err ?line ?item code msg = add (Diag.error ?file ?line ?item ~code msg) in
+  let saw_empty = ref false in
+  let saw_line = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens line with
+      | [] -> ()
+      | "c" :: _ -> ()
+      | toks ->
+          saw_line := true;
+          let toks = match toks with "d" :: rest -> rest | _ -> toks in
+          let rec scan n_lits closed = function
+            | [] ->
+                if not closed then
+                  err ~line:lineno "PRF002" "clause line not 0-terminated"
+                else if n_lits = 0 then saw_empty := true
+            | tok :: rest -> begin
+                match int_of_string_opt tok with
+                | None ->
+                    err ~line:lineno ~item:tok "PRF001"
+                      "bad token (expected an integer)"
+                | Some 0 ->
+                    if closed then
+                      err ~line:lineno "PRF001"
+                        "tokens after the terminating 0"
+                    else scan n_lits true rest
+                | Some _ ->
+                    if closed then
+                      err ~line:lineno "PRF001"
+                        "tokens after the terminating 0"
+                    else scan (n_lits + 1) closed rest
+              end
+          in
+          scan 0 false toks)
+    (split_lines text);
+  if not !saw_line then err "PRF002" "empty proof"
+  else if not !saw_empty then
+    err "PRF005" "proof has no empty-clause line (does not refute)";
+  finalize !diags
+
+let check_lrat ?file text =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let err ?line ?item code msg = add (Diag.error ?file ?line ?item ~code msg) in
+  let saw_empty = ref false in
+  let saw_line = ref false in
+  let last_id = ref 0 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      match tokens line with
+      | [] -> ()
+      | "c" :: _ -> ()
+      | id_tok :: rest -> begin
+          saw_line := true;
+          match int_of_string_opt id_tok with
+          | None ->
+              err ~line:lineno ~item:id_tok "PRF001"
+                "line must start with a clause id"
+          | Some id -> begin
+              match rest with
+              | "d" :: del ->
+                  (* deletion: ids until a final 0 *)
+                  let rec scan closed = function
+                    | [] ->
+                        if not closed then
+                          err ~line:lineno "PRF002"
+                            "deletion line not 0-terminated"
+                    | tok :: rest -> begin
+                        match int_of_string_opt tok with
+                        | None ->
+                            err ~line:lineno ~item:tok "PRF001"
+                              "bad token (expected an integer)"
+                        | Some 0 ->
+                            if closed then
+                              err ~line:lineno "PRF001"
+                                "tokens after the terminating 0"
+                            else scan true rest
+                        | Some n ->
+                            if closed then
+                              err ~line:lineno "PRF001"
+                                "tokens after the terminating 0"
+                            else if n < 0 then
+                              err ~line:lineno ~item:tok "PRF001"
+                                "negative clause id in deletion"
+                            else scan closed rest
+                      end
+                  in
+                  scan false del
+              | _ ->
+                  (* addition: id lits 0 hints 0 *)
+                  if id <= !last_id then
+                    err ~line:lineno ~item:id_tok "PRF003"
+                      (Printf.sprintf "clause id %d not above previous id %d" id
+                         !last_id)
+                  else last_id := id;
+                  let rec scan n_lits zeros = function
+                    | [] ->
+                        if zeros < 2 then
+                          err ~line:lineno "PRF002"
+                            "addition line needs two 0 terminators (lits, hints)"
+                        else if n_lits = 0 then saw_empty := true
+                    | tok :: rest -> begin
+                        match int_of_string_opt tok with
+                        | None ->
+                            err ~line:lineno ~item:tok "PRF001"
+                              "bad token (expected an integer)"
+                        | Some 0 ->
+                            if zeros >= 2 then
+                              err ~line:lineno "PRF001"
+                                "tokens after the terminating 0"
+                            else scan n_lits (zeros + 1) rest
+                        | Some _ ->
+                            if zeros >= 2 then
+                              err ~line:lineno "PRF001"
+                                "tokens after the terminating 0"
+                            else if zeros = 0 then scan (n_lits + 1) zeros rest
+                            else scan n_lits zeros rest
+                      end
+                  in
+                  scan 0 0 rest
+            end
+        end)
+    (split_lines text);
+  if not !saw_line then err "PRF002" "empty proof"
+  else if not !saw_empty then
+    err "PRF005" "proof has no empty-clause line (does not refute)";
+  finalize !diags
+
 (* ---------- file dispatch ---------- *)
 
-type kind = Cnf | Qdimacs | Blif | Aag
+type kind = Cnf | Qdimacs | Blif | Aag | Drat | Lrat
 
 let kind_of_path path =
   let has s = Filename.check_suffix path s in
@@ -566,6 +706,8 @@ let kind_of_path path =
   else if has ".qdimacs" || has ".qdm" then Some Qdimacs
   else if has ".blif" then Some Blif
   else if has ".aag" then Some Aag
+  else if has ".drat" then Some Drat
+  else if has ".lrat" then Some Lrat
   else None
 
 let read_file path =
@@ -579,7 +721,8 @@ let lint_file ?kind path =
   | None ->
       [
         Diag.error ~file:path ~code:"IO001"
-          "unrecognized artifact kind (expected .cnf/.dimacs/.qdimacs/.blif/.aag)";
+          "unrecognized artifact kind (expected \
+           .cnf/.dimacs/.qdimacs/.blif/.aag/.drat/.lrat)";
       ]
   | Some k -> begin
       match read_file path with
@@ -591,5 +734,7 @@ let lint_file ?kind path =
           | Qdimacs -> check_qdimacs ~file:path text
           | Blif -> check_blif ~file:path text
           | Aag -> check_aag ~file:path text
+          | Drat -> check_drat ~file:path text
+          | Lrat -> check_lrat ~file:path text
         end
     end

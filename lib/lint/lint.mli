@@ -16,6 +16,9 @@
     - [AAG001]–[AAG003]: ASCII AIGER literal definitions
     - [PAR001]–[PAR003]: partition coverage and symmetry
     - [SAN001]–[SAN003]: solver sanitizer (emitted by [Step_sat.Solver])
+    - [PRF001]–[PRF007]: DRAT/LRAT proof traces and certificates
+      (format-level rules here; the semantic rules PRF004/PRF006/PRF007
+      are emitted by the independent checker in [Step_cert])
     - [IO001]: unreadable / unrecognized artifact *)
 
 (** {2 Textual artifacts} *)
@@ -41,6 +44,19 @@ val check_aag : ?file:string -> string -> Diag.t list
 (** Lints ASCII AIGER text: malformed/truncated header or body (AAG001),
     multiply-defined variables (AAG002), references to undefined or
     out-of-range literals (AAG003). *)
+
+val check_drat : ?file:string -> string -> Diag.t list
+(** Lints textual DRAT proof traces, format level only: non-integer
+    tokens or tokens after the terminating 0 (PRF001), lines without a 0
+    terminator or an entirely empty proof (PRF002), and a proof that
+    never adds the empty clause (PRF005). Whether each clause is actually
+    RUP needs the original CNF — that semantic check lives in
+    [Step_cert.Cert]. *)
+
+val check_lrat : ?file:string -> string -> Diag.t list
+(** Same for textual LRAT ([id lit* 0 hint* 0] additions, [id d id* 0]
+    deletions): PRF001/PRF002 as for DRAT, plus non-increasing addition
+    ids (PRF003). *)
 
 (** {2 In-memory artifacts} *)
 
@@ -75,11 +91,12 @@ val check_partition :
 
 (** {2 File dispatch} *)
 
-type kind = Cnf | Qdimacs | Blif | Aag
+type kind = Cnf | Qdimacs | Blif | Aag | Drat | Lrat
 
 val kind_of_path : string -> kind option
-(** [.cnf]/[.dimacs], [.qdimacs]/[.qdm], [.blif], [.aag]. Binary [.aig]
-    is handled by the CLI (it needs the AIG reader). *)
+(** [.cnf]/[.dimacs], [.qdimacs]/[.qdm], [.blif], [.aag], [.drat],
+    [.lrat]. Binary [.aig] is handled by the CLI (it needs the AIG
+    reader). *)
 
 val lint_file : ?kind:kind -> string -> Diag.t list
 (** Reads and lints one artifact file, dispatching on the extension unless

@@ -2,6 +2,7 @@ module Aig = Step_aig.Aig
 module Solver = Step_sat.Solver
 module Lit = Step_sat.Lit
 module Tseitin = Step_cnf.Tseitin
+module Lrat = Step_sat.Lrat
 module Obs = Step_obs.Obs
 module Clock = Step_obs.Clock
 module Metrics = Step_obs.Metrics
@@ -25,10 +26,14 @@ let h_iters_run = Metrics.histogram "cegar.iterations_per_run"
 
 type outcome = Valid of (int -> bool) | Invalid | Unknown
 
-type stats = { iterations : int; abstraction_nodes : int }
+type stats = {
+  iterations : int;
+  abstraction_nodes : int;
+  refutation : Lrat.export option;
+}
 
-let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
-    ~forall_vars =
+let solve ?(max_iterations = max_int) ?time_budget ?(certify = false) aig
+    ~matrix ~exists_vars ~forall_vars =
   let support = Aig.support aig matrix in
   (* one hash set per block, not List.mem per support variable — the
      membership tests below are linear, not quadratic, on wide supports *)
@@ -52,7 +57,13 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
      φ(X, y°) are built in the same AIG manager (strashing shares their
      structure) and Tseitin-encoded with the X inputs bound to fixed SAT
      variables. *)
-  let abs = Tseitin.create aig in
+  let abs =
+    (* certify: proof-log the abstraction solver, so an [Invalid] answer
+       (abstraction Unsat) carries an exportable LRAT refutation of the
+       accumulated instantiations *)
+    if certify then Tseitin.create ~solver:(Solver.create ~proof:true ()) aig
+    else Tseitin.create aig
+  in
   let abs_solver = Tseitin.solver abs in
   let x_lit = Hashtbl.create 16 in
   List.iter
@@ -70,7 +81,13 @@ let solve ?(max_iterations = max_int) ?time_budget aig ~matrix ~exists_vars
       Metrics.observe h_iters_run (float_of_int iter);
     Obs.add_attr "iterations" (Step_obs.Json.Int iter);
     Obs.add_attr "abstraction_nodes" (Step_obs.Json.Int abstraction_nodes);
-    (outcome, { iterations = iter; abstraction_nodes })
+    let refutation =
+      match outcome with
+      | Invalid when certify && Solver.has_refutation abs_solver ->
+          Some (Lrat.export abs_solver)
+      | _ -> None
+    in
+    (outcome, { iterations = iter; abstraction_nodes; refutation })
   in
   (* With a finite deadline every SAT call runs under its own wall-clock
      budget (the time still remaining), so a single hard solve cannot

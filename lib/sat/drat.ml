@@ -1,19 +1,53 @@
+exception No_proof of string
+
+type line = Add of Lit.t list | Delete of Lit.t list
+
 let export solver =
-  let steps, empty = Solver.proof_of_unsat solver in
-  ignore empty;
-  let learned =
-    Array.to_list steps
-    |> List.map (fun (id, _) -> Array.to_list (Solver.clause_lits solver id))
+  if not (Solver.proof_logging solver) then
+    raise (No_proof "proof logging is off (create the solver with ~proof:true)");
+  if not (Solver.has_refutation solver) then
+    raise
+      (No_proof
+         "no refutation recorded (last answer was not an assumption-free \
+          Unsat)");
+  let steps, _empty = Solver.proof_of_unsat solver in
+  let lines = ref [] in
+  (* Deletions are logged as (clause id, chain position): the clause was
+     dropped after the first [position] learnt chains existed, so its [d]
+     line must appear just before the chain at that index. *)
+  let dels = ref (Solver.proof_deletions solver) in
+  let flush_dels upto =
+    let continue = ref true in
+    while !continue do
+      match !dels with
+      | (id, pos) :: rest when pos <= upto ->
+          lines :=
+            Delete (Array.to_list (Solver.clause_lits solver id)) :: !lines;
+          dels := rest
+      | _ -> continue := false
+    done
   in
-  learned @ [ [] ]
+  Array.iteri
+    (fun i (id, _step) ->
+      flush_dels i;
+      lines := Add (Array.to_list (Solver.clause_lits solver id)) :: !lines)
+    steps;
+  flush_dels max_int;
+  lines := Add [] :: !lines;
+  List.rev !lines
 
 let export_string solver =
   let buf = Buffer.create 1024 in
   List.iter
-    (fun clause ->
-      List.iter
-        (fun l -> Buffer.add_string buf (Lit.to_string l ^ " "))
-        clause;
+    (fun line ->
+      let clause =
+        match line with
+        | Add c -> c
+        | Delete c ->
+            Buffer.add_string buf "d ";
+            c
+      in
+      List.iter (fun l -> Buffer.add_string buf (Lit.to_string l ^ " ")) clause;
       Buffer.add_string buf "0\n")
     (export solver);
   Buffer.contents buf
@@ -30,11 +64,25 @@ module Propagator = struct
 
   let create () = { clauses = []; n_vars = 0 }
 
-  let add p clause =
+  let norm clause =
     (* dedupe literals so unit detection is not fooled by repetitions *)
-    let clause = Array.of_list (List.sort_uniq compare (Array.to_list clause)) in
+    Array.of_list (List.sort_uniq compare (Array.to_list clause))
+
+  let add p clause =
+    let clause = norm clause in
     Array.iter (fun l -> p.n_vars <- max p.n_vars (Lit.var l + 1)) clause;
     p.clauses <- clause :: p.clauses
+
+  (* Removes the first structural match. A missing clause is ignored:
+     skipping a deletion only leaves extra derived/original clauses in the
+     store, which cannot make an invalid RUP trace pass. *)
+  let remove p clause =
+    let clause = norm clause in
+    let rec go = function
+      | [] -> []
+      | c :: rest -> if c = clause then rest else c :: go rest
+    in
+    p.clauses <- go p.clauses
 
   (* propagates from the given assumptions; true iff a conflict arises *)
   let refutes p assumptions =
@@ -85,20 +133,22 @@ module Propagator = struct
 end
 
 let check ~cnf ~trace =
-  match List.rev trace with
-  | [] -> false
-  | last :: _ when last <> [] -> false
-  | _ ->
-      let p = Propagator.create () in
-      List.iter (fun c -> Propagator.add p (Array.of_list c)) cnf;
-      let rec go = function
-        | [] -> true
-        | clause :: rest ->
-            let negated = List.map Lit.negate clause in
-            if Propagator.refutes p negated then begin
-              Propagator.add p (Array.of_list clause);
-              go rest
-            end
-            else false
-      in
-      go trace
+  if not (List.exists (function Add [] -> true | _ -> false) trace) then false
+  else begin
+    let p = Propagator.create () in
+    List.iter (fun c -> Propagator.add p (Array.of_list c)) cnf;
+    let rec go = function
+      | [] -> true
+      | Delete clause :: rest ->
+          Propagator.remove p (Array.of_list clause);
+          go rest
+      | Add clause :: rest ->
+          let negated = List.map Lit.negate clause in
+          if Propagator.refutes p negated then begin
+            Propagator.add p (Array.of_list clause);
+            go rest
+          end
+          else false
+    in
+    go trace
+  end

@@ -1,0 +1,128 @@
+(* LRAT export from a proof-logging solver.
+
+   LRAT is DRAT plus antecedent hints: every addition line carries the
+   ids of the clauses whose unit propagation refutes the negated clause,
+   so a checker runs in time linear in the proof instead of re-searching
+   for propagation chains. The CDCL conflict-analysis chains recorded by
+   [Solver] are exactly those antecedents: [premises.(0)] is the conflict
+   clause and the remaining premises are the reason clauses in the order
+   they were resolved walking the trail backwards (level-0 reasons
+   appended last). Reversing the premises therefore lists the antecedents
+   in (approximately) propagation order — level-0 units first, conflict
+   clause last — which is what hint-directed unit propagation wants; an
+   independent checker can still fall back to full RUP if hint order is
+   imperfect.
+
+   Solver clause ids are chronological across problem and learnt clauses,
+   while LRAT numbers the input formula 1..m. The exporter renumbers:
+   input (non-learnt) records keep their relative order and become
+   1..m, learnt clauses become m+1.. in chain (derivation) order. The
+   renumbered input CNF is returned alongside the proof so a certificate
+   is self-contained. *)
+
+type export = {
+  n_vars : int;
+  cnf : int list list;
+      (* live input clauses as DIMACS ints, in LRAT id order 1..m *)
+  proof : string; (* LRAT text: additions with hints, deletions, empty clause *)
+}
+
+let guard solver =
+  if not (Solver.proof_logging solver) then
+    raise
+      (Drat.No_proof "proof logging is off (create the solver with ~proof:true)");
+  if not (Solver.has_refutation solver) then
+    raise
+      (Drat.No_proof
+         "no refutation recorded (last answer was not an assumption-free \
+          Unsat)")
+
+(* Input clauses as DIMACS ints in id order. In proof mode the solver
+   stores every non-tautological clause verbatim (no level-0
+   simplification), so this is the formula as the caller supplied it,
+   minus tautologies. *)
+let input_cnf solver =
+  let n = Solver.n_clause_records solver in
+  let acc = ref [] in
+  for id = n - 1 downto 0 do
+    if not (Solver.is_learnt_clause solver id) then
+      acc :=
+        List.map Lit.to_dimacs (Array.to_list (Solver.clause_lits solver id))
+        :: !acc
+  done;
+  !acc
+
+let export solver =
+  guard solver;
+  let steps, empty = Solver.proof_of_unsat solver in
+  let n = Solver.n_clause_records solver in
+  let map = Hashtbl.create (max 16 n) in
+  let inputs = ref [] in
+  let m = ref 0 in
+  for id = 0 to n - 1 do
+    if not (Solver.is_learnt_clause solver id) then begin
+      incr m;
+      Hashtbl.replace map id !m;
+      inputs :=
+        List.map Lit.to_dimacs (Array.to_list (Solver.clause_lits solver id))
+        :: !inputs
+    end
+  done;
+  let m = !m in
+  Array.iteri (fun i (id, _) -> Hashtbl.replace map id (m + 1 + i)) steps;
+  let mapped id =
+    match Hashtbl.find_opt map id with
+    | Some n -> n
+    | None -> raise (Drat.No_proof (Printf.sprintf "unmapped clause id %d" id))
+  in
+  let buf = Buffer.create 4096 in
+  let add_ints l =
+    List.iter
+      (fun x ->
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ' ')
+      l
+  in
+  let hints (step : Solver.Proof.step) =
+    List.rev_map mapped (Array.to_list step.Solver.Proof.premises)
+  in
+  (* Deletions recorded as (clause id, chain position): the [d] line goes
+     after the first [position] additions; its anchor id is the id of the
+     last addition emitted before it. *)
+  let dels = ref (Solver.proof_deletions solver) in
+  let flush upto =
+    let rec take acc = function
+      | (id, pos) :: rest when pos <= upto -> take ((id, pos) :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let batch, rest = take [] !dels in
+    dels := rest;
+    if batch <> [] then begin
+      let pos = snd (List.hd batch) in
+      let anchor = m + min pos (Array.length steps) in
+      add_ints [ anchor ];
+      Buffer.add_string buf "d ";
+      add_ints (List.map (fun (id, _) -> mapped id) batch);
+      Buffer.add_string buf "0\n"
+    end
+  in
+  Array.iteri
+    (fun i (id, step) ->
+      flush i;
+      add_ints [ m + 1 + i ];
+      add_ints
+        (List.map Lit.to_dimacs (Array.to_list (Solver.clause_lits solver id)));
+      Buffer.add_string buf "0 ";
+      add_ints (hints step);
+      Buffer.add_string buf "0\n")
+    steps;
+  flush max_int;
+  add_ints [ m + Array.length steps + 1 ];
+  Buffer.add_string buf "0 ";
+  add_ints (hints empty);
+  Buffer.add_string buf "0\n";
+  {
+    n_vars = Solver.n_vars solver;
+    cnf = List.rev !inputs;
+    proof = Buffer.contents buf;
+  }

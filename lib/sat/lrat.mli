@@ -1,0 +1,26 @@
+(** LRAT proof export from a proof-logging {!Solver}.
+
+    LRAT = DRAT plus antecedent hints on every addition line
+    ([id lit* 0 hint* 0]) and id-anchored deletion lines
+    ([id d id* 0]), enabling linear-time independent checking. The
+    hints come from the solver's recorded conflict-analysis chains;
+    deletions from the learned-clause database reduction. Input clauses
+    are renumbered 1..m (id order), learnt clauses m+1.. (derivation
+    order), and the renumbered input CNF is returned with the proof so a
+    certificate is self-contained. *)
+
+type export = {
+  n_vars : int;  (** Number of solver variables (DIMACS vars 1..n_vars). *)
+  cnf : int list list;
+      (** Live input clauses as DIMACS ints, in LRAT id order 1..m. *)
+  proof : string;  (** LRAT text, final empty-clause line included. *)
+}
+
+val export : Solver.t -> export
+(** @raise Drat.No_proof if the solver has no recorded refutation. *)
+
+val input_cnf : Solver.t -> int list list
+(** The solver's input (non-learnt) clauses as DIMACS ints in id order,
+    without renumbering — the formula a [Sat] model must satisfy. In
+    proof mode clauses are stored verbatim (minus tautologies); outside
+    proof mode level-0-satisfied clauses may be missing. *)

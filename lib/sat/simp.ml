@@ -50,15 +50,40 @@ let propagate_units clauses =
       let unit_clauses = Hashtbl.fold (fun l () acc -> [ l ] :: acc) units [] in
       Some (unit_clauses @ rest)
 
-let eliminate ?(growth = 0) ?(max_passes = 3) (cnf : Dimacs.cnf) =
+let eliminate ?on_add ?on_delete ?(growth = 0) ?(max_passes = 3)
+    (cnf : Dimacs.cnf) =
   let clauses = ref (List.map normalize cnf.Dimacs.clauses) in
   let eliminated = ref [] in
   let unsat = ref false in
+  (* Proof hooks: report the clause-store delta of a simplification step.
+     Every clause this pass adds (unit-propagation results, resolvents)
+     is a RUP consequence of the store before the step, so replaying the
+     callbacks in order — additions first, then deletions — yields a
+     valid DRAT prefix for the preprocessing. With both hooks absent the
+     diff is skipped entirely. *)
+  let diff before after =
+    match (on_add, on_delete) with
+    | None, None -> ()
+    | _ ->
+        let seen = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace seen c ()) before;
+        (match on_add with
+        | Some f -> List.iter (fun c -> if not (Hashtbl.mem seen c) then f c) after
+        | None -> ());
+        (match on_delete with
+        | Some f ->
+            let kept = Hashtbl.create 64 in
+            List.iter (fun c -> Hashtbl.replace kept c ()) after;
+            List.iter (fun c -> if not (Hashtbl.mem kept c) then f c) before
+        | None -> ())
+  in
+  let before0 = !clauses in
   (match propagate_units !clauses with
   | None ->
       unsat := true;
       clauses := [ [] ]
   | Some cs -> clauses := List.filter (fun c -> not (is_tautology c)) cs);
+  diff before0 !clauses;
   let pass () =
     let changed = ref false in
     (* occurrence census *)
@@ -101,7 +126,9 @@ let eliminate ?(growth = 0) ?(max_passes = 3) (cnf : Dimacs.cnf) =
           if List.length resolvents <= List.length with_v + growth then begin
             changed := true;
             eliminated := (v, with_v) :: !eliminated;
-            clauses := List.sort_uniq compare (resolvents @ without)
+            let before = !clauses in
+            clauses := List.sort_uniq compare (resolvents @ without);
+            diff before !clauses
           end
         end)
       candidates;

@@ -16,11 +16,24 @@ type result = {
           containing the variable at the time it was eliminated. *)
 }
 
-val eliminate : ?growth:int -> ?max_passes:int -> Dimacs.cnf -> result
+val eliminate :
+  ?on_add:(Lit.t list -> unit) ->
+  ?on_delete:(Lit.t list -> unit) ->
+  ?growth:int ->
+  ?max_passes:int ->
+  Dimacs.cnf ->
+  result
 (** [eliminate cnf] repeatedly removes variables whose elimination adds at
     most [growth] clauses (default 0) over what it deletes, for up to
     [max_passes] sweeps (default 3). Unit clauses are propagated first in
-    each pass. The result is equisatisfiable with the input. *)
+    each pass. The result is equisatisfiable with the input.
+
+    [on_add]/[on_delete] observe the clause-store delta of each
+    simplification step, in an order that forms a valid DRAT prefix:
+    every clause passed to [on_add] (unit-propagation consequences,
+    resolvents) is RUP with respect to the store at that point, and
+    [on_delete] receives the clauses dropped by the same step — emit them
+    as [d] lines to keep a downstream proof replayable and bounded. *)
 
 val reconstruct : result -> (int -> bool) -> int -> bool
 (** [reconstruct r model] extends a model of [r.cnf] to the eliminated

@@ -105,6 +105,7 @@ type t = {
   mutable chains : Proof.step array;
   mutable n_chains : int;
   mutable empty_chain : Proof.step option;
+  proof_dels : Veci.t; (* flattened (clause id, n_chains at deletion) pairs *)
 }
 
 let dummy_clause = { lits = [||]; learnt = false; act = 0.; removed = true }
@@ -151,6 +152,7 @@ let create ?(proof = false) () =
       chains = Array.make 16 { Proof.premises = [||]; pivots = [||] };
       n_chains = 0;
       empty_chain = None;
+      proof_dels = Veci.create ();
     }
   in
   s.order <- Idx_heap.create ~gt:(fun a b -> s.activity.(a) > s.activity.(b));
@@ -727,12 +729,28 @@ let reduce_db s =
       then begin
         detach s id;
         c.removed <- true;
-        if not s.proof_mode then c.lits <- [||]
+        (* In proof mode keep the literals (exporters need them for [d]
+           lines) and log the deletion position so the exported trace
+           interleaves deletions exactly where replay must apply them. *)
+        if s.proof_mode then begin
+          Veci.push s.proof_dels id;
+          Veci.push s.proof_dels s.n_chains
+        end
+        else c.lits <- [||]
       end
       else Veci.push keep id)
     ids;
   Veci.clear s.learnts;
   Veci.iter (fun id -> Veci.push s.learnts id) keep
+
+(* Public forcing hook: tests and fuzzers use this to exercise the
+   deletion-aware proof path without waiting for [max_learnts] (whose
+   floor is far above small-instance learnt counts). Only meaningful
+   between solves (decision level 0); locked clauses are still kept. *)
+let reduce_learnts s =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.reduce_learnts: only at decision level 0";
+  reduce_db s
 
 (* ---------- runtime sanitizer ---------- *)
 
@@ -1104,6 +1122,15 @@ let model_value s l =
 let var_value s v = model_value s (Lit.pos v)
 
 let unsat_core s = s.core
+
+let has_refutation s = s.proof_mode && s.empty_chain <> None
+
+let proof_deletions s =
+  let n = Veci.length s.proof_dels / 2 in
+  List.init n (fun i ->
+      (Veci.get s.proof_dels (2 * i), Veci.get s.proof_dels ((2 * i) + 1)))
+
+let n_clause_records s = s.n_cls
 
 let proof_of_unsat s =
   if not s.proof_mode then failwith "Solver.proof_of_unsat: proof logging off";

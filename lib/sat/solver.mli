@@ -116,6 +116,29 @@ val proof_of_unsat : t -> (int * Proof.step) array * Proof.step
     final chain deriving the empty clause.
     @raise Failure if proof logging is off or no refutation was recorded. *)
 
+val has_refutation : t -> bool
+(** [true] iff the solver is in proof mode and has recorded an
+    (assumption-free) refutation, i.e. {!proof_of_unsat} will succeed. *)
+
+val proof_deletions : t -> (int * int) list
+(** Clause deletions performed by the learned-clause database reduction
+    while in proof mode, in deletion order. Each pair is [(clause id,
+    chain position)]: the deletion happened after the first [position]
+    learned-clause chains were recorded, so a replayable trace must emit
+    the deletion line at exactly that point. Locked clauses (current
+    propagation reasons) are never deleted, hence no later chain ever
+    references a deleted id. *)
+
+val reduce_learnts : t -> unit
+(** Forces one learned-clause database reduction pass immediately (same
+    policy as the in-search heuristic). Intended for tests and fuzzers
+    exercising deletion-aware proof export.
+    @raise Invalid_argument unless at decision level 0. *)
+
+val n_clause_records : t -> int
+(** Total number of clause records allocated (problem + learned, live or
+    removed). Valid clause ids are [0 .. n_clause_records - 1]. *)
+
 val clause_lits : t -> int -> Lit.t array
 (** Literals of the clause with the given identifier (problem or learned).
     Valid for ids returned by {!add_clause} and ids appearing in proofs. *)

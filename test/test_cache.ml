@@ -95,7 +95,7 @@ let essence (r : Engine.po_result) =
     r.Engine.timed_out,
     r.Engine.counters )
 
-let decoder_config ?cache ?(jobs = 1) () =
+let decoder_config ?cache ?(jobs = 1) ?(certify = false) () =
   match
     Config.validate
       {
@@ -104,14 +104,15 @@ let decoder_config ?cache ?(jobs = 1) () =
         method_ = Pipeline.Qd;
         jobs;
         cache;
+        certify;
       }
   with
   | Ok c -> c
   | Error msg -> failwith msg
 
-let run_decoder ?cache ?jobs () =
+let run_decoder ?cache ?jobs ?certify () =
   let c = Generators.decoder 3 in
-  Engine.run (Engine.create ~config:(decoder_config ?cache ?jobs ()) c)
+  Engine.run (Engine.create ~config:(decoder_config ?cache ?jobs ?certify ()) c)
 
 let check_stats name (c : Cache.t) ~hits ~misses =
   let s = Cache.stats c in
@@ -221,6 +222,61 @@ let test_disk_corrupt_entry_skipped () =
       check_stats "healed" c2 ~hits:8 ~misses:0;
       Alcotest.(check bool) "no further diags" true (Cache.diags c2 = []))
 
+(* A stored certificate is re-validated against the rest of the entry on
+   every disk rehydration: tampering with the cached partition while
+   leaving the certificate in place must reject the entry (CSH006, the
+   cache.cert_rejected metric) and force a recompute that heals it. *)
+let test_disk_tampered_cert_rejected () =
+  let module Json = Step_obs.Json in
+  with_temp_dir (fun dir ->
+      let c0 = Cache.create ~dir () in
+      let r0 = run_decoder ~cache:c0 ~certify:true () in
+      Alcotest.(check bool) "run produced certificates" true
+        (Array.for_all
+           (fun po -> po.Engine.certificate <> None)
+           r0.Pipeline.per_po);
+      let file = Filename.concat dir (Sys.readdir dir).(0) in
+      (* swap XA and XB in the stored partition; the embedded certificate
+         still speaks for the original one *)
+      let swap_partition = function
+        | Json.Obj fields ->
+            Json.Obj
+              (List.map
+                 (function
+                   | "partition", Json.Obj pf ->
+                       ( "partition",
+                         Json.Obj
+                           (List.map
+                              (function
+                                | "xa", v -> ("xb", v)
+                                | "xb", v -> ("xa", v)
+                                | kv -> kv)
+                              pf) )
+                   | kv -> kv)
+                 fields)
+        | j -> j
+      in
+      let j = Json.of_string (In_channel.with_open_text file In_channel.input_all) in
+      Out_channel.with_open_text file (fun oc ->
+          output_string oc (Json.to_string (swap_partition j)));
+      let rejected_before =
+        Step_obs.Metrics.value (Step_obs.Metrics.counter "cache.cert_rejected")
+      in
+      let c1 = Cache.create ~dir () in
+      ignore (run_decoder ~cache:c1 ~certify:true ());
+      check_stats "tampered run" c1 ~hits:7 ~misses:1;
+      Alcotest.(check bool) "CSH006 emitted" true
+        (has_code "CSH006" (Cache.diags c1));
+      Alcotest.(check bool) "metric incremented" true
+        (Step_obs.Metrics.value
+           (Step_obs.Metrics.counter "cache.cert_rejected")
+        > rejected_before);
+      (* the recompute overwrote the tampered entry: clean warm run *)
+      let c2 = Cache.create ~dir () in
+      ignore (run_decoder ~cache:c2 ~certify:true ());
+      check_stats "healed" c2 ~hits:8 ~misses:0;
+      Alcotest.(check bool) "no further diags" true (Cache.diags c2 = []))
+
 (* ---------- direct api: dedup, versioning, validation ---------- *)
 
 let entry_file dir key =
@@ -232,6 +288,7 @@ let some_entry =
     proven_optimal = true;
     timed_out = false;
     counters = [ ("sat.solves", 3) ];
+    cert = None;
   }
 
 let test_compute_called_once () =
@@ -323,6 +380,8 @@ let () =
             test_disk_cold_then_warm;
           Alcotest.test_case "corrupt entry skipped" `Quick
             test_disk_corrupt_entry_skipped;
+          Alcotest.test_case "tampered cert rejected" `Quick
+            test_disk_tampered_cert_rejected;
         ] );
       ( "api",
         [

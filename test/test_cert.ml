@@ -1,0 +1,387 @@
+(* Unit tests for the independent certificate checker (lib/cert) and the
+   certificate builder (Step_core.Certify): hand-written LRAT/DRAT proofs
+   accepted and corrupted ones rejected with the right PRF code, model
+   evaluation, JSON round-trips, and end-to-end certificates for small
+   decomposition answers. *)
+
+module Cert = Step_cert.Cert
+module Diag = Step_lint.Diag
+module Solver = Step_sat.Solver
+module Lit = Step_sat.Lit
+module Lrat = Step_sat.Lrat
+module Aig = Step_aig.Aig
+module Problem = Step_core.Problem
+module Gate = Step_core.Gate
+module Partition = Step_core.Partition
+module Certify = Step_core.Certify
+
+let has_code code diags = List.exists (fun d -> d.Diag.code = code) diags
+
+let check_bool = Alcotest.(check bool)
+
+(* (x1) (-x1 x2) (-x2): unsat chain used by most checker tests *)
+let chain_cnf = [ [ 1 ]; [ -1; 2 ]; [ -2 ] ]
+
+let chain_lrat = "4 2 0 1 2 0\n5 0 4 3 0\n"
+
+(* ---------- LRAT checking ---------- *)
+
+let test_lrat_accepts () =
+  check_bool "valid proof accepted" false
+    (Diag.has_errors
+       (Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:chain_lrat
+          ()))
+
+let test_lrat_empty_clause_via_hints () =
+  (* direct refutation: the empty clause hinted by all three inputs *)
+  check_bool "direct empty clause accepted" false
+    (Diag.has_errors
+       (Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf
+          ~proof:"4 0 1 2 3 0\n" ()))
+
+let test_lrat_missing_empty_clause () =
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:"4 2 0 1 2 0\n"
+      ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF005" true (has_code "PRF005" d)
+
+let test_lrat_bad_hints () =
+  (* clause 4 = (x2) with hints that do not propagate to a conflict *)
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:[ [ 1; 2 ] ]
+      ~proof:"2 2 0 1 0\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF006" true (has_code "PRF006" d)
+
+let test_lrat_id_ordering () =
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf
+      ~proof:"3 2 0 1 2 0\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF003" true (has_code "PRF003" d)
+
+let test_lrat_undefined_reference () =
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf
+      ~proof:"4 0 1 2 99 0\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF004" true (has_code "PRF004" d)
+
+let test_lrat_deleted_reference () =
+  (* delete clause 3, then try to use it *)
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf
+      ~proof:"3 d 3 0\n4 0 1 2 3 0\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF004" true (has_code "PRF004" d)
+
+let test_lrat_syntax () =
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:"pigeon\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF001" true (has_code "PRF001" d)
+
+let test_lrat_truncated () =
+  let d =
+    Cert.check_lrat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:"4 2 0 1 2\n"
+      ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF002" true (has_code "PRF002" d)
+
+(* ---------- DRAT checking ---------- *)
+
+let test_drat_accepts () =
+  check_bool "valid proof accepted" false
+    (Diag.has_errors
+       (Cert.check_drat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:"2 0\n0\n"
+          ()))
+
+let test_drat_non_rup () =
+  (* (x2) is not RUP w.r.t. the satisfiable (x1 x2) *)
+  let d =
+    Cert.check_drat ~item:"t" ~n_vars:2 ~cnf:[ [ 1; 2 ] ] ~proof:"2 0\n0\n"
+      ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF006" true (has_code "PRF006" d)
+
+let test_drat_missing_empty_clause () =
+  let d =
+    Cert.check_drat ~item:"t" ~n_vars:2 ~cnf:chain_cnf ~proof:"2 0\n" ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF005" true (has_code "PRF005" d)
+
+let test_drat_deletion_line () =
+  (* deleting a clause before the final conflict still checks when the
+     conflict does not need it *)
+  check_bool "deletion respected" false
+    (Diag.has_errors
+       (Cert.check_drat ~item:"t" ~n_vars:2
+          ~cnf:[ [ 1 ]; [ -1; 2 ]; [ -2 ]; [ 1; 2 ] ]
+          ~proof:"d 1 2 0\n2 0\n0\n" ()))
+
+(* ---------- model checking ---------- *)
+
+let test_model_ok () =
+  check_bool "satisfying model accepted" false
+    (Diag.has_errors
+       (Cert.check_model ~item:"t" ~cnf:[ [ 1; 2 ]; [ -1; 2 ] ]
+          ~model:[ -1; 2 ] ()))
+
+let test_model_falsified_clause () =
+  let d =
+    Cert.check_model ~item:"t" ~cnf:[ [ 1; 2 ]; [ -1; 2 ] ] ~model:[ 1; -2 ]
+      ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF007" true (has_code "PRF007" d)
+
+let test_model_contradictory () =
+  let d =
+    Cert.check_model ~item:"t" ~cnf:[ [ 1 ] ] ~model:[ 1; -1 ] ()
+  in
+  check_bool "rejected" true (Diag.has_errors d);
+  check_bool "PRF007" true (has_code "PRF007" d)
+
+(* ---------- solver export -> independent checker round trips ---------- *)
+
+let solver_of_dimacs n cnf =
+  let s = Solver.create ~proof:true () in
+  Solver.ensure_var s (n - 1);
+  List.iter
+    (fun c -> ignore (Solver.add_clause s (List.map Lit.of_dimacs c)))
+    cnf;
+  s
+
+let random_cnf st n =
+  let n_clauses = 3 + Random.State.int st (4 * n) in
+  List.init n_clauses (fun _ ->
+      let len = 1 + Random.State.int st 3 in
+      List.init len (fun _ ->
+          let v = 1 + Random.State.int st n in
+          if Random.State.bool st then v else -v))
+
+let test_lrat_export_roundtrip () =
+  let n = 5 in
+  let unsat = ref 0 in
+  for round = 1 to 150 do
+    let st = Random.State.make [| 42; round |] in
+    let cnf = random_cnf st n in
+    let s = solver_of_dimacs n cnf in
+    if not (Solver.solve s) then begin
+      incr unsat;
+      let e = Lrat.export s in
+      if
+        Diag.has_errors
+          (Cert.check_lrat ~item:"rt" ~n_vars:e.Lrat.n_vars ~cnf:e.Lrat.cnf
+             ~proof:e.Lrat.proof ())
+      then Alcotest.failf "round %d: exported LRAT rejected" round
+    end
+  done;
+  check_bool "some rounds were unsat" true (!unsat > 10)
+
+(* ---------- certificate JSON round trip ---------- *)
+
+let sample_cert =
+  {
+    Cert.po = "y0";
+    gate = "or";
+    method_ = "STEP-QD";
+    partition = Some ([ 0; 1 ], [ 2 ], [ 3 ]);
+    obligations =
+      [
+        {
+          Cert.label = "prop1";
+          n_vars = 2;
+          cnf = chain_cnf;
+          answer = Cert.Unsat { format = Cert.Lrat; proof = chain_lrat };
+        };
+        {
+          Cert.label = "witness";
+          n_vars = 2;
+          cnf = [ [ 1; 2 ] ];
+          answer = Cert.Sat [ 1; -2 ];
+        };
+      ];
+  }
+
+let test_json_roundtrip () =
+  match Cert.of_json (Cert.to_json sample_cert) with
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+  | Ok c ->
+      check_bool "round trip equal" true (c = sample_cert);
+      check_bool "round trip checks" false
+        (Diag.has_errors (Cert.check c))
+
+let test_save_load () =
+  let file = Filename.temp_file "cert" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      Cert.save file sample_cert;
+      match Cert.load file with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok c -> check_bool "save/load equal" true (c = sample_cert))
+
+let test_of_json_rejects_garbage () =
+  (match Cert.of_string "{\"po\": 3}" with
+  | Ok _ -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  match Cert.of_string "not json" with
+  | Ok _ -> Alcotest.fail "non-JSON accepted"
+  | Error _ -> ()
+
+(* ---------- Certify: end-to-end certificates ---------- *)
+
+(* f = a AND b, decomposed by the AND gate with XA = {a}, XB = {b} *)
+let test_certify_decomposed () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let p = Problem.of_edge m (Aig.and_ m a b) in
+  let part =
+    match p.Problem.support with
+    | [ va; vb ] -> Partition.make ~xa:[ va ] ~xb:[ vb ] ~xc:[]
+    | s -> Alcotest.failf "unexpected support size %d" (List.length s)
+  in
+  match
+    Certify.for_po ~po:"t" ~method_name:"test" p Gate.And_gate (Some part)
+  with
+  | None -> Alcotest.fail "expected a certificate"
+  | Some ct ->
+      check_bool "checker accepted" true ct.Certify.ok;
+      check_bool "prop1 obligation" true
+        (List.exists
+           (fun o -> o.Cert.label = "prop1")
+           ct.Certify.cert.Cert.obligations);
+      check_bool "proof bytes counted" true (ct.Certify.proof_bytes > 0)
+
+(* f = a XOR b is not AND-decomposable: the indecomposable answer gets a
+   SAT witness obligation *)
+let test_certify_witness () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let p = Problem.of_edge m (Aig.xor_ m a b) in
+  match Certify.for_po ~po:"t" ~method_name:"test" p Gate.And_gate None with
+  | None -> Alcotest.fail "expected a witness certificate"
+  | Some ct ->
+      check_bool "checker accepted" true ct.Certify.ok;
+      check_bool "witness obligation" true
+        (List.exists
+           (fun o -> o.Cert.label = "witness")
+           ct.Certify.cert.Cert.obligations)
+
+(* a Refuted claim (AND-decomposing XOR on a balanced split) raises *)
+let test_certify_refuted () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let p = Problem.of_edge m (Aig.xor_ m a b) in
+  let part =
+    match p.Problem.support with
+    | [ va; vb ] -> Partition.make ~xa:[ va ] ~xb:[ vb ] ~xc:[]
+    | _ -> assert false
+  in
+  match
+    Certify.for_po ~po:"t" ~method_name:"test" p Gate.And_gate (Some part)
+  with
+  | exception Certify.Refuted _ -> ()
+  | Some _ | None -> Alcotest.fail "expected Refuted"
+
+let test_certify_tampered () =
+  let m = Aig.create () in
+  let a = Aig.fresh_input m and b = Aig.fresh_input m in
+  let p = Problem.of_edge m (Aig.and_ m a b) in
+  let part =
+    match p.Problem.support with
+    | [ va; vb ] -> Partition.make ~xa:[ va ] ~xb:[ vb ] ~xc:[]
+    | _ -> assert false
+  in
+  match
+    Certify.for_po ~po:"t" ~method_name:"test" p Gate.And_gate (Some part)
+  with
+  | None -> Alcotest.fail "expected a certificate"
+  | Some ct ->
+      let tampered =
+        {
+          ct.Certify.cert with
+          Cert.obligations =
+            List.map
+              (fun o ->
+                match o.Cert.answer with
+                | Cert.Unsat { format; proof } ->
+                    let cut = String.length proof / 2 in
+                    {
+                      o with
+                      Cert.answer =
+                        Cert.Unsat
+                          { format; proof = String.sub proof 0 cut };
+                    }
+                | Cert.Sat _ -> o)
+              ct.Certify.cert.Cert.obligations;
+        }
+      in
+      let rechecked = Certify.of_cert tampered in
+      check_bool "tampered rejected" false rechecked.Certify.ok
+
+let () =
+  Alcotest.run "step_cert"
+    [
+      ( "lrat",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_lrat_accepts;
+          Alcotest.test_case "direct empty clause" `Quick
+            test_lrat_empty_clause_via_hints;
+          Alcotest.test_case "missing empty clause" `Quick
+            test_lrat_missing_empty_clause;
+          Alcotest.test_case "bad hints" `Quick test_lrat_bad_hints;
+          Alcotest.test_case "id ordering" `Quick test_lrat_id_ordering;
+          Alcotest.test_case "undefined reference" `Quick
+            test_lrat_undefined_reference;
+          Alcotest.test_case "deleted reference" `Quick
+            test_lrat_deleted_reference;
+          Alcotest.test_case "syntax" `Quick test_lrat_syntax;
+          Alcotest.test_case "truncated" `Quick test_lrat_truncated;
+        ] );
+      ( "drat",
+        [
+          Alcotest.test_case "accepts valid" `Quick test_drat_accepts;
+          Alcotest.test_case "non-RUP addition" `Quick test_drat_non_rup;
+          Alcotest.test_case "missing empty clause" `Quick
+            test_drat_missing_empty_clause;
+          Alcotest.test_case "deletion line" `Quick test_drat_deletion_line;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "accepts satisfying" `Quick test_model_ok;
+          Alcotest.test_case "falsified clause" `Quick
+            test_model_falsified_clause;
+          Alcotest.test_case "contradictory" `Quick test_model_contradictory;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "solver LRAT round trip" `Quick
+            test_lrat_export_roundtrip;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "save/load" `Quick test_save_load;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_of_json_rejects_garbage;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "decomposed" `Quick test_certify_decomposed;
+          Alcotest.test_case "witness" `Quick test_certify_witness;
+          Alcotest.test_case "refuted claim" `Quick test_certify_refuted;
+          Alcotest.test_case "tampered proof" `Quick test_certify_tampered;
+        ] );
+    ]

@@ -125,8 +125,8 @@ let test_report_csv_shape () =
   List.iter
     (fun line ->
       Alcotest.(check int)
-        ("15 fields: " ^ line)
-        15
+        ("16 fields: " ^ line)
+        16
         (List.length (String.split_on_char ',' line)))
     lines
 

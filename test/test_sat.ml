@@ -384,9 +384,38 @@ let test_drat_pigeonhole () =
   (* corrupted traces must be rejected: a non-RUP clause w.r.t. a
      satisfiable formula, and a trace without the empty clause *)
   Alcotest.(check bool) "non-RUP clause rejected" false
-    (Drat.check ~cnf:[ [ pos 0; pos 1 ] ] ~trace:[ [ pos 0 ]; [] ]);
+    (Drat.check ~cnf:[ [ pos 0; pos 1 ] ]
+       ~trace:[ Drat.Add [ pos 0 ]; Drat.Add [] ]);
   Alcotest.(check bool) "missing empty clause rejected" false
-    (Drat.check ~cnf ~trace:(List.filter (fun c -> c <> []) trace))
+    (Drat.check ~cnf
+       ~trace:(List.filter (fun l -> l <> Drat.Add []) trace))
+
+(* Forcing a learned-clause database reduction mid-solve makes the
+   exported trace carry deletion lines, which must still replay. *)
+let test_drat_deletions () =
+  let n = 6 in
+  (* php(n+1, n): n+1 pigeons, n holes — unsat, with enough conflicts to
+     accumulate a learnt DB worth reducing *)
+  let v i h = (i * n) + h in
+  let cnf =
+    List.init (n + 1) (fun i -> List.init n (fun h -> pos (v i h)))
+    @ List.concat
+        (List.init n (fun h ->
+             List.concat
+               (List.init (n + 1) (fun i ->
+                    List.init i (fun j -> [ neg (v i h); neg (v j h) ])))))
+  in
+  let s = solver_of ~proof:true cnf in
+  (* solve under an assumption first so learnts pile up without
+     finalizing the refutation, then force the reduction *)
+  ignore (Solver.solve ~assumptions:[ pos (v 0 0) ] s);
+  Solver.reduce_learnts s;
+  Alcotest.(check bool) "unsat" false (Solver.solve s);
+  let trace = Drat.export s in
+  Alcotest.(check bool) "trace has deletion lines" true
+    (List.exists (function Drat.Delete _ -> true | Drat.Add _ -> false) trace);
+  Alcotest.(check bool) "trace with deletions checks" true
+    (Drat.check ~cnf ~trace)
 
 let prop_drat_certificates_check =
   QCheck2.Test.make ~count:250 ~name:"drat certificates always check"
@@ -483,7 +512,12 @@ let () =
           Alcotest.test_case "fresh audit clean" `Quick
             test_sanitizer_audit_fresh;
         ] );
-      ("drat", [ Alcotest.test_case "pigeonhole" `Quick test_drat_pigeonhole ]);
+      ( "drat",
+        [
+          Alcotest.test_case "pigeonhole" `Quick test_drat_pigeonhole;
+          Alcotest.test_case "deletions after reduce" `Quick
+            test_drat_deletions;
+        ] );
       ( "enum",
         [
           Alcotest.test_case "count" `Quick test_enum_count;
