@@ -1,7 +1,7 @@
 # Convenience targets; dune is the real build system.
 
 .PHONY: all check test smoke psmoke cachesmoke faultsmoke profsmoke \
-  benchsmoke certsmoke certfuzz bench lint clean
+  benchsmoke certsmoke certfuzz servesmoke bench lint clean
 
 all:
 	dune build @all
@@ -19,6 +19,7 @@ check:
 	$(MAKE) benchsmoke
 	$(MAKE) certsmoke
 	$(MAKE) certfuzz
+	$(MAKE) servesmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
 # solver's runtime invariant sanitizer.
@@ -155,6 +156,14 @@ certfuzz:
 	dune exec --no-build bin/fuzz.exe -- --proofs --rounds 60 --vars 6 \
 	  --seed 11
 
+# Serve-mode smoke: scripted JSON-lines sessions against `step serve` —
+# warm-cache hits across clients, admission rejection, metrics
+# exposition, and a SIGTERM drain completing the in-flight request
+# (exit 143). Runs the built binary directly so signals reach it.
+servesmoke:
+	dune build bin/step.exe
+	sh test/servesmoke.sh ./_build/default/bin/step.exe
+
 bench:
 	dune exec bench/main.exe
 
@@ -164,4 +173,5 @@ clean:
 	  cachesmoke_dir cachesmoke.blif cachesmoke_cold.txt cachesmoke_warm.txt \
 	  cachesmoke_cold.body cachesmoke_warm.body faultsmoke.blif \
 	  faultsmoke_a.csv faultsmoke_b.csv profsmoke.blif profsmoke.jsonl \
-	  benchsmoke_base.json certsmoke_dir certsmoke.blif certsmoke_out.txt
+	  benchsmoke_base.json certsmoke_dir certsmoke.blif certsmoke_out.txt \
+	  servesmoke.*

@@ -148,6 +148,7 @@ let dump_json config ~dir ~artifact =
   let j =
     J.Obj
       [
+        ("schema_version", J.Int Step_api.Api.schema_version);
         ("artifact", J.String artifact);
         ( "config",
           J.Obj
@@ -166,7 +167,7 @@ let dump_json config ~dir ~artifact =
         ("cert_failed", J.Int cert_failed);
         ("cert_proof_bytes", J.Int cert_bytes);
         ("cert_s", J.Float cert_s);
-        ("runs", J.List (List.map Step_engine.Report.to_json results));
+        ("runs", J.List (List.map Step_api.Api.run_to_json results));
       ]
   in
   (try Unix.mkdir dir 0o755

@@ -37,41 +37,9 @@ module Certify = Step_core.Certify
 
 open Cmdliner
 
-(* ---------- circuit loading ---------- *)
-
-(* Missing or unreadable inputs are usage errors, not crashes: one line
-   on stderr, exit 2, no backtrace. *)
-let input_error msg =
-  Printf.eprintf "step: %s\n" msg;
-  exit 2
-
-let load_circuit path_or_name =
-  if Sys.file_exists path_or_name then begin
-    match
-      if Filename.check_suffix path_or_name ".aag" then
-        Aag.parse_file path_or_name
-      else if Filename.check_suffix path_or_name ".aig" then
-        Step_aig.Aig_bin.parse_file path_or_name
-      else Blif.parse_file path_or_name
-    with
-    | c -> c
-    | exception Sys_error msg -> input_error msg
-  end
-  else
-    match Suite.by_name path_or_name with
-    | c -> c
-    | exception Not_found ->
-        input_error
-          (Printf.sprintf
-             "%s: not a file and not a known benchmark name (try `step suite`)"
-             path_or_name)
-
-let circuit_arg =
-  let doc =
-    "Input circuit: a .blif or .aag file, or a named benchmark from the \
-     built-in suite (see $(b,step suite))."
-  in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+(* Flags shared across decompose/report/compare/serve live in one spec
+   module so they cannot drift between subcommands. *)
+open Cli_flags
 
 (* ---------- stats ---------- *)
 
@@ -122,29 +90,6 @@ let stats_cmd =
 
 (* ---------- decompose ---------- *)
 
-let gate_arg =
-  let doc = "Gate type: or, and, xor, or 'auto' to pick per output." in
-  Arg.(value & opt string "or" & info [ "gate"; "g" ] ~docv:"GATE" ~doc)
-
-let method_arg =
-  let doc = "Partitioning method: ljh, mg, qd, qb, qdb." in
-  Arg.(value & opt string "qd" & info [ "method"; "m" ] ~docv:"METHOD" ~doc)
-
-let budget_arg =
-  let doc = "Per-output time budget in seconds." in
-  Arg.(value & opt float 10.0 & info [ "budget"; "b" ] ~docv:"SECONDS" ~doc)
-
-let jobs_arg =
-  let doc =
-    "Decompose primary outputs on $(docv) worker domains in parallel. \
-     Results are identical to a sequential run, in the same order."
-  in
-  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-
-let po_arg =
-  let doc = "Decompose only the output with this index." in
-  Arg.(value & opt (some int) None & info [ "po" ] ~docv:"INDEX" ~doc)
-
 let extract_arg =
   let doc = "Also derive fA/fB: 'quantify' or 'interpolate'." in
   Arg.(value & opt (some string) None & info [ "extract" ] ~docv:"ENGINE" ~doc)
@@ -159,202 +104,6 @@ let recursive_flag =
      statistics."
   in
   Arg.(value & flag & info [ "recursive"; "r" ] ~doc)
-
-let trace_arg =
-  let doc =
-    "Write a JSONL span trace of the run to $(docv) (inspect with $(b,step \
-     trace))."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let stats_flag =
-  let doc =
-    "After the run, print the process-wide telemetry: SAT \
-     conflicts/decisions/propagations, CEGAR refinements, QBF queries, and \
-     latency histograms."
-  in
-  Arg.(value & flag & info [ "stats" ] ~doc)
-
-let profile_flag =
-  let doc =
-    "After the run, print a hierarchical hotpath profile aggregated live \
-     from the span stream (works with or without $(b,--trace))."
-  in
-  Arg.(value & flag & info [ "profile" ] ~doc)
-
-let deep_stats_flag =
-  let doc =
-    "Enable deep telemetry (equivalent to STEP_DEEP_TELEMETRY=1): \
-     learned-clause LBD/length distributions, restart episode and \
-     clause-DB-reduction timings, per-call solver phase counts, CEGAR \
-     per-iteration series, and per-cone cache attribution."
-  in
-  Arg.(value & flag & info [ "deep-stats" ] ~doc)
-
-let metrics_out_arg =
-  let doc =
-    "Write the full metrics registry to $(docv) when the run finishes — \
-     Prometheus text format, or JSON if $(docv) ends in .json. With \
-     $(b,--metrics-interval) the file is republished periodically \
-     (atomically) during the run."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
-
-let metrics_interval_arg =
-  let doc =
-    "Republish $(b,--metrics-out) every $(docv) seconds during the run \
-     (0 = only at the end)."
-  in
-  Arg.(value & opt float 0.0 & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc)
-
-let metrics_format path =
-  if Filename.check_suffix path ".json" then `Json else `Prometheus
-
-let sanitize_flag =
-  let doc =
-    "Enable the solver's runtime invariant sanitizer (equivalent to \
-     STEP_SANITIZE=1): audits watch lists, trail/assignment consistency \
-     and clause references at decision boundaries."
-  in
-  Arg.(value & flag & info [ "sanitize" ] ~doc)
-
-(* Solvers read STEP_SANITIZE at creation, so setting it here covers every
-   solver the run creates, however deep in the stack. *)
-let apply_sanitize flag = if flag then Unix.putenv "STEP_SANITIZE" "1"
-
-let faults_arg =
-  let doc =
-    "Arm the deterministic fault-injection harness with $(docv) — same \
-     grammar as $(b,STEP_FAULTS) (see docs/ROBUSTNESS.md), e.g. \
-     'seed=7;solver.solve@po:0#1'."
-  in
-  Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
-
-(* The library arms itself from STEP_FAULTS at startup; the flag goes
-   through [configure] directly so it also works after that point. *)
-let apply_faults = function
-  | None -> Ok ()
-  | Some text -> (
-      match Fault.parse text with
-      | Ok spec ->
-          Fault.configure spec;
-          Ok ()
-      | Error msg -> Error msg)
-
-let fallback_arg =
-  let doc =
-    "Degradation ladder: when an output's job fails (or times out with \
-     nothing to show), retry it with these methods in order, e.g. \
-     'qdb>qb>mg'. Recovered outputs are reported as degraded."
-  in
-  Arg.(
-    value & opt (some string) None & info [ "fallback" ] ~docv:"LADDER" ~doc)
-
-let retries_arg =
-  let doc =
-    "Retry transiently-failing per-output jobs up to $(docv) times with \
-     seeded exponential backoff (deterministic failures are never \
-     retried)."
-  in
-  Arg.(
-    value
-    & opt int (Retry.default.Retry.max_attempts - 1)
-    & info [ "retries" ] ~docv:"N" ~doc)
-
-let supervision_config ~fallback ~retries config =
-  let config =
-    {
-      config with
-      Config.retry = { Retry.default with Retry.max_attempts = retries + 1 };
-    }
-  in
-  match fallback with
-  | None -> config
-  | Some text -> (
-      match Config.fallback_of_string text with
-      | Ok ladder -> { config with Config.fallback = ladder }
-      | Error msg -> failwith msg)
-
-let cache_flag =
-  let doc =
-    "Memoize per-output decompositions by canonical cone structure. \
-     Outputs whose cones are structurally identical up to input renaming \
-     are solved once and replayed."
-  in
-  Arg.(value & flag & info [ "cache" ] ~doc)
-
-let no_cache_flag =
-  let doc = "Disable the decomposition cache (overrides $(b,--cache) and $(b,--cache-dir))." in
-  Arg.(value & flag & info [ "no-cache" ] ~doc)
-
-let cache_dir_arg =
-  let doc =
-    "Persist cache entries as versioned JSON files under $(docv), shared \
-     across runs (implies $(b,--cache)). Corrupt or stale entries are \
-     skipped with a diagnostic, never fatal."
-  in
-  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
-
-let certify_flag =
-  let doc =
-    "Produce a proof-carrying certificate for every solved output (LRAT \
-     refutations, SAT witnesses) and re-validate each with the independent \
-     checker; exits non-zero if any certificate fails. Roughly doubles solve \
-     cost. See docs/CERTIFICATION.md."
-  in
-  Arg.(value & flag & info [ "certify" ] ~doc)
-
-let cert_dir_arg =
-  let doc =
-    "Write each output's certificate to $(docv)/<po>.cert.json (implies \
-     $(b,--certify)); re-check them later with $(b,step certify)."
-  in
-  Arg.(value & opt (some string) None & info [ "cert-dir" ] ~docv:"DIR" ~doc)
-
-let rec mkdir_p d =
-  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
-  else begin
-    mkdir_p (Filename.dirname d);
-    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
-
-(* PO names come from BLIF/AIGER symbol tables: keep them filesystem-safe. *)
-let cert_file dir po_name =
-  let safe =
-    String.map
-      (fun ch ->
-        match ch with
-        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> ch
-        | _ -> '_')
-      po_name
-  in
-  Filename.concat dir (safe ^ ".cert.json")
-
-let make_cache ~cache ~no_cache ~cache_dir =
-  if no_cache then None
-  else if cache || cache_dir <> None then Some (Cache.create ?dir:cache_dir ())
-  else None
-
-(* Summary goes to stdout (it is part of the run's result); disk-layer
-   diagnostics go to stderr so machine-readable formats stay parseable. *)
-let print_cache_diags c =
-  List.iter (fun d -> prerr_endline (Diag.to_text d)) (Cache.diags c)
-
-let print_cache_summary c =
-  print_cache_diags c;
-  let s = Cache.stats c in
-  Printf.printf "cache: hits=%d misses=%d entries=%d\n" s.Cache.hits
-    s.Cache.misses s.Cache.entries;
-  if Metrics.deep () then
-    List.iter
-      (fun a ->
-        Printf.printf "cache: cone %s hits=%d misses=%d\n"
-          (String.sub (Digest.to_hex (Digest.string a.Cache.cone_key)) 0 12)
-          a.Cache.cone_hits a.Cache.cone_misses)
-      (Cache.attribution ~top:5 c)
-
-let print_diags diags =
-  List.iter (fun d -> print_endline (Diag.to_text d)) diags
 
 let print_po_result (r : Pipeline.po_result) =
   let status =
@@ -379,13 +128,6 @@ let print_po_result (r : Pipeline.po_result) =
   | Some f when not r.Pipeline.degraded -> Printf.printf "  %s" f.Pipeline.error
   | _ -> ());
   print_newline ()
-
-let check_artifacts_flag =
-  let doc =
-    "Lint the intermediate artifacts (input AIG, produced partitions) and \
-     print any findings; exits non-zero on lint errors."
-  in
-  Arg.(value & flag & info [ "check-artifacts" ] ~doc)
 
 let decompose_cmd =
   let run path gate method_ budget jobs po extract verify_ recursive trace
@@ -754,7 +496,7 @@ let report_cmd =
         | "text" -> Step_engine.Report.to_text r
         | "csv" -> Step_engine.Report.to_csv r
         | "markdown" | "md" -> Step_engine.Report.to_markdown r
-        | "json" -> Json.to_string (Step_engine.Report.to_json r) ^ "\n"
+        | "json" -> Json.to_string (Step_api.Api.run_to_json r) ^ "\n"
         | other -> failwith (Printf.sprintf "unknown format %S" other)
       in
       print_string text;
@@ -1157,6 +899,143 @@ let lint_cmd =
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(ret (const run $ files_arg $ json_flag $ strict_flag))
 
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let socket_arg =
+    let doc =
+      "Listen on a Unix domain socket at $(docv) (one worker domain per \
+       connection). Without it the server speaks JSON-lines on \
+       stdin/stdout — the scriptable transport."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let max_inflight_arg =
+    let doc =
+      "Admission-control pool: per-PO job slots shared by all clients. A \
+       decompose request reserves its $(b,--jobs) worth of slots for its \
+       whole run; requests that cannot get them are rejected with a \
+       structured error instead of queueing."
+    in
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let max_budget_arg =
+    let doc =
+      "Per-request deadline cap in seconds: requested budgets above it \
+       are rejected, unspecified budgets are clamped down to it."
+    in
+    Arg.(value & opt float 300.0 & info [ "max-budget" ] ~docv:"SECONDS" ~doc)
+  in
+  let run socket max_inflight max_budget gate method_ budget jobs trace stats
+      deep_stats metrics_out metrics_interval sanitize check_artifacts
+      no_cache cache_dir faults fallback retries certify =
+    match
+      if deep_stats then Metrics.set_deep true;
+      apply_sanitize sanitize;
+      (match apply_faults faults with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      let gate = Gate.of_string gate in
+      let method_ = Method.of_string method_ in
+      (* The point of a daemon is the warm cache: on unless --no-cache. *)
+      let cache_opt =
+        make_cache ~cache:(not no_cache) ~no_cache ~cache_dir
+      in
+      let config =
+        match
+          Config.validate
+            (supervision_config ~fallback ~retries
+               {
+                 Config.default with
+                 Config.gate;
+                 method_;
+                 per_po_budget = budget;
+                 check_artifacts;
+                 jobs;
+                 cache = cache_opt;
+                 certify;
+               })
+        with
+        | Ok config -> config
+        | Error msg -> failwith msg
+      in
+      let srv =
+        Step_server.Server.create
+          { Step_server.Server.base = config; max_inflight; max_budget }
+      in
+      (* Replace the CLI's raise-Sys.Break handlers: a signal must not
+         interrupt an in-flight request, it must start a drain — the
+         serve loop completes current work, flushes sinks and returns,
+         and the process exits with the conventional 128+signal code. *)
+      Sys.catch_break false;
+      let drain_on signal code =
+        try
+          Sys.set_signal signal
+            (Sys.Signal_handle
+               (fun _ ->
+                 Step_server.Server.request_drain srv ~exit_code:code ()))
+        with Invalid_argument _ | Sys_error _ -> ()
+      in
+      drain_on Sys.sigint 130;
+      drain_on Sys.sigterm 143;
+      let stop_dump =
+        match metrics_out with
+        | Some path when metrics_interval > 0.0 ->
+            Some
+              (Metrics.start_periodic_dump ~path ~interval_s:metrics_interval
+                 ~format:(metrics_format path) ())
+        | _ -> None
+      in
+      let finish_metrics () =
+        match (stop_dump, metrics_out) with
+        | Some stop, _ -> stop ()
+        | None, Some path -> Metrics.dump_file ~format:(metrics_format path) path
+        | None, None -> ()
+      in
+      let body () =
+        match socket with
+        | None -> Step_server.Server.serve_stdio srv
+        | Some path -> Step_server.Server.serve_socket srv ~path
+      in
+      let traced () =
+        match trace with
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> Obs.with_sink (Obs.jsonl_sink oc) body)
+        | None -> body ()
+      in
+      let code = Fun.protect ~finally:finish_metrics traced in
+      (* stdout is the wire on the stdio transport: telemetry and cache
+         diagnostics go to stderr. *)
+      if stats then prerr_string (Metrics.render ());
+      Option.iter
+        (fun c ->
+          List.iter (fun d -> prerr_endline (Diag.to_text d)) (Cache.diags c))
+        cache_opt;
+      flush stdout;
+      flush stderr;
+      if code <> 0 then exit code
+    with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+    | exception Sys_error msg -> `Error (false, msg)
+  in
+  let doc =
+    "Serve decomposition requests over a versioned JSON-lines API \
+     (docs/SERVER.md): long-lived engine, shared warm cache, admission \
+     control, graceful drain on SIGINT/SIGTERM."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ socket_arg $ max_inflight_arg $ max_budget_arg $ gate_arg
+       $ method_arg $ budget_arg $ jobs_arg $ trace_arg $ stats_flag
+       $ deep_stats_flag $ metrics_out_arg $ metrics_interval_arg
+       $ sanitize_flag $ check_artifacts_flag $ no_cache_flag $ cache_dir_arg
+       $ faults_arg $ fallback_arg $ retries_arg $ certify_flag))
+
 (* ---------- suite ---------- *)
 
 let suite_cmd =
@@ -1190,6 +1069,7 @@ let main_cmd =
       export_qbf_cmd;
       lint_cmd;
       certify_cmd;
+      serve_cmd;
     ]
 
 (* SIGINT/SIGTERM raise Sys.Break at the interrupted point, so every

@@ -214,105 +214,6 @@ let to_markdown r =
   Buffer.add_string buf (Printf.sprintf "\n%s\n" (summary_line r));
   Buffer.contents buf
 
-let to_json (r : Pipeline.circuit_result) =
-  let module J = Step_obs.Json in
-  let counters_json cs = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) cs) in
-  let po_json (po : Pipeline.po_result) =
-    let xa, xb, xc, ed, eb = po_fields po in
-    let cache =
-      match po.Pipeline.cache_hit with
-      | None -> []
-      | Some hit -> [ ("cache", J.String (if hit then "hit" else "miss")) ]
-    in
-    let cert =
-      match po.Pipeline.certificate with
-      | None -> []
-      | Some c ->
-          [
-            ("cert", J.String (if c.Step_core.Certify.ok then "ok" else "FAIL"));
-            ("cert_proof_bytes", J.Int c.Step_core.Certify.proof_bytes);
-            ( "cert_s",
-              J.Float (c.Step_core.Certify.gen_s +. c.Step_core.Certify.check_s)
-            );
-          ]
-    in
-    let supervision =
-      (if po.Pipeline.degraded then [ ("degraded", J.Bool true) ] else [])
-      @
-      match po.Pipeline.failure with
-      | None -> []
-      | Some f ->
-          [
-            ( "failure",
-              J.Obj
-                [
-                  ("error", J.String f.Pipeline.error);
-                  ("attempts", J.Int f.Pipeline.attempts);
-                  ("transient", J.Bool f.Pipeline.transient);
-                ] );
-          ]
-    in
-    J.Obj
-      ([
-         ("po", J.String po.Pipeline.po_name);
-         ("support", J.Int po.Pipeline.support_size);
-         ("decomposed", J.Bool (po.Pipeline.partition <> None));
-         ("optimal", J.Bool po.Pipeline.proven_optimal);
-         ("timed_out", J.Bool po.Pipeline.timed_out);
-         ("status", J.String (Engine.po_status po));
-         ("method", J.String (Pipeline.method_name po.Pipeline.method_used));
-         ("attempts", J.Int po.Pipeline.attempts);
-         ("xa", J.Int xa);
-         ("xb", J.Int xb);
-         ("xc", J.Int xc);
-         ("eD", J.Float ed);
-         ("eB", J.Float eb);
-         ("cpu_s", J.Float po.Pipeline.cpu);
-       ]
-      @ cache @ cert @ supervision
-      @ [ ("counters", counters_json po.Pipeline.counters) ])
-  in
-  let cache =
-    match cache_counts r with
-    | 0, 0 -> []
-    | hits, misses ->
-        [ ("cache_hits", J.Int hits); ("cache_misses", J.Int misses) ]
-  in
-  let cert =
-    match cert_counts r with
-    | 0, 0 -> []
-    | checked, failed ->
-        let bytes, secs = cert_totals r in
-        [
-          ("cert_checked", J.Int checked);
-          ("cert_failed", J.Int failed);
-          ("cert_proof_bytes", J.Int bytes);
-          ("cert_s", J.Float secs);
-        ]
-  in
-  let a = aggregate_of r in
-  let supervision =
-    (if a.n_failed > 0 then [ ("n_failed", J.Int a.n_failed) ] else [])
-    @
-    if a.n_degraded > 0 then [ ("n_degraded", J.Int a.n_degraded) ] else []
-  in
-  J.Obj
-    ([
-       ("circuit", J.String r.Pipeline.circuit_name);
-       ("method", J.String (Pipeline.method_name r.Pipeline.method_used));
-       ("gate", J.String (Step_core.Gate.to_string r.Pipeline.gate_used));
-       ("n_outputs", J.Int (Array.length r.Pipeline.per_po));
-       ("n_decomposed", J.Int r.Pipeline.n_decomposed);
-       ("total_cpu_s", J.Float r.Pipeline.total_cpu);
-     ]
-    @ supervision
-    @ cache
-    @ cert
-    @ [
-        ("counters", counters_json (counters_of r));
-        ("per_po", J.List (Array.to_list (Array.map po_json r.Pipeline.per_po)));
-      ])
-
 let compare_table ~baseline ~challenger ~metric =
   let buf = Buffer.create 512 in
   let better = ref 0 and equal = ref 0 and total = ref 0 in

@@ -22,6 +22,10 @@ val counters_of : Pipeline.circuit_result -> (string * int) list
 (** Key-wise sum of the per-PO engine counters (SAT calls, seeds,
     CEGAR refinements, QBF queries…), in first-seen order. *)
 
+val cache_counts : Pipeline.circuit_result -> int * int
+(** [(hits, misses)] over the per-PO cache outcomes; [(0, 0)] for runs
+    without [Config.cache]. *)
+
 val cert_counts : Pipeline.circuit_result -> int * int
 (** [(checked, failed)] over the per-PO certificates; [(0, 0)] for runs
     without [Config.certify]. *)
@@ -42,9 +46,9 @@ val to_csv : Pipeline.circuit_result -> string
 
 val to_markdown : Pipeline.circuit_result -> string
 
-val to_json : Pipeline.circuit_result -> Step_obs.Json.t
-(** Machine-readable form of the whole run, per-PO counters included —
-    what [bench_out/run_<table>.json] is built from. *)
+(** JSON rendering lives in {!Step_api.Api.run_to_json} — one versioned
+    serializer shared by [report -f json], the bench harness and the
+    server. *)
 
 val compare_table :
   baseline:Pipeline.circuit_result ->

@@ -1,0 +1,62 @@
+step serve speaks versioned JSON-lines on stdin/stdout. A scripted
+session: two decompositions of the same inline circuit (the second one
+hits the warm cache), server stats, then a drain. CPU timings are the
+only nondeterminism, so they are stripped.
+
+  $ strip() { sed -E 's/"(cpu_s|total_cpu_s|cert_s)":[0-9.e+-]+/"\1":T/g'; }
+  $ AAG='aag 3 2 0 1 1\n2\n4\n6\n6 2 4\n'
+  $ printf '%s\n' \
+  >   '{"schema_version":1,"type":"decompose","id":"d1","circuit":{"format":"aag","text":"'"$AAG"'"},"gate":"and"}' \
+  >   '{"schema_version":1,"type":"decompose","id":"d2","circuit":{"format":"aag","text":"'"$AAG"'"},"gate":"and"}' \
+  >   '{"schema_version":1,"type":"stats","id":"s1"}' \
+  >   '{"schema_version":1,"type":"drain","id":"q1"}' \
+  > | step serve | strip
+  {"schema_version":1,"type":"po","id":"d1","record":{"po":"o0","support":2,"decomposed":true,"optimal":true,"timed_out":false,"status":"optimal","method":"STEP-QD","attempts":1,"xa":1,"xb":1,"xc":0,"eD":0,"eB":0,"cpu_s":T,"cache":"miss","counters":{"mg_seeds_tried":1,"mg_sat_calls":1,"refinements":0,"qbf_queries":0}}}
+  {"schema_version":1,"type":"result","id":"d1","summary":{"circuit":"aag","method":"STEP-QD","gate":"AND","n_outputs":1,"n_decomposed":1,"total_cpu_s":T,"cache_hits":0,"cache_misses":1,"counters":{"mg_seeds_tried":1,"mg_sat_calls":1,"refinements":0,"qbf_queries":0}}}
+  {"schema_version":1,"type":"po","id":"d2","record":{"po":"o0","support":2,"decomposed":true,"optimal":true,"timed_out":false,"status":"optimal","method":"STEP-QD","attempts":1,"xa":1,"xb":1,"xc":0,"eD":0,"eB":0,"cpu_s":T,"cache":"hit","counters":{"mg_seeds_tried":1,"mg_sat_calls":1,"refinements":0,"qbf_queries":0}}}
+  {"schema_version":1,"type":"result","id":"d2","summary":{"circuit":"aag","method":"STEP-QD","gate":"AND","n_outputs":1,"n_decomposed":1,"total_cpu_s":T,"cache_hits":1,"cache_misses":0,"counters":{"mg_seeds_tried":1,"mg_sat_calls":1,"refinements":0,"qbf_queries":0}}}
+  {"schema_version":1,"type":"stats","id":"s1","requests":3,"rejected":0,"inflight":0,"handles":0,"cache":{"hits":1,"misses":1,"entries":1}}
+  {"schema_version":1,"type":"draining","id":"q1"}
+
+Upload once, decompose by handle. Handles are deterministic (a digest
+of the circuit text), so the session is scriptable end to end:
+
+  $ printf '%s\n' \
+  >   '{"schema_version":1,"type":"upload","id":"u1","name":"tiny","format":"aag","text":"'"$AAG"'"}' \
+  >   '{"schema_version":1,"type":"decompose","id":"d1","handle":"c31e79d8b3970","gate":"and","method":"mg","po":0}' \
+  > | step serve | strip
+  {"schema_version":1,"type":"uploaded","id":"u1","handle":"c31e79d8b3970","circuit":"tiny","n_inputs":2,"n_outputs":1,"n_and":1}
+  {"schema_version":1,"type":"po","id":"d1","record":{"po":"o0","support":2,"decomposed":true,"optimal":false,"timed_out":false,"status":"decomposed","method":"STEP-MG","attempts":1,"xa":1,"xb":1,"xc":0,"eD":0,"eB":0,"cpu_s":T,"cache":"miss","counters":{"seeds_tried":1,"sat_calls":1}}}
+  {"schema_version":1,"type":"result","id":"d1","summary":{"circuit":"tiny","method":"STEP-MG","gate":"AND","n_outputs":1,"n_decomposed":1,"total_cpu_s":T,"cache_hits":0,"cache_misses":1,"counters":{"seeds_tried":1,"sat_calls":1}}}
+
+Every failure is a structured error response with a stable code — the
+connection survives all of them. Admission control (SRV003) rejects a
+request wanting more job slots than the server admits; budgets above
+the per-request cap are refused (SRV006); a config the engine would
+reject comes back as SRV005 instead of killing the connection;
+protocol-level problems get API codes:
+
+  $ printf '%s\n' \
+  >   '{"schema_version":1,"type":"decompose","id":"e1","circuit":{"format":"aag","text":"'"$AAG"'"},"jobs":9}' \
+  >   '{"schema_version":1,"type":"decompose","id":"e2","circuit":{"format":"aag","text":"'"$AAG"'"},"total_budget":9999}' \
+  >   '{"schema_version":1,"type":"decompose","id":"e3","circuit":{"format":"aag","text":"'"$AAG"'"},"jobs":0}' \
+  >   '{"schema_version":1,"type":"decompose","id":"e4","handle":"c000000000000"}' \
+  >   '{"schema_version":1,"type":"decompose","id":"e5","circuit":{"format":"aag","text":"garbage"}}' \
+  >   '{"schema_version":2,"type":"stats","id":"e6"}' \
+  >   '{"schema_version":1,"type":"stats","id":"e7","bogus":true}' \
+  >   'not json' \
+  >   '{"schema_version":1,"type":"stats","id":"s1"}' \
+  > | step serve --max-inflight 2 --max-budget 300
+  {"schema_version":1,"type":"error","id":"e1","code":"SRV003","message":"request wants 9 job slots, server admits at most 2"}
+  {"schema_version":1,"type":"error","id":"e2","code":"SRV006","message":"total_budget 9999s exceeds the server cap of 300s"}
+  {"schema_version":1,"type":"error","id":"e3","code":"SRV005","message":"invalid configuration: jobs must be >= 1 (got 0)"}
+  {"schema_version":1,"type":"error","id":"e4","code":"SRV002","message":"unknown handle \"c000000000000\""}
+  {"schema_version":1,"type":"error","id":"e5","code":"SRV001","message":"bad aag circuit: Aag: bad header"}
+  {"schema_version":1,"type":"error","id":"e6","code":"API002","message":"request: unsupported schema_version 2 (this server speaks 1)"}
+  {"schema_version":1,"type":"error","id":"e7","code":"API005","message":"stats request: unknown field \"bogus\""}
+  {"schema_version":1,"type":"error","code":"API001","message":"request: Json.of_string: expected null at offset 0"}
+  {"schema_version":1,"type":"stats","id":"s1","requests":9,"rejected":8,"inflight":0,"handles":0,"cache":{"hits":0,"misses":0,"entries":0}}
+
+EOF without a drain is a clean shutdown too:
+
+  $ printf '' | step serve

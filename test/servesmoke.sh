@@ -1,0 +1,73 @@
+#!/bin/sh
+# Serve-mode smoke: a scripted session against `step serve` must show
+#   1. two clients decomposing the same planted circuit, the second
+#      request hitting the warm cache from the first;
+#   2. a request exceeding --max-inflight rejected with a structured
+#      error (SRV003);
+#   3. SIGTERM during an in-flight request draining gracefully: the
+#      in-flight request completes, sinks are flushed, exit code 143;
+#   4. --metrics-out publishing the server.* metrics.
+# Usage: sh test/servesmoke.sh path/to/step.exe
+set -e
+
+STEP=${1:?usage: servesmoke.sh path/to/step.exe}
+DIR=$(mktemp -d servesmoke.XXXXXX)
+trap 'rm -rf "$DIR"' EXIT
+
+# A planted circuit: decomposable by construction, so cache hits are
+# guaranteed when the same request repeats.
+"$STEP" generate -k planted -n 9 -o "$DIR/planted.blif"
+# one JSON string of the circuit text: escape backslashes, quotes, newlines
+CIRCUIT=$(sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' "$DIR/planted.blif" \
+  | awk '{printf "%s\\n", $0}')
+
+DECOMPOSE='{"schema_version":1,"type":"decompose","id":"ID","circuit":{"format":"blif","text":"'$CIRCUIT'"},"gate":"or"}'
+
+# --- session 1: warm cache, admission rejection, drain, metrics ---
+{
+  printf '%s\n' "$DECOMPOSE" | sed 's/"ID"/"d1"/'
+  printf '%s\n' "$DECOMPOSE" | sed 's/"ID"/"d2"/'
+  printf '%s\n' "$DECOMPOSE" | sed 's/"ID"/"d3"/; s/"gate":"or"/"gate":"or","jobs":9/'
+  printf '%s\n' '{"schema_version":1,"type":"stats","id":"s1"}'
+  printf '%s\n' '{"schema_version":1,"type":"drain","id":"q1"}'
+} | "$STEP" serve --max-inflight 2 --metrics-out "$DIR/metrics.prom" \
+  > "$DIR/session1.out"
+code=$?
+[ "$code" -eq 0 ] || { echo "servesmoke: session 1 exited $code"; exit 1; }
+
+grep -q '"id":"d1".*"type":"result"\|"type":"result","id":"d1"' "$DIR/session1.out"
+# the first client misses, the second hits the cache it warmed
+grep '"id":"d1"' "$DIR/session1.out" | grep -q '"cache":"miss"'
+grep '"id":"d2"' "$DIR/session1.out" | grep -q '"cache":"hit"'
+grep '"id":"d2"' "$DIR/session1.out" | grep -q '"cache_hits":[1-9]'
+# over-demand is a structured admission error, not a dropped connection
+grep '"id":"d3"' "$DIR/session1.out" | grep -q '"code":"SRV003"'
+# the drain is acknowledged and the metrics file has the server family
+grep -q '"type":"draining"' "$DIR/session1.out"
+grep -q '^step_server_requests [1-9]' "$DIR/metrics.prom"
+grep -q '^step_server_rejected [1-9]' "$DIR/metrics.prom"
+
+# --- session 2: SIGTERM during an in-flight request ---
+mkfifo "$DIR/in"
+"$STEP" serve < "$DIR/in" > "$DIR/session2.out" &
+SRV=$!
+exec 3>"$DIR/in"
+printf '%s\n' '{"schema_version":1,"type":"sleep","id":"z1","seconds":1.5}' >&3
+
+# wait for the request to be in flight, then terminate the server
+i=0
+until grep -q '"type":"sleeping"' "$DIR/session2.out" 2>/dev/null; do
+  i=$((i + 1))
+  [ "$i" -lt 100 ] || { echo "servesmoke: sleep request never started"; exit 1; }
+  sleep 0.1
+done
+kill -TERM "$SRV"
+code=0
+wait "$SRV" || code=$?
+exec 3>&-
+
+[ "$code" -eq 143 ] || { echo "servesmoke: expected exit 143, got $code"; exit 1; }
+# the in-flight request completed and its response was flushed
+grep -q '"type":"slept"' "$DIR/session2.out"
+
+echo "servesmoke: ok"
