@@ -1,7 +1,7 @@
 # Convenience targets; dune is the real build system.
 
 .PHONY: all check test smoke psmoke cachesmoke faultsmoke profsmoke \
-  benchsmoke certsmoke certfuzz servesmoke bench lint clean
+  benchsmoke certsmoke certfuzz arenasmoke servesmoke bench lint clean
 
 all:
 	dune build @all
@@ -19,6 +19,7 @@ check:
 	$(MAKE) benchsmoke
 	$(MAKE) certsmoke
 	$(MAKE) certfuzz
+	$(MAKE) arenasmoke
 	$(MAKE) servesmoke
 
 # Static lint of the shipped artifacts + the whole suite under the
@@ -129,6 +130,8 @@ benchsmoke:
 	  --baseline benchsmoke_base.json --handicap 25
 	dune exec --no-build bench/main.exe -- --planted \
 	  --baseline BENCH_7.json --quality-only
+	dune exec --no-build bench/main.exe -- --planted \
+	  --baseline BENCH_10.json --quality-only
 	rm -f benchsmoke_base.json
 
 # Certification smoke: a certified parallel run must check all its own
@@ -155,6 +158,18 @@ certfuzz:
 	dune build bin/fuzz.exe
 	dune exec --no-build bin/fuzz.exe -- --proofs --rounds 60 --vars 6 \
 	  --seed 11
+
+# Arena differential smoke: each round solves the same random CNF with
+# inprocessing off (reference), with a forced inprocessing pass + arena
+# compaction, Simp-preprocessed with model reconstruction, and in proof
+# mode with a forced DB reduction + compaction whose LRAT/DRAT
+# certificates must still check.
+arenasmoke:
+	dune build bin/fuzz.exe
+	dune exec --no-build bin/fuzz.exe -- --arena --rounds 120 --vars 12 \
+	  --seed 5
+	dune exec --no-build bin/fuzz.exe -- --arena --rounds 30 --vars 28 \
+	  --seed 23
 
 # Serve-mode smoke: scripted JSON-lines sessions against `step serve` —
 # warm-cache hits across clients, admission rejection, metrics

@@ -239,7 +239,109 @@ let proof_round round st =
     end
   end
 
+(* --arena mode: differential fuzzing of the arena-based solver paths.
+   Every round solves the same random CNF four ways — inprocessing off
+   (reference), inprocessing + forced compaction, Simp-preprocessed with
+   model reconstruction, and proof-logging with a forced DB reduction and
+   compaction — and demands identical verdicts, satisfying models, clean
+   invariant audits, and LRAT/DRAT certificates that still check after
+   the arena has moved every clause. *)
+
+module Simp = Step_sat.Simp
+module Dimacs = Step_sat.Dimacs
+
+let eval_dimacs cnf value =
+  List.for_all
+    (List.exists (fun l -> if l > 0 then value l else not (value (-l))))
+    cnf
+
+let arena_round round st =
+  let n = !n_vars in
+  let cnf = random_cnf st n in
+  let mk ?proof () =
+    let s = Solver.create ?proof () in
+    Solver.ensure_var s (n - 1);
+    List.iter
+      (fun c -> ignore (Solver.add_clause s (List.map Lit.of_dimacs c)))
+      cnf;
+    s
+  in
+  let check_model label s =
+    if not (eval_dimacs cnf (fun v -> Solver.var_value s (v - 1))) then
+      fail round (label ^ " model does not satisfy the input CNF")
+  in
+  let check_audit label s =
+    match Solver.audit s with
+    | [] -> ()
+    | d :: _ -> fail round (label ^ " audit: " ^ Diag.to_text d)
+  in
+  (* reference: arena solver with inprocessing disabled *)
+  let base = mk () in
+  Solver.set_inprocessing base false;
+  let r0 = Solver.solve base in
+  if r0 then check_model "reference" base;
+  check_audit "reference" base;
+  (* forced inprocessing + compaction before the solve *)
+  let s1 = mk () in
+  Solver.inprocess s1;
+  Solver.compact s1;
+  check_audit "inprocessed" s1;
+  let r1 = Solver.solve s1 in
+  if r1 <> r0 then
+    fail round
+      (Printf.sprintf "inprocessed verdict %b disagrees with reference %b" r1
+         r0);
+  if r1 then check_model "inprocessed" s1;
+  check_audit "inprocessed post-solve" s1;
+  (* Simp preprocessing + model reconstruction *)
+  let dcnf =
+    {
+      Dimacs.num_vars = n;
+      clauses = List.map (List.map Lit.of_dimacs) cnf;
+    }
+  in
+  let simp = Simp.eliminate ~growth:2 dcnf in
+  let s2 = Solver.create () in
+  Solver.ensure_var s2 (n - 1);
+  List.iter
+    (fun c -> ignore (Solver.add_clause s2 c))
+    simp.Simp.cnf.Dimacs.clauses;
+  let r2 = Solver.solve s2 in
+  if r2 <> r0 then
+    fail round
+      (Printf.sprintf "simp verdict %b disagrees with reference %b" r2 r0);
+  if r2 then begin
+    let full = Simp.reconstruct simp (fun v -> Solver.var_value s2 v) in
+    if not (eval_dimacs cnf (fun v -> full (v - 1))) then
+      fail round "reconstructed simp model does not satisfy the input CNF"
+  end;
+  (* proof mode: certificates must survive reduction + compaction *)
+  let s3 = mk ~proof:true () in
+  let r3 = Solver.solve s3 in
+  if r3 <> r0 then
+    fail round
+      (Printf.sprintf "proof-mode verdict %b disagrees with reference %b" r3 r0);
+  if not r3 then begin
+    Solver.reduce_learnts s3;
+    Solver.compact s3;
+    check_audit "proof-mode compacted" s3;
+    let live = Lrat.input_cnf s3 in
+    let drat_text = Drat.export_string s3 in
+    if
+      Diag.has_errors
+        (Cert.check_drat ~item:"arena-drat" ~n_vars:(Solver.n_vars s3)
+           ~cnf:live ~proof:drat_text ())
+    then fail round "DRAT rejected after arena compaction";
+    let e = Lrat.export s3 in
+    if
+      Diag.has_errors
+        (Cert.check_lrat ~item:"arena-lrat" ~n_vars:e.Lrat.n_vars
+           ~cnf:e.Lrat.cnf ~proof:e.Lrat.proof ())
+    then fail round "LRAT rejected after arena compaction"
+  end
+
 let () =
+  let arena = ref false in
   let rec parse = function
     | [] -> ()
     | "--rounds" :: v :: rest ->
@@ -254,6 +356,9 @@ let () =
     | "--proofs" :: rest ->
         proofs := true;
         parse rest
+    | "--arena" :: rest ->
+        arena := true;
+        parse rest
     | other :: _ ->
         Printf.eprintf "unknown argument %S\n" other;
         exit 2
@@ -261,9 +366,11 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   for round = 1 to !rounds do
     let st = Random.State.make [| !seed; round |] in
-    if !proofs then proof_round round st else round_check round st
+    if !arena then arena_round round st
+    else if !proofs then proof_round round st
+    else round_check round st
   done;
   Printf.printf "fuzz%s: %d rounds, %d failures\n"
-    (if !proofs then " (proofs)" else "")
+    (if !arena then " (arena)" else if !proofs then " (proofs)" else "")
     !rounds !failures;
   exit (if !failures = 0 then 0 else 1)

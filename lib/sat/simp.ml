@@ -1,17 +1,63 @@
+module Veci = Step_util.Veci
+
 type result = {
   cnf : Dimacs.cnf;
   eliminated : (int * Lit.t list list) list;
 }
 
+(* Clauses are kept normalized: literals sorted as ints with duplicates
+   removed. The Lit encoding maps a variable's two polarities to adjacent
+   ints (2v / 2v+1), so a normalized tautology always carries the
+   complementary pair side by side — one linear scan finds it. *)
+
+let normalize c = List.sort_uniq (fun (a : int) b -> compare a b) c
+
 let is_tautology c =
-  List.exists (fun l -> List.mem (Lit.negate l) c) c
+  let rec go = function
+    | a :: (b :: _ as tl) -> b = Lit.negate a || go tl
+    | _ -> false
+  in
+  go c
 
-let normalize c = List.sort_uniq compare c
-
-(* resolve two clauses on variable v (first contains +v, second -v) *)
-let resolve v pos neg =
-  let keep c skip = List.filter (fun l -> Lit.var l <> v || l <> skip) c in
-  normalize (keep pos (Lit.pos v) @ keep neg (Lit.neg_of_var v))
+(* Resolve two normalized clauses on variable [v] (first contains +v,
+   second -v) by a sorted merge, detecting tautological resolvents on the
+   fly. Returns [None] for a tautology. *)
+let resolve_opt v pos neg =
+  let pv = Lit.pos v and nv = Lit.neg_of_var v in
+  let prev = ref (-1) in
+  let taut = ref false in
+  let acc = ref [] in
+  let push l =
+    if l <> !prev then begin
+      if !prev >= 0 && l = Lit.negate !prev then taut := true;
+      acc := l :: !acc;
+      prev := l
+    end
+  in
+  let rec go a b =
+    if not !taut then
+      match (a, b) with
+      | [], [] -> ()
+      | l :: tl, [] | [], l :: tl ->
+          push l;
+          go tl []
+      | (l1 :: t1 as a'), (l2 :: t2 as b') ->
+          if l1 < l2 then begin
+            push l1;
+            go t1 b'
+          end
+          else if l2 < l1 then begin
+            push l2;
+            go a' t2
+          end
+          else begin
+            push l1;
+            go t1 t2
+          end
+  in
+  let strip skip c = List.filter (fun l -> l <> skip) c in
+  go (strip pv pos) (strip nv neg);
+  if !taut then None else Some (List.rev !acc)
 
 (* one unit-propagation sweep over a clause list; returns None on conflict *)
 let propagate_units clauses =
@@ -55,6 +101,8 @@ let eliminate ?on_add ?on_delete ?(growth = 0) ?(max_passes = 3)
   let clauses = ref (List.map normalize cnf.Dimacs.clauses) in
   let eliminated = ref [] in
   let unsat = ref false in
+  let add_hook c = match on_add with Some f -> f c | None -> () in
+  let del_hook c = match on_delete with Some f -> f c | None -> () in
   (* Proof hooks: report the clause-store delta of a simplification step.
      Every clause this pass adds (unit-propagation results, resolvents)
      is a RUP consequence of the store before the step, so replaying the
@@ -67,77 +115,153 @@ let eliminate ?on_add ?on_delete ?(growth = 0) ?(max_passes = 3)
     | _ ->
         let seen = Hashtbl.create 64 in
         List.iter (fun c -> Hashtbl.replace seen c ()) before;
-        (match on_add with
-        | Some f -> List.iter (fun c -> if not (Hashtbl.mem seen c) then f c) after
-        | None -> ());
-        (match on_delete with
-        | Some f ->
-            let kept = Hashtbl.create 64 in
-            List.iter (fun c -> Hashtbl.replace kept c ()) after;
-            List.iter (fun c -> if not (Hashtbl.mem kept c) then f c) before
-        | None -> ())
+        List.iter (fun c -> if not (Hashtbl.mem seen c) then add_hook c) after;
+        let kept = Hashtbl.create 64 in
+        List.iter (fun c -> Hashtbl.replace kept c ()) after;
+        List.iter (fun c -> if not (Hashtbl.mem kept c) then del_hook c) before
   in
-  let before0 = !clauses in
-  (match propagate_units !clauses with
-  | None ->
-      unsat := true;
-      clauses := [ [] ]
-  | Some cs -> clauses := List.filter (fun c -> not (is_tautology c)) cs);
-  diff before0 !clauses;
+  let step_propagate () =
+    let before = !clauses in
+    (match propagate_units !clauses with
+    | None ->
+        unsat := true;
+        clauses := [ [] ]
+    | Some cs -> clauses := List.filter (fun c -> not (is_tautology c)) cs);
+    diff before !clauses
+  in
+  (* One bounded-variable-elimination sweep over an indexed clause store.
+     Occurrence lists (var -> clause indices) replace the per-candidate
+     partition of the whole clause list; dead indices linger in the lists
+     and are skipped through the [alive] flags. *)
   let pass () =
     let changed = ref false in
-    (* occurrence census *)
+    let cls = Array.of_list !clauses in
+    let n0 = Array.length cls in
+    let store = ref cls in
+    let alive = ref (Bytes.make (max n0 1) '\001') in
+    let count = ref n0 in
+    let append c =
+      if !count = Array.length !store then begin
+        let cap = max 16 (2 * !count) in
+        let ns = Array.make cap [] in
+        Array.blit !store 0 ns 0 !count;
+        store := ns;
+        let nb = Bytes.make cap '\000' in
+        Bytes.blit !alive 0 nb 0 !count;
+        alive := nb
+      end;
+      let j = !count in
+      (!store).(j) <- c;
+      Bytes.set !alive j '\001';
+      incr count;
+      j
+    in
     let occ = Hashtbl.create 64 in
-    List.iter
-      (fun c ->
-        List.iter
-          (fun l ->
-            let v = Lit.var l in
-            let p, n = Option.value ~default:(0, 0) (Hashtbl.find_opt occ v) in
-            Hashtbl.replace occ v
-              (if Lit.is_pos l then (p + 1, n) else (p, n + 1)))
-          c)
-      !clauses;
+    let occ_of v =
+      match Hashtbl.find_opt occ v with
+      | Some x -> x
+      | None ->
+          let x = Veci.create ~cap:4 () in
+          Hashtbl.add occ v x;
+          x
+    in
+    let dedup = Hashtbl.create (max 16 (2 * n0)) in
+    let index i c =
+      Hashtbl.replace dedup c i;
+      List.iter (fun l -> Veci.push (occ_of (Lit.var l)) i) c
+    in
+    for i = 0 to n0 - 1 do
+      let c = (!store).(i) in
+      match Hashtbl.find_opt dedup c with
+      | Some _ -> Bytes.set !alive i '\000' (* duplicate input clause *)
+      | None -> index i c
+    done;
+    (* cheapest candidates first: fewest resolvent pairs, then occurrences *)
     let candidates =
-      Hashtbl.fold (fun v (p, n) acc -> (p * n, p + n, v) :: acc) occ []
-      |> List.sort compare
+      Hashtbl.fold
+        (fun v occs acc ->
+          let p = ref 0 and n = ref 0 in
+          Veci.iter
+            (fun i ->
+              if Bytes.get !alive i = '\001' then
+                if List.mem (Lit.pos v) (!store).(i) then incr p else incr n)
+            occs;
+          if !p + !n > 0 then ((!p * !n, !p + !n, v) :: acc) else acc)
+        occ []
+      |> List.sort (fun (a, b, c) (d, e, f) ->
+             let x = compare (a : int) d in
+             if x <> 0 then x
+             else
+               let y = compare (b : int) e in
+               if y <> 0 then y else compare (c : int) f)
     in
     List.iter
       (fun (_, _, v) ->
-        (* never eliminate a variable holding a unit clause of its own *)
-        let with_v, without =
-          List.partition (fun c -> List.exists (fun l -> Lit.var l = v) c)
-            !clauses
-        in
-        if with_v <> [] then begin
-          let pos, neg =
-            List.partition (fun c -> List.mem (Lit.pos v) c) with_v
-          in
+        let pos = ref [] and neg = ref [] in
+        let unit_of_v = ref false in
+        Veci.iter
+          (fun i ->
+            if Bytes.get !alive i = '\001' then begin
+              let c = (!store).(i) in
+              (match c with
+              | [ l ] when Lit.var l = v -> unit_of_v := true
+              | _ -> ());
+              if List.mem (Lit.pos v) c then pos := (i, c) :: !pos
+              else if List.mem (Lit.neg_of_var v) c then neg := (i, c) :: !neg
+            end)
+          (occ_of v);
+        (* never eliminate a variable holding a unit clause of its own:
+           the unit is a fact, handled by the propagation step between
+           passes — resolving it away here would silently weaken the
+           formula's unit information mid-pass *)
+        if (not !unit_of_v) && (!pos <> [] || !neg <> []) then begin
           let resolvents =
             List.concat_map
-              (fun pc ->
-                List.filter_map
-                  (fun nc ->
-                    let r = resolve v pc nc in
-                    if is_tautology r then None else Some r)
-                  neg)
-              pos
+              (fun (_, pc) ->
+                List.filter_map (fun (_, nc) -> resolve_opt v pc nc) !neg)
+              !pos
           in
-          if List.length resolvents <= List.length with_v + growth then begin
+          let n_with = List.length !pos + List.length !neg in
+          if List.length resolvents <= n_with + growth then begin
             changed := true;
-            eliminated := (v, with_v) :: !eliminated;
-            let before = !clauses in
-            clauses := List.sort_uniq compare (resolvents @ without);
-            diff before !clauses
+            eliminated :=
+              (v, List.map snd !pos @ List.map snd !neg) :: !eliminated;
+            (* additions first, then deletions: DRAT-prefix order *)
+            List.iter
+              (fun r ->
+                match Hashtbl.find_opt dedup r with
+                | Some j when Bytes.get !alive j = '\001' -> ()
+                | _ ->
+                    add_hook r;
+                    let j = append r in
+                    index j r)
+              resolvents;
+            List.iter
+              (fun (i, c) ->
+                Bytes.set !alive i '\000';
+                (match Hashtbl.find_opt dedup c with
+                | Some j when j = i -> Hashtbl.remove dedup c
+                | _ -> ());
+                del_hook c)
+              (!pos @ !neg)
           end
         end)
       candidates;
+    let out = ref [] in
+    for i = !count - 1 downto 0 do
+      if Bytes.get !alive i = '\001' then out := (!store).(i) :: !out
+    done;
+    clauses := !out;
     !changed
   in
-  if not !unsat then begin
-    let rec go p = if p < max_passes && pass () then go (p + 1) in
-    go 0
-  end;
+  step_propagate ();
+  let rec go p =
+    if (not !unsat) && p < max_passes && pass () then begin
+      step_propagate ();
+      go (p + 1)
+    end
+  in
+  go 0;
   {
     cnf = { Dimacs.num_vars = cnf.Dimacs.num_vars; clauses = !clauses };
     eliminated = List.rev !eliminated;

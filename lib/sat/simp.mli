@@ -6,8 +6,15 @@
     eliminated clauses are recorded so that a model of the simplified
     formula can be {!reconstruct}ed into a model of the original.
 
-    Pure (list-based) and deliberately independent of {!Solver}; tests use
-    it both ways (preprocess-then-solve equals solve). *)
+    Clauses are kept int-sorted so tautology and resolvent checks are
+    linear merges, and candidates are found through occurrence lists
+    rather than scans of the whole clause list. A variable holding a unit
+    clause of its own is never eliminated — the unit is a fact, consumed
+    by the propagation step that runs between passes.
+
+    Deliberately independent of {!Solver} (the solver's own inprocessing
+    covers in-search simplification); tests use it both ways
+    (preprocess-then-solve equals solve). *)
 
 type result = {
   cnf : Dimacs.cnf; (** The simplified formula. *)

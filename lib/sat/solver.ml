@@ -23,11 +23,22 @@ let h_solve = Metrics.histogram "sat.solve_s"
 
 (* Deep solver telemetry (gated on [Metrics.deep]): learned-clause
    quality (LBD/"glue" and length distributions), restart dynamics and
-   per-call phase timings. Restart and clause-DB-reduction counters are
-   always on — both fire orders of magnitude less often than conflicts. *)
+   per-call phase timings. Restart, clause-DB-reduction, inprocessing and
+   arena-gc counters are always on — all fire orders of magnitude less
+   often than conflicts. *)
 let m_restarts = Metrics.counter "sat.restarts"
 
 let m_reduce_db = Metrics.counter "sat.reduce_db"
+
+let m_subsumed = Metrics.counter "sat.subsumed"
+
+let m_strengthened = Metrics.counter "sat.strengthened"
+
+let m_inprocess = Metrics.counter "sat.inprocess"
+
+let m_arena_gc = Metrics.counter "sat.arena_gc"
+
+let h_inprocess_s = Metrics.histogram "sat.inprocess_s"
 
 let h_lbd = Metrics.histogram "sat.lbd"
 
@@ -45,55 +56,77 @@ let h_props_call = Metrics.histogram "sat.propagations_per_call"
 
 (* CDCL solver. Nomenclature follows MiniSat: [trail] is the assignment
    stack, [trail_lim] marks decision-level boundaries, [reason.(v)] is the
-   clause id that propagated variable [v] (-1 for decisions), watch list
+   clause that propagated variable [v] (-1 for decisions), watch list
    [watches.(l)] holds clauses in which literal [l] is watched (visited
    when [l] becomes false). Assignment codes: 0 = unassigned, 1 = true,
-   2 = false, stored per variable with the sign applied on read. *)
+   2 = false, stored per variable with the sign applied on read.
+
+   Clause storage is a flat {!Arena}: a clause is a block of ints inside
+   one bank, addressed by an integer ref. Refs move when the arena is
+   compacted ({!collect}), so the solver keeps two name spaces:
+
+   - the *ref* (arena offset) is what every hot structure stores — watch
+     lists, [reason], the learnt index — and is remapped on gc;
+   - the *id* (dense allocation counter) is the stable external name used
+     by the public API and the proof machinery ([chain_ids], [premises],
+     [proof_dels]); [cmap] maps id -> ref (-1 once dead) and the arena
+     header stores the id for the reverse lookup.
+
+   Watch lists hold (ref, blocker) pairs (stride 2); the blocker is a
+   literal of the clause checked before touching the block at all.
+   Watched literals always sit in slots 0 and 1 of the block.
+
+   See docs/SOLVER.md for the full tour. *)
 
 module Proof = struct
   type step = { premises : int array; pivots : int array }
 end
 
-type clause = {
-  mutable lits : int array;
-  learnt : bool;
-  mutable act : float;
-  mutable removed : bool;
-}
+let dummy_step = { Proof.premises = [||]; pivots = [||] }
 
 type result = Sat | Unsat | Unknown
 
 exception Sanitizer_violation of Diag.t list
 
 type t = {
-  mutable clauses : clause array; (* id -> clause; dense prefix *)
-  mutable n_cls : int; (* total records, problem + learned *)
+  arena : Arena.t;
+  cmap : Veci.t; (* clause id -> arena ref; -1 once removed *)
+  mutable cflags : Bytes.t; (* per id: 1 = learnt (survives removal) *)
   mutable n_problem : int;
-  learnts : Veci.t; (* ids of live learned clauses *)
-  mutable watches : Veci.t array; (* per literal *)
+  dead_lits : (int, int array) Hashtbl.t;
+      (* proof mode: literals of removed clauses, for [d]-line export *)
+  learnts : Veci.t; (* refs of live learned clauses *)
+  mutable watches : Veci.t array; (* per literal, (ref, blocker) pairs *)
   mutable assign : Bytes.t; (* per var *)
   mutable level : int array;
-  mutable reason : int array;
+  mutable reason : int array; (* arena ref or -1, per var *)
   mutable activity : float array;
   mutable polarity : Bytes.t; (* saved phase: 1 = true *)
-  mutable seen : Bytes.t;
-  to_clear : Veci.t;
+  seen : Epoch.t; (* analysis marks: 1 = seen, 2 = level-0 proof mark *)
+  lbd_seen : Epoch.t; (* per-level scratch for LBD computation *)
+  mark : Epoch.t; (* per-literal scratch for subsumption checks *)
   trail : Veci.t;
   trail_lim : Veci.t;
   mutable qhead : int;
   mutable order : Idx_heap.t;
   mutable nvars : int;
   mutable var_inc : float;
-  mutable cla_inc : float;
   mutable ok : bool;
   mutable sanitize : bool;
   mutable model : Bytes.t;
   mutable core : int list;
+  (* per-conflict scratch, reused to keep analysis allocation-free *)
+  tmp_learnt : Veci.t;
+  tmp_premises : Veci.t;
+  tmp_pivots : Veci.t;
   (* statistics *)
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
   mutable max_learnts : float;
+  (* inprocessing *)
+  mutable inprocessing : bool;
+  mutable inprocess_next : int;
   (* budgets *)
   mutable conflict_budget : int;
   mutable conflict_limit : int;
@@ -108,14 +141,14 @@ type t = {
   proof_dels : Veci.t; (* flattened (clause id, n_chains at deletion) pairs *)
 }
 
-let dummy_clause = { lits = [||]; learnt = false; act = 0.; removed = true }
-
 let create ?(proof = false) () =
   let s =
     {
-      clauses = Array.make 64 dummy_clause;
-      n_cls = 0;
+      arena = Arena.create ~cap:4096 ();
+      cmap = Veci.create ();
+      cflags = Bytes.make 64 '\000';
       n_problem = 0;
+      dead_lits = Hashtbl.create 16;
       learnts = Veci.create ();
       watches = Array.init 32 (fun _ -> Veci.create ~cap:4 ());
       assign = Bytes.make 16 '\000';
@@ -123,15 +156,15 @@ let create ?(proof = false) () =
       reason = Array.make 16 (-1);
       activity = Array.make 16 0.;
       polarity = Bytes.make 16 '\000';
-      seen = Bytes.make 16 '\000';
-      to_clear = Veci.create ();
+      seen = Epoch.create ();
+      lbd_seen = Epoch.create ();
+      mark = Epoch.create ();
       trail = Veci.create ();
       trail_lim = Veci.create ();
       qhead = 0;
       order = Idx_heap.create ~gt:(fun _ _ -> false);
       nvars = 0;
       var_inc = 1.0;
-      cla_inc = 1.0;
       ok = true;
       sanitize =
         (match Sys.getenv_opt "STEP_SANITIZE" with
@@ -139,17 +172,22 @@ let create ?(proof = false) () =
         | Some _ | None -> false);
       model = Bytes.make 0 '\000';
       core = [];
+      tmp_learnt = Veci.create ();
+      tmp_premises = Veci.create ();
+      tmp_pivots = Veci.create ();
       conflicts = 0;
       decisions = 0;
       propagations = 0;
       max_learnts = 0.;
+      inprocessing = not proof;
+      inprocess_next = 4000;
       conflict_budget = -1;
       conflict_limit = max_int;
       time_budget = -1.;
       deadline = infinity;
       proof_mode = proof;
       chain_ids = Veci.create ();
-      chains = Array.make 16 { Proof.premises = [||]; pivots = [||] };
+      chains = Array.make 16 dummy_step;
       n_chains = 0;
       empty_chain = None;
       proof_dels = Veci.create ();
@@ -176,6 +214,13 @@ let okay s = s.ok
 
 let decision_level s = Veci.length s.trail_lim
 
+let n_clause_records s = Veci.length s.cmap
+
+let n_live_clauses s =
+  let n = ref 0 in
+  Veci.iter (fun r -> if r >= 0 then incr n) s.cmap;
+  !n
+
 (* ---------- variable management ---------- *)
 
 let grow_vars s n =
@@ -198,13 +243,15 @@ let grow_vars s n =
     in
     s.assign <- ext s.assign;
     s.polarity <- ext s.polarity;
-    s.seen <- ext s.seen;
     let watches = Array.make (2 * cap) (Veci.create ()) in
     Array.blit s.watches 0 watches 0 (Array.length s.watches);
     for i = Array.length s.watches to (2 * cap) - 1 do
       watches.(i) <- Veci.create ~cap:4 ()
     done;
-    s.watches <- watches
+    s.watches <- watches;
+    Epoch.ensure s.seen cap;
+    Epoch.ensure s.lbd_seen cap;
+    Epoch.ensure s.mark (2 * cap)
   end
 
 let new_var s =
@@ -251,55 +298,70 @@ let var_bump s v =
 
 let var_decay s = s.var_inc <- s.var_inc /. 0.95
 
-let cla_bump s c =
-  c.act <- c.act +. s.cla_inc;
-  if c.act > 1e20 then begin
-    Veci.iter
-      (fun id ->
-        let c = s.clauses.(id) in
-        c.act <- c.act *. 1e-20)
-      s.learnts;
-    s.cla_inc <- s.cla_inc *. 1e-20
-  end
-
-let cla_decay s = s.cla_inc <- s.cla_inc /. 0.999
-
 (* ---------- clause store ---------- *)
 
-let alloc_clause s lits learnt =
-  if s.n_cls = Array.length s.clauses then begin
-    let clauses = Array.make (2 * s.n_cls) dummy_clause in
-    Array.blit s.clauses 0 clauses 0 s.n_cls;
-    s.clauses <- clauses
+(* Allocates a block and its stable id. [lits] is only read for its first
+   [n] entries, so callers can pass a scratch buffer's backing array. *)
+let alloc_clause s lits n learnt =
+  let id = Veci.length s.cmap in
+  let r = Arena.alloc s.arena ~id ~learnt lits n in
+  Veci.push s.cmap r;
+  if id >= Bytes.length s.cflags then begin
+    let nb = Bytes.make (max 16 (2 * Bytes.length s.cflags)) '\000' in
+    Bytes.blit s.cflags 0 nb 0 (Bytes.length s.cflags);
+    s.cflags <- nb
   end;
-  let id = s.n_cls in
-  s.clauses.(id) <- { lits; learnt; act = 0.; removed = false };
-  s.n_cls <- id + 1;
-  id
+  Bytes.set s.cflags id (if learnt then '\001' else '\000');
+  (id, r)
 
-let attach s id =
-  let c = s.clauses.(id) in
-  assert (Array.length c.lits >= 2);
-  Veci.push s.watches.(c.lits.(0)) id;
-  Veci.push s.watches.(c.lits.(1)) id
+let attach s r =
+  let a = s.arena in
+  let l0 = Arena.lit a r 0 and l1 = Arena.lit a r 1 in
+  let w0 = s.watches.(l0) in
+  Veci.push w0 r;
+  Veci.push w0 l1;
+  let w1 = s.watches.(l1) in
+  Veci.push w1 r;
+  Veci.push w1 l0
 
-let detach_watch s l id =
+let detach_watch s l r =
   let w = s.watches.(l) in
   let rec go i =
     if i < Veci.length w then
-      if Veci.get w i = id then Veci.remove_unordered w i else go (i + 1)
+      if Veci.get w i = r then begin
+        let m = Veci.length w in
+        Veci.set w i (Veci.get w (m - 2));
+        Veci.set w (i + 1) (Veci.get w (m - 1));
+        Veci.shrink w (m - 2)
+      end
+      else go (i + 2)
   in
   go 0
 
-let detach s id =
-  let c = s.clauses.(id) in
-  detach_watch s c.lits.(0) id;
-  detach_watch s c.lits.(1) id
+let detach s r =
+  detach_watch s (Arena.lit s.arena r 0) r;
+  detach_watch s (Arena.lit s.arena r 1) r
+
+(* Detach (if wide enough), record for proof export, flag dead. The block
+   stays readable until the next gc; [cmap] is the source of truth. *)
+let remove_clause s r =
+  let a = s.arena in
+  if Arena.size a r >= 2 then detach s r;
+  let id = Arena.id a r in
+  if s.proof_mode then begin
+    (* exporters need the literals for [d] lines, and the deletion must be
+       replayed at exactly this chain position *)
+    Hashtbl.replace s.dead_lits id (Arena.lits a r);
+    Veci.push s.proof_dels id;
+    Veci.push s.proof_dels s.n_chains
+  end;
+  Arena.remove a r;
+  Veci.set s.cmap id (-1)
 
 (* ---------- trail ---------- *)
 
 let enqueue s l reason =
-  assert (lit_unassigned s l);
+  if s.sanitize then assert (lit_unassigned s l);
   let v = Lit.var l in
   Bytes.unsafe_set s.assign v (if Lit.is_pos l then '\001' else '\002');
   s.level.(v) <- decision_level s;
@@ -326,61 +388,80 @@ let cancel_until s lvl =
 
 (* ---------- propagation ---------- *)
 
-(* Returns the id of a conflicting clause, or -1. *)
+(* Returns the arena ref of a conflicting clause, or -1. The bank is read
+   through one local binding: nothing in this loop allocates arena blocks,
+   so the reference stays valid throughout. *)
 let propagate s =
   let confl = ref (-1) in
+  let bank = Arena.bank s.arena in
   while !confl < 0 && s.qhead < Veci.length s.trail do
     let p = Veci.get s.trail s.qhead in
     s.qhead <- s.qhead + 1;
     s.propagations <- s.propagations + 1;
     let false_lit = Lit.negate p in
     let w = s.watches.(false_lit) in
-    (* compact in place: keep watches that stay *)
+    (* compact in place: keep pairs that stay *)
     let i = ref 0 and j = ref 0 in
     let n = Veci.length w in
     while !i < n do
-      let id = Veci.get w !i in
-      incr i;
-      let c = s.clauses.(id) in
-      if c.removed then () (* drop lazily *)
+      let r = Veci.unsafe_get w !i in
+      let blocker = Veci.unsafe_get w (!i + 1) in
+      i := !i + 2;
+      if lit_true s blocker then begin
+        (* satisfied via the blocker: keep without touching the block *)
+        Veci.unsafe_set w !j r;
+        Veci.unsafe_set w (!j + 1) blocker;
+        j := !j + 2
+      end
       else begin
-        let lits = c.lits in
-        if lits.(0) = false_lit then begin
-          lits.(0) <- lits.(1);
-          lits.(1) <- false_lit
-        end;
-        assert (lits.(1) = false_lit);
-        if lit_true s lits.(0) then begin
-          Veci.set w !j id;
-          incr j
+        (* make sure the false literal sits in slot 1 *)
+        let l0 = Array.unsafe_get bank (r + 3) in
+        let first =
+          if l0 = false_lit then begin
+            let l1 = Array.unsafe_get bank (r + 4) in
+            Array.unsafe_set bank (r + 3) l1;
+            Array.unsafe_set bank (r + 4) false_lit;
+            l1
+          end
+          else l0
+        in
+        if s.sanitize then assert (Array.unsafe_get bank (r + 4) = false_lit);
+        if first <> blocker && lit_true s first then begin
+          Veci.unsafe_set w !j r;
+          Veci.unsafe_set w (!j + 1) first;
+          j := !j + 2
         end
         else begin
           (* search replacement watch *)
-          let len = Array.length lits in
+          let len = Array.unsafe_get bank (r + 1) in
           let k = ref 2 in
-          while !k < len && lit_false s lits.(!k) do
+          while !k < len && lit_false s (Array.unsafe_get bank (r + 3 + !k)) do
             incr k
           done;
           if !k < len then begin
-            lits.(1) <- lits.(!k);
-            lits.(!k) <- false_lit;
-            Veci.push s.watches.(lits.(1)) id
+            let lk = Array.unsafe_get bank (r + 3 + !k) in
+            Array.unsafe_set bank (r + 4) lk;
+            Array.unsafe_set bank (r + 3 + !k) false_lit;
+            let w' = s.watches.(lk) in
+            Veci.push w' r;
+            Veci.push w' first
           end
           else begin
             (* unit or conflict *)
-            Veci.set w !j id;
-            incr j;
-            if lit_false s lits.(0) then begin
-              confl := id;
+            Veci.unsafe_set w !j r;
+            Veci.unsafe_set w (!j + 1) first;
+            j := !j + 2;
+            if lit_false s first then begin
+              confl := r;
               s.qhead <- Veci.length s.trail;
-              (* copy remaining watches *)
+              (* copy remaining pairs *)
               while !i < n do
-                Veci.set w !j (Veci.get w !i);
+                Veci.unsafe_set w !j (Veci.unsafe_get w !i);
                 incr i;
                 incr j
               done
             end
-            else enqueue s lits.(0) id
+            else enqueue s first r
           end
         end
       end
@@ -393,9 +474,7 @@ let propagate s =
 
 let push_chain s id step =
   if s.n_chains = Array.length s.chains then begin
-    let chains =
-      Array.make (2 * s.n_chains) { Proof.premises = [||]; pivots = [||] }
-    in
+    let chains = Array.make (2 * s.n_chains) dummy_step in
     Array.blit s.chains 0 chains 0 s.n_chains;
     s.chains <- chains
   end;
@@ -404,53 +483,47 @@ let push_chain s id step =
   Veci.push s.chain_ids id
 
 (* Resolve away level-0 literals marked with seen-code 2, in reverse trail
-   order, appending to [premises]/[pivots]. Clears the marks it consumes. *)
+   order, appending to [premises]/[pivots]. Consumes the marks. *)
 let resolve_zero s premises pivots =
+  let a = s.arena in
   let bound =
     if Veci.length s.trail_lim = 0 then Veci.length s.trail
     else Veci.get s.trail_lim 0
   in
   for i = bound - 1 downto 0 do
     let v = Lit.var (Veci.get s.trail i) in
-    if Bytes.get s.seen v = '\002' then begin
+    if Epoch.get s.seen v = 2 then begin
       let r = s.reason.(v) in
       assert (r >= 0);
-      Veci.push premises r;
+      Veci.push premises (Arena.id a r);
       Veci.push pivots v;
-      let lits = s.clauses.(r).lits in
-      for j = 1 to Array.length lits - 1 do
-        let u = Lit.var lits.(j) in
-        if s.level.(u) = 0 && Bytes.get s.seen u = '\000' then begin
-          Bytes.set s.seen u '\002';
-          Veci.push s.to_clear u
-        end
+      for j = 1 to Arena.size a r - 1 do
+        let u = Lit.var (Arena.lit a r j) in
+        if s.level.(u) = 0 && not (Epoch.mem s.seen u) then
+          Epoch.set s.seen u 2
       done;
-      Bytes.set s.seen v '\000'
+      Epoch.unset s.seen v
     end
   done
 
-let clear_seen s =
-  Veci.iter (fun v -> Bytes.set s.seen v '\000') s.to_clear;
-  Veci.clear s.to_clear
-
 (* Conflict at level 0: derive the empty clause. *)
-let record_empty_chain s confl_id =
+let record_empty_chain s confl_r =
   if s.proof_mode then begin
+    let a = s.arena in
+    Epoch.reset s.seen;
     let premises = Veci.create () and pivots = Veci.create () in
-    Veci.push premises confl_id;
-    let lits = s.clauses.(confl_id).lits in
-    Array.iter
-      (fun l ->
-        let v = Lit.var l in
-        if Bytes.get s.seen v = '\000' then begin
-          Bytes.set s.seen v '\002';
-          Veci.push s.to_clear v
-        end)
-      lits;
+    Veci.push premises (Arena.id a confl_r);
+    for j = 0 to Arena.size a confl_r - 1 do
+      let v = Lit.var (Arena.lit a confl_r j) in
+      if not (Epoch.mem s.seen v) then Epoch.set s.seen v 2
+    done;
     resolve_zero s premises pivots;
-    clear_seen s;
     s.empty_chain <-
-      Some { Proof.premises = Veci.to_array premises; pivots = Veci.to_array pivots }
+      Some
+        {
+          Proof.premises = Veci.to_array premises;
+          pivots = Veci.to_array pivots;
+        }
   end
 
 (* ---------- clause addition ---------- *)
@@ -460,9 +533,11 @@ let add_clause_a s lits =
   if not s.ok then -1
   else begin
     assert (decision_level s = 0);
-    (* sort + dedupe; detect tautologies *)
+    (* sort + dedupe; detect tautologies. Sorted Lit ints put a variable's
+       two polarities next to each other, so one adjacent scan finds both
+       duplicates and complementary pairs. *)
     let lits = Array.copy lits in
-    Array.sort compare lits;
+    Array.sort (fun (a : int) b -> compare a b) lits;
     let n = Array.length lits in
     let out = Veci.create ~cap:(max n 1) () in
     let taut = ref false in
@@ -486,19 +561,17 @@ let add_clause_a s lits =
           s.ok <- false;
           -1
       | 1 ->
-          let id = alloc_clause s lits false in
+          let id, r = alloc_clause s lits 1 false in
           s.n_problem <- s.n_problem + 1;
           if lit_false s lits.(0) then begin
             (* conflicts with current level-0 assignment *)
             (if s.proof_mode then begin
                (* resolvent of this unit with the reason chain of its negation *)
+               Epoch.reset s.seen;
                let premises = Veci.create () and pivots = Veci.create () in
                Veci.push premises id;
-               let v = Lit.var lits.(0) in
-               Bytes.set s.seen v '\002';
-               Veci.push s.to_clear v;
+               Epoch.set s.seen (Lit.var lits.(0)) 2;
                resolve_zero s premises pivots;
-               clear_seen s;
                s.empty_chain <-
                  Some
                    {
@@ -511,7 +584,7 @@ let add_clause_a s lits =
           end
           else begin
             if lit_unassigned s lits.(0) then begin
-              enqueue s lits.(0) id;
+              enqueue s lits.(0) r;
               match propagate s with
               | -1 -> ()
               | confl ->
@@ -520,12 +593,10 @@ let add_clause_a s lits =
             end;
             id
           end
-      | _ ->
-          let id = alloc_clause s lits false in
+      | len ->
           s.n_problem <- s.n_problem + 1;
           (* watch two literals that are not false at level 0 if possible;
              in proof mode input clauses may carry false literals *)
-          let len = Array.length lits in
           let pick from =
             let k = ref from in
             while !k < len && lit_false s lits.(!k) do
@@ -541,17 +612,18 @@ let add_clause_a s lits =
           in
           let ok0 = pick 0 in
           let ok1 = ok0 && pick 1 in
+          let id, r = alloc_clause s lits len false in
           if not ok0 then begin
             (* all literals false at level 0 *)
-            attach s id;
-            record_empty_chain s id;
+            attach s r;
+            record_empty_chain s r;
             s.ok <- false
           end
           else if not ok1 then begin
             (* clause is unit under level-0 assignment *)
-            attach s id;
+            attach s r;
             if lit_unassigned s lits.(0) then begin
-              enqueue s lits.(0) id;
+              enqueue s lits.(0) r;
               match propagate s with
               | -1 -> ()
               | confl ->
@@ -559,7 +631,7 @@ let add_clause_a s lits =
                   s.ok <- false
             end
           end
-          else attach s id;
+          else attach s r;
           id
     end
   end
@@ -568,55 +640,60 @@ let add_clause s lits = add_clause_a s (Array.of_list lits)
 
 (* ---------- conflict analysis ---------- *)
 
-(* First-UIP learning. Returns (learnt literals with the asserting literal
-   first, backtrack level, proof step). *)
-let analyze s confl_id =
-  let learnt = Veci.create () in
+(* First-UIP learning. Fills [s.tmp_learnt] with the learnt clause (the
+   asserting literal first) and returns (backtrack level, proof step).
+   Scratch marks live in the [seen] epoch: code 1 = on the current
+   resolvent, code 2 = level-0 literal awaiting proof resolution. *)
+let analyze s confl_r =
+  let a = s.arena in
+  let learnt = s.tmp_learnt in
+  Veci.clear learnt;
   Veci.push learnt 0;
   (* slot for the asserting literal *)
-  let premises = Veci.create () and pivots = Veci.create () in
-  Veci.push premises confl_id;
+  let premises = s.tmp_premises and pivots = s.tmp_pivots in
+  Veci.clear premises;
+  Veci.clear pivots;
+  Epoch.reset s.seen;
+  if s.proof_mode then Veci.push premises (Arena.id a confl_r);
   let dl = decision_level s in
   let path = ref 0 in
   let p = ref (-1) in
   let idx = ref (Veci.length s.trail - 1) in
-  let confl = ref confl_id in
+  let confl = ref confl_r in
   let stop = ref false in
   while not !stop do
-    let c = s.clauses.(!confl) in
-    if c.learnt then cla_bump s c;
-    let lits = c.lits in
+    let r = !confl in
+    if Arena.learnt a r then Arena.set_used a r;
+    let len = Arena.size a r in
     let start = if !p = -1 then 0 else 1 in
-    for j = start to Array.length lits - 1 do
-      let q = lits.(j) in
+    for j = start to len - 1 do
+      let q = Arena.lit a r j in
       let v = Lit.var q in
-      if Bytes.get s.seen v = '\000' then
+      if not (Epoch.mem s.seen v) then
         if s.level.(v) > 0 then begin
-          Bytes.set s.seen v '\001';
-          Veci.push s.to_clear v;
+          Epoch.set s.seen v 1;
           var_bump s v;
           if s.level.(v) >= dl then incr path else Veci.push learnt q
         end
-        else if s.proof_mode then begin
-          Bytes.set s.seen v '\002';
-          Veci.push s.to_clear v
-        end
+        else if s.proof_mode then Epoch.set s.seen v 2
     done;
     (* pick the next current-level literal to expand *)
-    while Bytes.get s.seen (Lit.var (Veci.get s.trail !idx)) <> '\001' do
+    while Epoch.get s.seen (Lit.var (Veci.get s.trail !idx)) <> 1 do
       decr idx
     done;
     p := Veci.get s.trail !idx;
     decr idx;
     let v = Lit.var !p in
-    Bytes.set s.seen v '\000';
+    Epoch.unset s.seen v;
     decr path;
     if !path = 0 then stop := true
     else begin
       confl := s.reason.(v);
       assert (!confl >= 0);
-      Veci.push premises !confl;
-      Veci.push pivots v
+      if s.proof_mode then begin
+        Veci.push premises (Arena.id a !confl);
+        Veci.push pivots v
+      end
     end
   done;
   Veci.set learnt 0 (Lit.negate !p);
@@ -626,11 +703,11 @@ let analyze s confl_id =
        let r = s.reason.(Lit.var q) in
        r >= 0
        &&
-       let lits = s.clauses.(r).lits in
+       let len = Arena.size a r in
        let ok = ref true in
-       for j = 1 to Array.length lits - 1 do
-         let u = Lit.var lits.(j) in
-         if s.level.(u) > 0 && Bytes.get s.seen u <> '\001' then ok := false
+       for j = 1 to len - 1 do
+         let u = Lit.var (Arena.lit a r j) in
+         if s.level.(u) > 0 && Epoch.get s.seen u <> 1 then ok := false
        done;
        !ok
      in
@@ -646,7 +723,6 @@ let analyze s confl_id =
    end);
   (* resolve away level-0 literals for the proof *)
   if s.proof_mode then resolve_zero s premises pivots;
-  clear_seen s;
   (* compute backtrack level; move max-level literal to slot 1 *)
   let bt =
     if Veci.length learnt = 1 then 0
@@ -665,83 +741,106 @@ let analyze s confl_id =
     end
   in
   let step =
-    { Proof.premises = Veci.to_array premises; pivots = Veci.to_array pivots }
+    if s.proof_mode then
+      {
+        Proof.premises = Veci.to_array premises;
+        pivots = Veci.to_array pivots;
+      }
+    else dummy_step
   in
-  (Veci.to_array learnt, bt, step)
+  (bt, step)
 
 (* Assumption-failure analysis: compute the subset of assumptions implying
    the falsification of assumption literal [p]. *)
 let analyze_final s p =
   let core = ref [ p ] in
   if decision_level s > 0 then begin
-    let v0 = Lit.var p in
-    Bytes.set s.seen v0 '\001';
-    Veci.push s.to_clear v0;
+    let a = s.arena in
+    Epoch.reset s.seen;
+    Epoch.set s.seen (Lit.var p) 1;
     let base = Veci.get s.trail_lim 0 in
     for i = Veci.length s.trail - 1 downto base do
       let l = Veci.get s.trail i in
       let v = Lit.var l in
-      if Bytes.get s.seen v = '\001' then begin
-        if s.reason.(v) < 0 then begin
-          (* decision: an assumption *)
-          if l <> p then core := l :: !core
-        end
-        else begin
-          let lits = s.clauses.(s.reason.(v)).lits in
-          for j = 1 to Array.length lits - 1 do
-            let u = Lit.var lits.(j) in
-            if s.level.(u) > 0 && Bytes.get s.seen u = '\000' then begin
-              Bytes.set s.seen u '\001';
-              Veci.push s.to_clear u
-            end
-          done
-        end;
-        Bytes.set s.seen v '\000'
+      if Epoch.get s.seen v = 1 then begin
+        (if s.reason.(v) < 0 then begin
+           (* decision: an assumption *)
+           if l <> p then core := l :: !core
+         end
+         else begin
+           let r = s.reason.(v) in
+           for j = 1 to Arena.size a r - 1 do
+             let u = Lit.var (Arena.lit a r j) in
+             if s.level.(u) > 0 && not (Epoch.mem s.seen u) then
+               Epoch.set s.seen u 1
+           done
+         end);
+        Epoch.unset s.seen v
       end
     done
   end;
-  clear_seen s;
   !core
+
+(* LBD ("glue"): distinct decision levels among the learnt's literals.
+   Must run before [cancel_until] invalidates the levels. *)
+let lbd_of s lv =
+  Epoch.reset s.lbd_seen;
+  let n = ref 0 in
+  for i = 0 to Veci.length lv - 1 do
+    let lvl = s.level.(Lit.var (Veci.get lv i)) in
+    if not (Epoch.mem s.lbd_seen lvl) then begin
+      Epoch.set s.lbd_seen lvl 1;
+      incr n
+    end
+  done;
+  !n
+
+let learn_clause s lbd =
+  let lv = s.tmp_learnt in
+  let n = Veci.length lv in
+  let id, r = alloc_clause s (Veci.data lv) n true in
+  Arena.set_lbd s.arena r lbd;
+  if n >= 2 then attach s r;
+  Veci.push s.learnts r;
+  (id, r)
 
 (* ---------- learned clause DB reduction ---------- *)
 
-let locked s id =
-  let c = s.clauses.(id) in
-  Array.length c.lits > 0
+let locked s r =
+  let a = s.arena in
+  Arena.size a r > 0
   &&
-  let v = Lit.var c.lits.(0) in
-  s.reason.(v) = id && Char.code (Bytes.get s.assign v) <> 0
+  let v = Lit.var (Arena.lit a r 0) in
+  s.reason.(v) = r && Char.code (Bytes.get s.assign v) <> 0
 
+(* Delete the worst half of the learnt database, "worst" keyed on stored
+   LBD (higher is worse) with size as tiebreak. Binary, low-glue, locked
+   and recently-used clauses (used bit, set by conflict analysis) are
+   always kept; the used bit is cleared so it means "used since the last
+   reduction". *)
 let reduce_db s =
-  let ids = Veci.to_array s.learnts in
+  let a = s.arena in
+  let refs = Veci.to_array s.learnts in
   Array.sort
-    (fun a b -> compare s.clauses.(a).act s.clauses.(b).act)
-    ids;
-  let keep = Veci.create () in
-  let n = Array.length ids in
-  Array.iteri
-    (fun i id ->
-      let c = s.clauses.(id) in
-      if
-        Array.length c.lits > 2
-        && (not (locked s id))
-        && (i < n / 2 || c.act < 1e-30)
-      then begin
-        detach s id;
-        c.removed <- true;
-        (* In proof mode keep the literals (exporters need them for [d]
-           lines) and log the deletion position so the exported trace
-           interleaves deletions exactly where replay must apply them. *)
-        if s.proof_mode then begin
-          Veci.push s.proof_dels id;
-          Veci.push s.proof_dels s.n_chains
-        end
-        else c.lits <- [||]
-      end
-      else Veci.push keep id)
-    ids;
+    (fun r1 r2 ->
+      let c = compare (Arena.lbd a r2 : int) (Arena.lbd a r1) in
+      if c <> 0 then c else compare (Arena.size a r2 : int) (Arena.size a r1))
+    refs;
+  let n = Array.length refs in
+  let limit = n / 2 in
   Veci.clear s.learnts;
-  Veci.iter (fun id -> Veci.push s.learnts id) keep
+  Array.iteri
+    (fun i r ->
+      let keep =
+        i >= limit || Arena.size a r <= 2 || Arena.lbd a r <= 2
+        || Arena.used a r || locked s r
+      in
+      if keep then begin
+        if Arena.used a r then Arena.clear_used a r;
+        Veci.push s.learnts r
+      end
+      else remove_clause s r)
+    refs
 
 (* Public forcing hook: tests and fuzzers use this to exercise the
    deletion-aware proof path without waiting for [max_learnts] (whose
@@ -751,6 +850,265 @@ let reduce_learnts s =
   if decision_level s <> 0 then
     invalid_arg "Solver.reduce_learnts: only at decision level 0";
   reduce_db s
+
+(* ---------- arena compaction ---------- *)
+
+(* Compact the arena, dropping removed blocks. Refs are reseated through
+   the stable ids: trail reasons are stashed as (var, id) pairs first,
+   [cmap] is rewritten from the gc's ref relocation, and the watch lists
+   and learnt index are rebuilt from the live blocks (watched literals
+   always sit in slots 0/1, so attaching those slots reproduces the exact
+   watch arrangement). Only called at decision level 0 boundaries. *)
+let collect s =
+  Metrics.inc m_arena_gc;
+  let a = s.arena in
+  let rvars = Veci.create () and rids = Veci.create () in
+  Veci.iter
+    (fun l ->
+      let v = Lit.var l in
+      let r = s.reason.(v) in
+      if r >= 0 then begin
+        Veci.push rvars v;
+        Veci.push rids (Arena.id a r)
+      end)
+    s.trail;
+  (* ids allocate refs monotonically and gc preserves order, so walking
+     cmap in id order yields ascending live refs *)
+  let n_ids = Veci.length s.cmap in
+  let live = Veci.create ~cap:n_ids () in
+  let ids = Veci.create ~cap:n_ids () in
+  for id = 0 to n_ids - 1 do
+    let r = Veci.get s.cmap id in
+    if r >= 0 then begin
+      Veci.push live r;
+      Veci.push ids id
+    end
+  done;
+  Arena.gc a live;
+  for k = 0 to Veci.length ids - 1 do
+    Veci.set s.cmap (Veci.get ids k) (Veci.get live k)
+  done;
+  for k = 0 to Veci.length rvars - 1 do
+    s.reason.(Veci.get rvars k) <- Veci.get s.cmap (Veci.get rids k)
+  done;
+  for l = 0 to (2 * s.nvars) - 1 do
+    Veci.clear s.watches.(l)
+  done;
+  Veci.clear s.learnts;
+  for k = 0 to Veci.length live - 1 do
+    let r = Veci.get live k in
+    if Arena.learnt a r then Veci.push s.learnts r;
+    if Arena.size a r >= 2 then attach s r
+  done
+
+let maybe_collect s =
+  if Arena.top s.arena >= 4096 && 4 * Arena.wasted s.arena > Arena.top s.arena
+  then collect s
+
+let compact s =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.compact: only at decision level 0";
+  collect s
+
+(* ---------- inprocessing ---------- *)
+
+(* Remove literal [l] from clause [r], keeping the watch invariant
+   (watched slots 0/1 hold non-false literals of unsatisfied clauses).
+   Positions >= 2 are unwatched, so the swap-delete suffices; touching a
+   watched slot detaches, deletes, re-picks two non-false literals and
+   reattaches. A clause strengthened to a unit is enqueued; propagation
+   is the caller's job. Never called on locked clauses or in proof mode. *)
+let strengthen_clause s r l =
+  let a = s.arena in
+  let n = Arena.size a r in
+  let i = ref 0 in
+  while !i < n && Arena.lit a r !i <> l do
+    incr i
+  done;
+  if !i < n then begin
+    Metrics.inc m_strengthened;
+    if !i >= 2 then Arena.remove_lit a r !i
+    else begin
+      detach s r;
+      Arena.remove_lit a r !i;
+      let n = n - 1 in
+      if n = 1 then begin
+        let u = Arena.lit a r 0 in
+        if lit_unassigned s u then enqueue s u r
+        else if lit_false s u then s.ok <- false
+      end
+      else begin
+        (* re-pick two non-false literals into slots 0/1 *)
+        let pick from =
+          let k = ref from in
+          while !k < n && lit_false s (Arena.lit a r !k) do
+            incr k
+          done;
+          if !k < n then begin
+            let tmp = Arena.lit a r from in
+            Arena.set_lit a r from (Arena.lit a r !k);
+            Arena.set_lit a r !k tmp;
+            true
+          end
+          else false
+        in
+        let ok0 = pick 0 in
+        let ok1 = ok0 && pick 1 in
+        if not ok0 then s.ok <- false
+        else begin
+          attach s r;
+          if not ok1 then begin
+            let u = Arena.lit a r 0 in
+            if lit_unassigned s u then enqueue s u r
+            else if lit_false s u then s.ok <- false
+          end
+        end
+      end
+    end
+  end
+
+(* Does [c] subsume [d] (c ⊆ d), or self-subsume it (c \ {l} ⊆ d with
+   ¬l ∈ d)? Returns [max_int] for subsumption, the flip literal [l] of
+   [c] for self-subsumption, [-1] for neither. One epoch reset plus a
+   linear walk of each clause. *)
+let subsume_check s c d =
+  let a = s.arena in
+  Epoch.reset s.mark;
+  for i = 0 to Arena.size a d - 1 do
+    Epoch.set s.mark (Arena.lit a d i) 1
+  done;
+  let nc = Arena.size a c in
+  let flip = ref max_int in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < nc do
+    let l = Arena.lit a c !i in
+    if Epoch.mem s.mark l then ()
+    else if !flip = max_int && Epoch.mem s.mark (Lit.negate l) then flip := l
+    else ok := false;
+    incr i
+  done;
+  if !ok then !flip else -1
+
+(* One inprocessing pass at decision level 0 (non-proof mode only):
+   1. propagate to fixpoint;
+   2. drop satisfied clauses and strip level-0-false literals (the watch
+      invariant guarantees watched slots of unsatisfied clauses are
+      non-false, so only positions >= 2 can be stripped);
+   3. backward subsumption + self-subsuming resolution driven by
+      occurrence lists over arena refs, under a work budget. A learnt
+      clause that subsumes a problem clause is promoted to problem status
+      first, so the stronger clause can never be dropped later by
+      database reduction. *)
+let inprocess_pass s =
+  Metrics.inc m_inprocess;
+  let t0 = Clock.now () in
+  let a = s.arena in
+  if propagate s >= 0 then s.ok <- false;
+  if s.ok then begin
+    (* sweep: satisfied clauses out, false literals stripped *)
+    for id = 0 to Veci.length s.cmap - 1 do
+      let r = Veci.get s.cmap id in
+      if r >= 0 && not (locked s r) then begin
+        let n = Arena.size a r in
+        let sat = ref false in
+        for i = 0 to n - 1 do
+          if lit_true s (Arena.lit a r i) then sat := true
+        done;
+        if !sat then remove_clause s r
+        else
+          for i = n - 1 downto 2 do
+            if lit_false s (Arena.lit a r i) then begin
+              Arena.remove_lit a r i;
+              Metrics.inc m_strengthened
+            end
+          done
+      end
+    done
+  end;
+  if s.ok then begin
+    (* occurrence lists over the live, unlocked clauses *)
+    let occ = Array.init (2 * s.nvars) (fun _ -> Veci.create ~cap:4 ()) in
+    for id = 0 to Veci.length s.cmap - 1 do
+      let r = Veci.get s.cmap id in
+      if r >= 0 && (not (locked s r)) && Arena.size a r >= 2 then
+        for i = 0 to Arena.size a r - 1 do
+          Veci.push occ.(Arena.lit a r i) r
+        done
+    done;
+    let budget = ref 400_000 in
+    let id = ref 0 in
+    let n_ids = Veci.length s.cmap in
+    while s.ok && !budget > 0 && !id < n_ids do
+      let c = Veci.get s.cmap !id in
+      incr id;
+      if c >= 0 && (not (locked s c)) && Arena.size a c >= 2 then begin
+        (* scan the shortest occurrence list among c's literals *)
+        let best = ref (Arena.lit a c 0) in
+        for i = 1 to Arena.size a c - 1 do
+          let l = Arena.lit a c i in
+          if Veci.length occ.(l) < Veci.length occ.(!best) then best := l
+        done;
+        (* candidates containing [best] can be subsumed or strengthened;
+           candidates containing [¬best] can only be strengthened (with
+           [best] itself as the flipped literal) *)
+        let scan cands =
+          let k = ref 0 in
+          while s.ok && !budget > 0 && !k < Veci.length cands do
+            let d = Veci.get cands !k in
+            incr k;
+            if
+              d <> c
+              && (not (Arena.removed a d))
+              && (not (Arena.removed a c))
+              && (not (locked s d))
+              && Arena.size a d >= Arena.size a c
+            then begin
+              budget := !budget - Arena.size a d;
+              match subsume_check s c d with
+              | -1 -> ()
+              | m when m = max_int ->
+                  (* c subsumes d: keep the stronger clause irredundant *)
+                  if Arena.learnt a c && not (Arena.learnt a d) then begin
+                    Arena.clear_learnt a c;
+                    Bytes.set s.cflags (Arena.id a c) '\000';
+                    s.n_problem <- s.n_problem + 1
+                  end;
+                  remove_clause s d;
+                  Metrics.inc m_subsumed
+              | l ->
+                  (* self-subsuming resolution: drop ¬l from d *)
+                  strengthen_clause s d (Lit.negate l);
+                  if s.ok && propagate s >= 0 then s.ok <- false
+            end
+          done
+        in
+        scan occ.(!best);
+        let nbest = Lit.negate !best in
+        if s.ok && nbest < Array.length occ then scan occ.(nbest)
+      end
+    done;
+    (* strengthening may have promoted/removed learnts: rebuild the index *)
+    Veci.clear s.learnts;
+    for id = 0 to Veci.length s.cmap - 1 do
+      let r = Veci.get s.cmap id in
+      if r >= 0 && Arena.learnt a r then Veci.push s.learnts r
+    done
+  end;
+  Metrics.observe h_inprocess_s (Clock.elapsed_since t0)
+
+let set_inprocessing s b = s.inprocessing <- b
+
+let inprocessing_enabled s = s.inprocessing && not s.proof_mode
+
+let inprocess s =
+  if decision_level s <> 0 then
+    invalid_arg "Solver.inprocess: only at decision level 0";
+  if s.proof_mode then invalid_arg "Solver.inprocess: unavailable in proof mode";
+  if s.ok then begin
+    inprocess_pass s;
+    maybe_collect s
+  end
 
 (* ---------- runtime sanitizer ---------- *)
 
@@ -768,6 +1126,7 @@ let sanitize_enabled s = s.sanitize
    recorded at the decision level its position implies, with a
    well-formed reason clause; assigned-variable count matches the trail. *)
 let audit_trail s add =
+  let a = s.arena in
   let n = Veci.length s.trail in
   let n_lim = Veci.length s.trail_lim in
   if s.qhead > n then
@@ -799,27 +1158,29 @@ let audit_trail s add =
              s.level.(v) !lvl);
       let r = s.reason.(v) in
       if r >= 0 then
-        if r >= s.n_cls then
-          add "SAN003" (Printf.sprintf "reason of var %d is bad clause id %d" v r)
-        else begin
-          let c = s.clauses.(r) in
-          if c.removed then
-            add "SAN003"
-              (Printf.sprintf "reason of var %d is removed clause %d" v r)
-          else if Array.length c.lits = 0 || c.lits.(0) <> l then
-            add "SAN003"
-              (Printf.sprintf
-                 "reason clause %d of var %d does not assert its literal first"
-                 r v)
-          else
-            for j = 1 to Array.length c.lits - 1 do
-              if not (lit_false s c.lits.(j)) then
-                add "SAN003"
-                  (Printf.sprintf
-                     "reason clause %d of var %d has non-false literal %d" r v
-                     c.lits.(j))
-            done
-        end
+        if r >= Arena.top a then
+          add "SAN003"
+            (Printf.sprintf "reason of var %d is out-of-arena ref %d" v r)
+        else if Arena.removed a r then
+          add "SAN003"
+            (Printf.sprintf "reason of var %d is removed clause ref %d" v r)
+        else if Veci.get s.cmap (Arena.id a r) <> r then
+          add "SAN003"
+            (Printf.sprintf
+               "reason of var %d (ref %d) disagrees with the id directory" v r)
+        else if Arena.size a r = 0 || Arena.lit a r 0 <> l then
+          add "SAN003"
+            (Printf.sprintf
+               "reason clause %d of var %d does not assert its literal first" r
+               v)
+        else
+          for j = 1 to Arena.size a r - 1 do
+            if not (lit_false s (Arena.lit a r j)) then
+              add "SAN003"
+                (Printf.sprintf
+                   "reason clause %d of var %d has non-false literal %d" r v
+                   (Arena.lit a r j))
+          done
     end
   done;
   let assigned = ref 0 in
@@ -830,64 +1191,93 @@ let audit_trail s add =
     add "SAN002"
       (Printf.sprintf "%d vars assigned but trail holds %d literals" !assigned n)
 
-(* Watch-list and clause-store integrity: every watch entry references a
-   valid clause through one of its first two literals, every live clause
-   of width >= 2 is watched exactly once per watched literal, the learnt
-   index only lists learnt clauses, and clause literals are in range. *)
+(* Watch-list and clause-store integrity: the id directory and arena
+   headers agree, every watch pair references a live block through one of
+   its first two literals with an in-range blocker, every live clause of
+   width >= 2 is watched exactly once per watched slot, and the learnt
+   index only lists live learnt blocks. *)
 let audit_clauses s add =
+  let a = s.arena in
   let expected = Hashtbl.create 256 in
-  for id = 0 to s.n_cls - 1 do
-    let c = s.clauses.(id) in
-    if not c.removed then begin
-      Array.iter
-        (fun l ->
+  for id = 0 to Veci.length s.cmap - 1 do
+    let r = Veci.get s.cmap id in
+    if r >= 0 then
+      if r >= Arena.top a then
+        add "SAN003"
+          (Printf.sprintf "clause %d maps to out-of-arena ref %d" id r)
+      else begin
+        if Arena.id a r <> id then
+          add "SAN003"
+            (Printf.sprintf
+               "clause %d maps to ref %d whose header claims id %d" id r
+               (Arena.id a r));
+        if Arena.removed a r then
+          add "SAN003"
+            (Printf.sprintf "clause %d maps to removed block at ref %d" id r);
+        let n = Arena.size a r in
+        for i = 0 to n - 1 do
+          let l = Arena.lit a r i in
           if l < 0 || Lit.var l >= s.nvars then
             add "SAN003"
-              (Printf.sprintf "clause %d holds out-of-range literal %d" id l))
-        c.lits;
-      if Array.length c.lits >= 2 then begin
-        Hashtbl.replace expected (id, c.lits.(0)) 0;
-        Hashtbl.replace expected (id, c.lits.(1)) 0
+              (Printf.sprintf "clause %d holds out-of-range literal %d" id l)
+        done;
+        if n >= 2 then begin
+          Hashtbl.replace expected (r, Arena.lit a r 0) 0;
+          Hashtbl.replace expected (r, Arena.lit a r 1) 0
+        end
       end
-    end
   done;
   for l = 0 to (2 * s.nvars) - 1 do
-    Veci.iter
-      (fun id ->
-        if id < 0 || id >= s.n_cls then
+    let w = s.watches.(l) in
+    if Veci.length w land 1 <> 0 then
+      add "SAN001"
+        (Printf.sprintf "watch list of literal %d has odd length %d" l
+           (Veci.length w));
+    let k = ref 0 in
+    while !k + 1 < Veci.length w do
+      let r = Veci.get w !k in
+      let blocker = Veci.get w (!k + 1) in
+      k := !k + 2;
+      if r < 0 || r >= Arena.top a || Arena.removed a r then
+        add "SAN001"
+          (Printf.sprintf
+             "watch list of literal %d references dead or out-of-range ref %d"
+             l r)
+      else begin
+        if blocker < 0 || Lit.var blocker >= s.nvars then
           add "SAN001"
             (Printf.sprintf
-               "watch list of literal %d references clause id %d out of range"
-               l id)
-        else if not s.clauses.(id).removed then
-          (* removed clauses are dropped lazily; live ones must be watched
-             through their first two slots *)
-          match Hashtbl.find_opt expected (id, l) with
-          | Some k -> Hashtbl.replace expected (id, l) (k + 1)
-          | None ->
-              add "SAN001"
-                (Printf.sprintf
-                   "clause %d watched under literal %d, not one of its first \
-                    two literals"
-                   id l))
-      s.watches.(l)
+               "watch of clause ref %d under literal %d has bad blocker %d" r l
+               blocker);
+        match Hashtbl.find_opt expected (r, l) with
+        | Some c -> Hashtbl.replace expected (r, l) (c + 1)
+        | None ->
+            add "SAN001"
+              (Printf.sprintf
+                 "clause ref %d watched under literal %d, not one of its \
+                  first two literals"
+                 r l)
+      end
+    done
   done;
   Hashtbl.iter
-    (fun (id, l) k ->
+    (fun (r, l) k ->
       if k = 0 then
         add "SAN001"
-          (Printf.sprintf "clause %d missing from watch list of literal %d" id l)
+          (Printf.sprintf "clause ref %d missing from watch list of literal %d"
+             r l)
       else if k > 1 then
         add "SAN001"
-          (Printf.sprintf "clause %d watched %d times under literal %d" id k l))
+          (Printf.sprintf "clause ref %d watched %d times under literal %d" r k
+             l))
     expected;
   Veci.iter
-    (fun id ->
-      if id < 0 || id >= s.n_cls then
-        add "SAN003" (Printf.sprintf "learnt index holds bad clause id %d" id)
-      else if not s.clauses.(id).learnt then
+    (fun r ->
+      if r < 0 || r >= Arena.top a || Arena.removed a r then
+        add "SAN003" (Printf.sprintf "learnt index holds dead clause ref %d" r)
+      else if not (Arena.learnt a r) then
         add "SAN003"
-          (Printf.sprintf "learnt index references problem clause %d" id))
+          (Printf.sprintf "learnt index references problem clause ref %d" r))
     s.learnts
 
 let audit s =
@@ -940,20 +1330,6 @@ let luby y x =
 
 exception Done of result
 
-let learn_clause s lits =
-  let id = alloc_clause s (Array.copy lits) true in
-  if Array.length lits >= 2 then attach s id;
-  Veci.push s.learnts id;
-  id
-
-(* LBD ("glue") of a learnt clause: distinct decision levels among its
-   literals — must run before [cancel_until] invalidates the levels. *)
-let observe_learnt s lits =
-  let levels = Hashtbl.create 8 in
-  Array.iter (fun l -> Hashtbl.replace levels s.level.(Lit.var l) ()) lits;
-  Metrics.observe h_lbd (float_of_int (Hashtbl.length levels));
-  Metrics.observe h_learnt_len (float_of_int (Array.length lits))
-
 (* One restart-bounded search episode. *)
 let search s assumptions nof_conflicts =
   let conflict_c = ref 0 in
@@ -971,15 +1347,17 @@ let search s assumptions nof_conflicts =
       end;
       if s.conflicts land 1023 = 0 && Clock.now () > s.deadline then
         raise (Done Unknown);
-      let lits, bt, step = analyze s confl in
-      if Metrics.deep () then observe_learnt s lits;
+      let bt, step = analyze s confl in
+      let lbd = lbd_of s s.tmp_learnt in
+      if Metrics.deep () then begin
+        Metrics.observe h_lbd (float_of_int lbd);
+        Metrics.observe h_learnt_len (float_of_int (Veci.length s.tmp_learnt))
+      end;
       cancel_until s bt;
-      let id = learn_clause s lits in
+      let id, r = learn_clause s lbd in
       if s.proof_mode then push_chain s id step;
-      cla_bump s s.clauses.(id);
-      enqueue s lits.(0) id;
+      enqueue s (Veci.get s.tmp_learnt 0) r;
       var_decay s;
-      cla_decay s;
       loop ()
     end
     else begin
@@ -1073,7 +1451,21 @@ let solve_limited ?(assumptions = []) s =
           else search s assumptions bound;
           Metrics.inc m_restarts;
           incr restarts;
-          s.max_learnts <- s.max_learnts *. 1.05
+          s.max_learnts <- s.max_learnts *. 1.05;
+          (* restart boundary (decision level 0): inprocess on schedule,
+             then reclaim arena space if enough is buried *)
+          if
+            s.inprocessing && (not s.proof_mode) && s.ok
+            && s.conflicts >= s.inprocess_next
+          then begin
+            inprocess_pass s;
+            s.inprocess_next <- s.conflicts + 4000;
+            if not s.ok then begin
+              s.core <- [];
+              raise (Done Unsat)
+            end
+          end;
+          maybe_collect s
         done;
         assert false
       with Done r -> r
@@ -1130,8 +1522,6 @@ let proof_deletions s =
   List.init n (fun i ->
       (Veci.get s.proof_dels (2 * i), Veci.get s.proof_dels ((2 * i) + 1)))
 
-let n_clause_records s = s.n_cls
-
 let proof_of_unsat s =
   if not s.proof_mode then failwith "Solver.proof_of_unsat: proof logging off";
   match s.empty_chain with
@@ -1143,15 +1533,23 @@ let proof_of_unsat s =
       (steps, empty)
 
 let clause_lits s id =
-  assert (id >= 0 && id < s.n_cls);
-  Array.copy s.clauses.(id).lits
+  assert (id >= 0 && id < Veci.length s.cmap);
+  let r = Veci.get s.cmap id in
+  if r >= 0 then Arena.lits s.arena r
+  else
+    match Hashtbl.find_opt s.dead_lits id with
+    | Some lits -> Array.copy lits
+    | None -> [||]
 
 let is_learnt_clause s id =
-  assert (id >= 0 && id < s.n_cls);
-  s.clauses.(id).learnt
+  assert (id >= 0 && id < Veci.length s.cmap);
+  Bytes.get s.cflags id = '\001'
 
 let pp_stats fmt s =
   Format.fprintf fmt
     "vars=%d clauses=%d learnts=%d conflicts=%d decisions=%d propagations=%d"
     s.nvars s.n_problem (Veci.length s.learnts) s.conflicts s.decisions
     s.propagations
+
+
+

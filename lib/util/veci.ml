@@ -16,6 +16,12 @@ let set v i x =
   assert (i >= 0 && i < v.sz);
   Array.unsafe_set v.data i x
 
+let unsafe_get v i = Array.unsafe_get v.data i
+
+let unsafe_set v i x = Array.unsafe_set v.data i x
+
+let data v = v.data
+
 let grow v =
   let data = Array.make (2 * Array.length v.data) 0 in
   Array.blit v.data 0 data 0 v.sz;

@@ -21,6 +21,17 @@ val get : t -> int -> int
 
 val set : t -> int -> int -> unit
 
+val unsafe_get : t -> int -> int
+(** Unchecked {!get}, for hot loops whose indices are already validated. *)
+
+val unsafe_set : t -> int -> int -> unit
+(** Unchecked {!set}. *)
+
+val data : t -> int array
+(** The backing array. Only indices [0 .. length v - 1] are live, and the
+    reference is invalidated by any growing operation ([push]); intended
+    for bulk reads (blits) in hot paths. *)
+
 val push : t -> int -> unit
 
 val pop : t -> int
